@@ -1,0 +1,108 @@
+"""Figure 13 — latency of downloading the metadata index via quorum.
+
+Paper (TSR in Europe, official Alpine mirrors): < 400 ms with up to five
+same-continent mirrors; < 1.2 s with ten; mirrors spread across three
+continents behave like the North-America set (~ fastest f+1 win) and nine
+cross-continent mirrors reach ~2.2 s.
+
+Setup: a full-scale (11,581-entry) metadata index served by synthetic
+mirrors; the TSR host's downlink is shared across concurrent fetches and
+each mirror pays a TLS-handshake delay of two extra RTTs.
+"""
+
+import pytest
+
+from repro.archive.index import IndexEntry, RepositoryIndex
+from repro.bench.report import PaperTable, record_table
+from repro.core.policy import MirrorPolicyEntry
+from repro.core.quorum import QuorumReader
+from repro.crypto.rsa import generate_keypair
+from repro.simnet.latency import Continent, LatencyModel
+from repro.simnet.network import Host, Network
+from repro.util.stats import human_duration
+
+_TSR_DOWNLINK = 11 * 1024 * 1024  # bytes/s; calibrated in EXPERIMENTS.md
+
+_SCENARIOS = {
+    "Europe": [Continent.EUROPE],
+    "North America": [Continent.NORTH_AMERICA],
+    "Asia": [Continent.ASIA],
+    "All": [Continent.EUROPE, Continent.NORTH_AMERICA, Continent.ASIA],
+}
+
+
+@pytest.fixture(scope="module")
+def signed_index_bytes():
+    key = generate_keypair(1024, seed=13)
+    index = RepositoryIndex(serial=42)
+    for i in range(11581):
+        index.add(IndexEntry(
+            name=f"pkg-{i:05d}", version="1.0-r0", size=250_000,
+            sha256=f"{i:064x}",
+        ))
+    index.sign(key)
+    return index.to_bytes(), key.public_key
+
+
+def _measure(index_bytes, public_key, continents, count) -> float:
+    network = Network(latency=LatencyModel(seed=5))
+    network.timeout = 60.0
+    network.add_host(Host("tsr.eu", Continent.EUROPE,
+                          downlink_bandwidth=_TSR_DOWNLINK))
+    mirrors = []
+    for i in range(count):
+        continent = continents[i % len(continents)]
+        name = f"mirror-{i}"
+        handler = lambda op, payload, blob=index_bytes: (blob, len(blob))
+        handshake = 2 * network.latency.base_rtt(Continent.EUROPE, continent)
+        network.add_host(Host(name, continent, handler=handler,
+                              extra_delay=handshake,
+                              bandwidth=_TSR_DOWNLINK))
+        mirrors.append(MirrorPolicyEntry(hostname=name, continent=continent))
+    reader = QuorumReader(network, "tsr.eu", mirrors, [public_key])
+    return reader.read_index().elapsed
+
+
+def test_fig13_quorum_latency(signed_index_bytes, benchmark):
+    index_bytes, public_key = signed_index_bytes
+    counts = list(range(1, 11))
+
+    def sweep():
+        series = {}
+        for label, continents in _SCENARIOS.items():
+            series[label] = [
+                _measure(index_bytes, public_key, continents, n)
+                for n in counts
+            ]
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = PaperTable(
+        experiment="Figure 13",
+        title="Metadata index latency vs mirror count (simulated)",
+        columns=["mirrors", *(label for label in _SCENARIOS)],
+    )
+    for idx, n in enumerate(counts):
+        table.add_row(n, *(human_duration(series[label][idx])
+                           for label in _SCENARIOS))
+    table.note("paper anchors: <=5 same-continent < 400 ms; 10 mirrors "
+               "< 1.2 s; 9 cross-continent ~ 2.2 s; All ~ North America")
+    record_table(table)
+
+    eu = series["Europe"]
+    asia = series["Asia"]
+    all_mix = series["All"]
+    na = series["North America"]
+    # Paper anchor: up to five same-continent mirrors stay under 400 ms.
+    assert all(latency < 0.4 for latency in eu[:5])
+    # Ten mirrors stay in the paper's ~1.2 s regime.
+    assert eu[9] < 1.5
+    # Latency grows with the mirror count (quorum widens).
+    assert eu[9] > eu[0]
+    # Cross-continent sets are slower than same-continent ones.
+    assert asia[8] > eu[8]
+    # "All" behaves like the faster continents, not like Asia: TSR contacts
+    # the fastest f+1 mirrors first.
+    assert all_mix[8] < asia[8]
+    assert abs(all_mix[8] - na[8]) < 0.5 * asia[8]

@@ -1,0 +1,57 @@
+"""Table 1 — package census: how many packages carry (un)safe scripts.
+
+Paper (Alpine main + community, full scale):
+
+    total 11,581 | without scripts 11,303 | safe scripts 53 | unsafe 225
+
+We regenerate the census by running the real classifier over the synthetic
+population and compare *proportions* (the population is scaled).
+"""
+
+from repro.bench.report import PaperTable, record_table
+from repro.scripts.classify import classify_package_scripts
+from repro.workload.generator import PAPER_TOTALS
+
+
+def _census(packages):
+    without = safe = unsafe = 0
+    for package in packages:
+        if not package.scripts:
+            without += 1
+            continue
+        profile = classify_package_scripts(package.scripts)
+        if profile.safe:
+            safe += 1
+        else:
+            unsafe += 1
+    return without, safe, unsafe
+
+
+def test_table1_census(census_workload, benchmark):
+    packages = census_workload.packages
+    without, safe, unsafe = benchmark.pedantic(
+        _census, args=(packages,), rounds=1, iterations=1
+    )
+    total = len(packages)
+
+    table = PaperTable(
+        experiment="Table 1",
+        title="Packages with and without custom configuration scripts",
+        columns=["row", "paper (n / %)", "measured (n / %)"],
+    )
+    paper_total = PAPER_TOTALS["packages"]
+
+    def fmt(n, whole):
+        return f"{n} / {100 * n / whole:.2f}%"
+
+    table.add_row("Total", fmt(paper_total, paper_total), fmt(total, total))
+    table.add_row("Without scripts", fmt(11303, paper_total), fmt(without, total))
+    table.add_row("With safe scripts", fmt(53, paper_total), fmt(safe, total))
+    table.add_row("With unsafe scripts", fmt(225, paper_total), fmt(unsafe, total))
+    table.note(f"population scaled to {total} packages; proportions compared")
+    record_table(table)
+
+    # Shape assertions: scriptless dominates; unsafe outnumber safe ~4:1.
+    assert without / total > 0.9
+    assert unsafe > safe
+    assert without + safe + unsafe == total

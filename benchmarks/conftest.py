@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale knobs:
+
+* ``REPRO_BENCH_SCALE`` — fraction of the paper's 11,581-package Alpine
+  repository to generate with real content (default 0.02 ≈ 230 packages).
+  Proportions (script census, size distribution) are scale-invariant.
+* TSR signing keys are RSA-2048 so per-file signatures are the paper's
+  256 bytes; substrate keys are RSA-1024 for speed.
+
+Every bench records a paper-vs-measured table; they are printed in the
+terminal summary and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.report import recorded_tables
+from repro.workload.generator import generate_workload
+from repro.workload.scenario import build_scenario
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+CENSUS_SCALE = float(os.environ.get("REPRO_CENSUS_SCALE", "0.25"))
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def census_workload():
+    """Metadata-only workload for script censuses (Tables 1-2): larger
+    scale, no file contents."""
+    return generate_workload(scale=CENSUS_SCALE, seed=2020, with_content=False)
+
+
+@pytest.fixture(scope="session")
+def content_workload():
+    """Content-bearing workload for timing/size experiments."""
+    return generate_workload(scale=BENCH_SCALE, seed=2020, with_content=True)
+
+
+@pytest.fixture(scope="session")
+def content_scenario(content_workload):
+    """Full deployment over the content workload, first refresh done.
+
+    RSA-2048 TSR key -> 256-byte per-file signatures, as in the paper.
+    """
+    return build_scenario(workload=content_workload, key_bits=1024,
+                          tsr_key_bits=2048)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = recorded_tables()
+    if not tables:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 74)
+    terminalreporter.write_line("PAPER-VS-MEASURED TABLES")
+    terminalreporter.write_line("=" * 74)
+    for table in tables:
+        rendered = table.render()
+        terminalreporter.write_line("")
+        for line in rendered.splitlines():
+            terminalreporter.write_line(line)
+        slug = table.experiment.lower().replace(" ", "_").replace(".", "")
+        (RESULTS_DIR / f"{slug}.txt").write_text(rendered + "\n")

@@ -1,0 +1,36 @@
+"""Reproduction of *A practical approach for updating an integrity-enforced
+operating system* (TSR — Trusted Software Repository, Middleware 2020).
+
+Public API tour:
+
+* :mod:`repro.core` — TSR itself: policies, quorum reads, sanitization,
+  the enclave-hosted service, repository clients.
+* :mod:`repro.osim` — the integrity-enforced OS: measured boot, IMA-hooked
+  filesystem, apk-like package manager.
+* :mod:`repro.attest` — the remote integrity monitoring system.
+* :mod:`repro.mirrors` — original repository + honest/Byzantine mirrors.
+* :mod:`repro.workload` — synthetic Alpine-calibrated workloads and the
+  one-call :func:`repro.workload.build_scenario` deployment builder.
+* Substrates: :mod:`repro.crypto`, :mod:`repro.archive`,
+  :mod:`repro.scripts`, :mod:`repro.tpm`, :mod:`repro.sgx`,
+  :mod:`repro.ima`, :mod:`repro.simnet`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.workload.scenario import Scenario, build_scenario
+from repro.workload.generator import generate_workload, generate_update_batch
+from repro.core.service import TrustedSoftwareRepository
+from repro.core.policy import SecurityPolicy
+from repro.attest.monitor import MonitoringSystem
+
+__all__ = [
+    "__version__",
+    "Scenario",
+    "build_scenario",
+    "generate_workload",
+    "generate_update_batch",
+    "TrustedSoftwareRepository",
+    "SecurityPolicy",
+    "MonitoringSystem",
+]

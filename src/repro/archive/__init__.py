@@ -1,0 +1,28 @@
+"""Archive formats: ustar+PAX tar, gzip segments, apk packages, APKINDEX.
+
+Sanitization (the paper's core mechanism) rewrites real archives: it
+extracts an apk's three gzip segments, modifies scripts in the control
+segment, injects per-file IMA signatures as PAX extended headers into the
+data segment, and re-signs the result.  This package implements those wire
+formats from scratch so the sanitizer exercises the same code path the Rust
+prototype did.
+"""
+
+from repro.archive.tar import TarEntry, read_tar, write_tar
+from repro.archive.gz import gzip_compress, gzip_decompress, split_gzip_streams
+from repro.archive.apk import ApkPackage, PackageFile, SIGNATURE_PAX_KEY
+from repro.archive.index import IndexEntry, RepositoryIndex
+
+__all__ = [
+    "TarEntry",
+    "read_tar",
+    "write_tar",
+    "gzip_compress",
+    "gzip_decompress",
+    "split_gzip_streams",
+    "ApkPackage",
+    "PackageFile",
+    "SIGNATURE_PAX_KEY",
+    "IndexEntry",
+    "RepositoryIndex",
+]

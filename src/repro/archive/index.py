@@ -1,0 +1,143 @@
+"""The repository metadata index (APKINDEX equivalent).
+
+The index lists every package with its size and content hash; the whole
+index is digitally signed by the repository owner.  Pinning sizes and hashes
+in signed metadata is what defeats the endless-data and extraneous-
+dependencies attacks (paper section 5.4), and the signed ``serial`` is what
+the quorum protocol and the rollback defence compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import sha256_hex
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.util.errors import PackagingError, SignatureError
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One package line in the metadata index."""
+
+    name: str
+    version: str
+    size: int
+    sha256: str
+    depends: tuple[str, ...] = ()
+
+    def key(self) -> str:
+        return self.name
+
+    def describe(self) -> str:
+        return f"{self.name}-{self.version}"
+
+
+@dataclass
+class RepositoryIndex:
+    """A signed snapshot of the repository contents.
+
+    ``serial`` increases monotonically with every upstream publication; two
+    honest mirrors serving the same snapshot present the same serial and
+    the same body hash.
+    """
+
+    serial: int
+    entries: dict[str, IndexEntry] = field(default_factory=dict)
+    signature: bytes | None = None
+    signer_fingerprint: str | None = None
+
+    def add(self, entry: IndexEntry):
+        self.entries[entry.key()] = entry
+        self.signature = None  # adding entries invalidates any signature
+
+    def get(self, name: str) -> IndexEntry | None:
+        return self.entries.get(name)
+
+    def package_names(self) -> list[str]:
+        return sorted(self.entries)
+
+    def total_size(self) -> int:
+        return sum(entry.size for entry in self.entries.values())
+
+    # -- canonical body ----------------------------------------------------
+
+    def body_bytes(self) -> bytes:
+        """Canonical serialized body that the signature covers."""
+        lines = [f"serial:{self.serial}"]
+        for name in sorted(self.entries):
+            entry = self.entries[name]
+            deps = ",".join(entry.depends)
+            lines.append(
+                f"P:{entry.name}|V:{entry.version}|S:{entry.size}"
+                f"|H:{entry.sha256}|D:{deps}"
+            )
+        return ("\n".join(lines) + "\n").encode()
+
+    def body_hash(self) -> str:
+        return sha256_hex(self.body_bytes())
+
+    # -- signing -----------------------------------------------------------
+
+    def sign(self, key: RsaPrivateKey):
+        self.signature = key.sign(self.body_bytes())
+        self.signer_fingerprint = key.public_key.fingerprint()
+
+    def verify(self, key: RsaPublicKey) -> bool:
+        if self.signature is None:
+            return False
+        return key.verify(self.body_bytes(), self.signature)
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        if self.signature is None:
+            raise SignatureError("refusing to serialize an unsigned index")
+        header = f"sig:{self.signature.hex()}\n".encode()
+        return header + self.body_bytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RepositoryIndex":
+        text = blob.decode()
+        lines = text.splitlines()
+        if len(lines) < 2 or not lines[0].startswith("sig:"):
+            raise PackagingError("malformed index: missing signature header")
+        signature = bytes.fromhex(lines[0][len("sig:"):])
+        if not lines[1].startswith("serial:"):
+            raise PackagingError("malformed index: missing serial")
+        serial = int(lines[1][len("serial:"):])
+        index = cls(serial=serial)
+        for line in lines[2:]:
+            if not line.strip():
+                continue
+            fields = dict(
+                part.split(":", 1) for part in line.split("|")
+            )
+            try:
+                entry = IndexEntry(
+                    name=fields["P"],
+                    version=fields["V"],
+                    size=int(fields["S"]),
+                    sha256=fields["H"],
+                    depends=tuple(d for d in fields["D"].split(",") if d),
+                )
+            except (KeyError, ValueError) as exc:
+                raise PackagingError(f"malformed index line {line!r}: {exc}") from exc
+            index.entries[entry.key()] = entry
+        index.signature = signature
+        return index
+
+    def copy(self) -> "RepositoryIndex":
+        clone = RepositoryIndex(serial=self.serial, entries=dict(self.entries))
+        clone.signature = self.signature
+        clone.signer_fingerprint = self.signer_fingerprint
+        return clone
+
+    def diff_updated(self, older: "RepositoryIndex") -> list[IndexEntry]:
+        """Entries that are new or changed relative to ``older``."""
+        changed = []
+        for name, entry in self.entries.items():
+            previous = older.entries.get(name)
+            if previous is None or previous.sha256 != entry.sha256:
+                changed.append(entry)
+        return sorted(changed, key=lambda e: e.name)

@@ -1,0 +1,227 @@
+"""A from-scratch ustar reader/writer with PAX extended headers.
+
+Implements the subset of POSIX.1-2001 pax interchange format the paper's
+mechanism needs:
+
+* plain ustar entries (regular files, directories, symlinks),
+* per-entry ``x`` extended headers carrying ``key=value`` records,
+* the ``SCHILY.xattr.*`` convention GNU tar uses to map PAX records to
+  filesystem extended attributes — which is exactly how TSR ships
+  ``security.ima`` signatures to the target OS (paper section 5.3).
+
+Values in PAX records may be raw bytes (signatures are binary); records are
+length-prefixed so parsing stays unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import PackagingError
+
+BLOCK_SIZE = 512
+
+TYPE_REGULAR = b"0"
+TYPE_SYMLINK = b"2"
+TYPE_DIRECTORY = b"5"
+TYPE_PAX_HEADER = b"x"
+
+_USTAR_MAGIC = b"ustar\x0000"
+
+
+@dataclass
+class TarEntry:
+    """One archive member, with optional PAX extended headers."""
+
+    name: str
+    data: bytes = b""
+    mode: int = 0o644
+    uid: int = 0
+    gid: int = 0
+    mtime: int = 0
+    typeflag: bytes = TYPE_REGULAR
+    linkname: str = ""
+    uname: str = "root"
+    gname: str = "root"
+    pax_headers: dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def is_file(self) -> bool:
+        return self.typeflag == TYPE_REGULAR
+
+    @property
+    def is_dir(self) -> bool:
+        return self.typeflag == TYPE_DIRECTORY
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.typeflag == TYPE_SYMLINK
+
+    def xattrs(self) -> dict[str, bytes]:
+        """Extended attributes carried via SCHILY.xattr.* PAX records."""
+        prefix = "SCHILY.xattr."
+        return {
+            key[len(prefix):]: value
+            for key, value in self.pax_headers.items()
+            if key.startswith(prefix)
+        }
+
+    def set_xattr(self, name: str, value: bytes):
+        """Attach an extended attribute (e.g. ``security.ima``)."""
+        self.pax_headers[f"SCHILY.xattr.{name}"] = value
+
+
+def _octal_field(value: int, width: int) -> bytes:
+    """NUL-terminated zero-padded octal, the classic tar numeric encoding."""
+    if value < 0:
+        raise PackagingError(f"tar numeric fields must be non-negative: {value}")
+    text = oct(value)[2:]
+    if len(text) > width - 1:
+        raise PackagingError(f"value {value} does not fit in {width}-byte octal field")
+    return text.rjust(width - 1, "0").encode("ascii") + b"\x00"
+
+
+def _string_field(value: str, width: int, what: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > width:
+        raise PackagingError(f"{what} too long for tar header: {value!r}")
+    return raw.ljust(width, b"\x00")
+
+
+def _build_header(name: str, size: int, entry: TarEntry, typeflag: bytes) -> bytes:
+    header = bytearray()
+    header += _string_field(name, 100, "entry name")
+    header += _octal_field(entry.mode & 0o7777, 8)
+    header += _octal_field(entry.uid, 8)
+    header += _octal_field(entry.gid, 8)
+    header += _octal_field(size, 12)
+    header += _octal_field(entry.mtime, 12)
+    header += b"        "  # checksum placeholder: 8 spaces
+    header += typeflag
+    header += _string_field(entry.linkname, 100, "link name")
+    header += _USTAR_MAGIC
+    header += _string_field(entry.uname, 32, "user name")
+    header += _string_field(entry.gname, 32, "group name")
+    header += _octal_field(0, 8)  # devmajor
+    header += _octal_field(0, 8)  # devminor
+    header += _string_field("", 155, "prefix")
+    header += b"\x00" * 12
+    assert len(header) == BLOCK_SIZE
+    checksum = sum(header)
+    header[148:156] = f"{checksum:06o}".encode("ascii") + b"\x00 "
+    return bytes(header)
+
+
+def _pad_to_block(data: bytes) -> bytes:
+    remainder = len(data) % BLOCK_SIZE
+    if remainder:
+        return data + b"\x00" * (BLOCK_SIZE - remainder)
+    return data
+
+
+def _encode_pax_records(records: dict[str, bytes]) -> bytes:
+    """Encode PAX records: ``<len> <key>=<value>\\n`` with len counting itself."""
+    out = bytearray()
+    for key, value in sorted(records.items()):
+        body = key.encode("utf-8") + b"=" + value + b"\n"
+        # Total length includes the decimal length field and the space.
+        length = len(body) + 3  # minimum guess: 2 digits + space
+        while len(str(length)) + 1 + len(body) != length:
+            length = len(str(length)) + 1 + len(body)
+        out += str(length).encode("ascii") + b" " + body
+    return bytes(out)
+
+
+def _decode_pax_records(data: bytes) -> dict[str, bytes]:
+    records: dict[str, bytes] = {}
+    offset = 0
+    while offset < len(data):
+        space = data.index(b" ", offset)
+        length = int(data[offset:space].decode("ascii"))
+        record = data[offset + len(str(length)) + 1:offset + length]
+        if not record.endswith(b"\n"):
+            raise PackagingError("PAX record missing trailing newline")
+        key_bytes, _, value = record[:-1].partition(b"=")
+        records[key_bytes.decode("utf-8")] = value
+        offset += length
+    return records
+
+
+def write_tar(entries: list[TarEntry]) -> bytes:
+    """Serialize entries to a tar stream (with PAX headers where needed)."""
+    out = bytearray()
+    for index, entry in enumerate(entries):
+        if entry.pax_headers:
+            pax_body = _encode_pax_records(entry.pax_headers)
+            pax_name = f"./PaxHeaders/{entry.name[:85]}"
+            out += _build_header(pax_name, len(pax_body), entry, TYPE_PAX_HEADER)
+            out += _pad_to_block(pax_body)
+        size = len(entry.data) if entry.is_file else 0
+        if not entry.is_file and entry.data:
+            raise PackagingError(
+                f"non-regular entry {entry.name!r} cannot carry data"
+            )
+        out += _build_header(entry.name, size, entry, entry.typeflag)
+        if entry.is_file:
+            out += _pad_to_block(entry.data)
+        del index
+    out += b"\x00" * (2 * BLOCK_SIZE)  # end-of-archive marker
+    return bytes(out)
+
+
+def _parse_octal(raw: bytes, what: str) -> int:
+    text = raw.rstrip(b"\x00 ").lstrip()
+    if not text:
+        return 0
+    try:
+        return int(text, 8)
+    except ValueError:
+        raise PackagingError(f"bad octal in tar {what}: {raw!r}") from None
+
+
+def _parse_string(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("utf-8")
+
+
+def read_tar(data: bytes) -> list[TarEntry]:
+    """Parse a tar stream produced by :func:`write_tar` (or compatible)."""
+    entries: list[TarEntry] = []
+    pending_pax: dict[str, bytes] = {}
+    offset = 0
+    while offset + BLOCK_SIZE <= len(data):
+        header = data[offset:offset + BLOCK_SIZE]
+        if header == b"\x00" * BLOCK_SIZE:
+            break  # end-of-archive
+        if header[257:265] != _USTAR_MAGIC:
+            raise PackagingError(f"bad ustar magic at offset {offset}")
+        stored_checksum = _parse_octal(header[148:156], "checksum")
+        actual_checksum = sum(header) - sum(header[148:156]) + 8 * ord(" ")
+        if stored_checksum != actual_checksum:
+            raise PackagingError(f"tar header checksum mismatch at offset {offset}")
+        size = _parse_octal(header[124:136], "size")
+        typeflag = header[156:157]
+        body = data[offset + BLOCK_SIZE:offset + BLOCK_SIZE + size]
+        if len(body) != size:
+            raise PackagingError("truncated tar entry body")
+        offset += BLOCK_SIZE + (size + BLOCK_SIZE - 1) // BLOCK_SIZE * BLOCK_SIZE
+        if typeflag == TYPE_PAX_HEADER:
+            pending_pax = _decode_pax_records(body)
+            continue
+        entry = TarEntry(
+            name=_parse_string(header[0:100]),
+            data=body if typeflag == TYPE_REGULAR else b"",
+            mode=_parse_octal(header[100:108], "mode"),
+            uid=_parse_octal(header[108:116], "uid"),
+            gid=_parse_octal(header[116:124], "gid"),
+            mtime=_parse_octal(header[136:148], "mtime"),
+            typeflag=typeflag,
+            linkname=_parse_string(header[157:257]),
+            uname=_parse_string(header[265:297]),
+            gname=_parse_string(header[297:329]),
+            pax_headers=pending_pax,
+        )
+        pending_pax = {}
+        entries.append(entry)
+    else:
+        raise PackagingError("tar stream missing end-of-archive marker")
+    return entries

@@ -1,0 +1,22 @@
+"""The integrity monitoring system (paper Figure 6, component B).
+
+Remotely verifies fleets of integrity-enforced nodes: challenges each node
+with a nonce, checks the TPM quote, replays the IMA measurement list
+against PCR 10, and appraises every measured file — either against the
+known-good baseline whitelist or against digital signatures from trusted
+keys (the TSR signing key after Figure 7's onboarding).
+"""
+
+from repro.attest.monitor import (
+    MonitoringSystem,
+    VerificationReport,
+    Violation,
+    baseline_whitelist,
+)
+
+__all__ = [
+    "MonitoringSystem",
+    "VerificationReport",
+    "Violation",
+    "baseline_whitelist",
+]

@@ -1,0 +1,158 @@
+"""Remote integrity verification."""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import sha256_bytes
+from repro.crypto.rsa import RsaPublicKey
+from repro.ima.subsystem import (
+    ImaMeasurement,
+    replay_measurement_list,
+    verify_ima_signature,
+)
+from repro.osim.os import AttestationEvidence, IntegrityEnforcedOS
+from repro.tpm.device import IMA_PCR_INDEX, verify_quote
+from repro.util.errors import AttestationError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One file whose integrity could not be explained."""
+
+    path: str
+    reason: str
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one node's attestation evidence."""
+
+    node_name: str
+    quote_valid: bool
+    log_matches_pcr: bool
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def trusted(self) -> bool:
+        return self.quote_valid and self.log_matches_pcr and not self.violations
+
+
+def baseline_whitelist(*, init_config_files: dict[str, str] | None = None,
+                       ) -> set[bytes]:
+    """Hashes of the known-good initial OS state.
+
+    Built by booting a pristine reference node (golden image) — exactly how
+    operators produce attestation whitelists in practice.
+    """
+    reference = IntegrityEnforcedOS("golden-reference",
+                                    init_config_files=init_config_files)
+    reference.boot()
+    return {entry.filedata_hash for entry in reference.ima.measurement_list()} | {
+        sha256_bytes(b"")  # empty files are part of the baseline
+    }
+
+
+class MonitoringSystem:
+    """Verifies fleets of remote nodes."""
+
+    def __init__(self, whitelist: set[bytes] | None = None,
+                 trusted_signing_keys: list[RsaPublicKey] | None = None):
+        self.whitelist: set[bytes] = set(whitelist or set())
+        self.trusted_signing_keys: list[RsaPublicKey] = list(
+            trusted_signing_keys or []
+        )
+        self._known_nodes: dict[str, RsaPublicKey] = {}
+        self._reports: list[VerificationReport] = []
+
+    # -- fleet management ----------------------------------------------------
+
+    def enroll_node(self, name: str, attestation_key: RsaPublicKey):
+        """Record a node's TPM attestation key (provisioning step)."""
+        self._known_nodes[name] = attestation_key
+
+    def trust_key(self, key: RsaPublicKey):
+        """Trust a signing key for file integrity (e.g. the TSR key,
+        distributed through the Figure 7 protocol)."""
+        self.trusted_signing_keys.append(key)
+
+    def fresh_nonce(self) -> bytes:
+        return secrets.token_bytes(16)
+
+    # -- verification ----------------------------------------------------------
+
+    def verify_node(self, node: IntegrityEnforcedOS,
+                    nonce: bytes | None = None) -> VerificationReport:
+        """Challenge a node and verify the evidence it returns."""
+        nonce = nonce if nonce is not None else self.fresh_nonce()
+        evidence = node.attest(nonce)
+        return self.verify_evidence(evidence, nonce)
+
+    def verify_evidence(self, evidence: AttestationEvidence,
+                        nonce: bytes) -> VerificationReport:
+        report = VerificationReport(
+            node_name=evidence.node_name, quote_valid=False,
+            log_matches_pcr=False,
+        )
+        expected_key = self._known_nodes.get(evidence.node_name)
+        if expected_key is None:
+            report.violations.append(Violation(
+                path="<node>", reason="node not enrolled with the monitor"
+            ))
+            self._reports.append(report)
+            return report
+        if expected_key != evidence.attestation_key:
+            report.violations.append(Violation(
+                path="<node>", reason="attestation key does not match enrollment"
+            ))
+            self._reports.append(report)
+            return report
+        try:
+            pcrs = verify_quote(evidence.quote, expected_key, nonce)
+        except AttestationError as exc:
+            report.violations.append(Violation(path="<quote>", reason=str(exc)))
+            self._reports.append(report)
+            return report
+        report.quote_valid = True
+        replayed = replay_measurement_list(evidence.ima_log)
+        report.log_matches_pcr = replayed == pcrs.get(IMA_PCR_INDEX)
+        if not report.log_matches_pcr:
+            report.violations.append(Violation(
+                path="<ima-log>",
+                reason="measurement list does not replay to quoted PCR-10",
+            ))
+        for entry in evidence.ima_log:
+            violation = self._appraise_entry(entry)
+            if violation is not None:
+                report.violations.append(violation)
+        self._reports.append(report)
+        return report
+
+    def _appraise_entry(self, entry: ImaMeasurement) -> Violation | None:
+        if entry.path == "boot_aggregate":
+            return None  # covered by the quote's boot PCRs
+        if entry.filedata_hash in self.whitelist:
+            return None
+        if entry.signature is not None and verify_ima_signature(
+                entry.filedata_hash, entry.signature,
+                self.trusted_signing_keys):
+            return None
+        if entry.signature is None:
+            reason = "measurement not in whitelist and carries no signature"
+        else:
+            reason = "signature not issued by any trusted key"
+        return Violation(path=entry.path, reason=reason)
+
+    # -- fleet statistics ------------------------------------------------------
+
+    def verification_history(self) -> list[VerificationReport]:
+        return list(self._reports)
+
+    def false_positive_rate(self) -> float:
+        """Fraction of verifications that flagged violations — with
+        un-sanitized updates this is the paper's headline problem."""
+        if not self._reports:
+            return 0.0
+        flagged = sum(1 for report in self._reports if not report.trusted)
+        return flagged / len(self._reports)

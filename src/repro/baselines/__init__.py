@@ -1,0 +1,18 @@
+"""Baselines the paper compares against (explicitly or implicitly).
+
+* **Plain mirror** — the conventional configuration: a package manager
+  pointed directly at a mirror (``MirrorRepositoryClient``).  Updates
+  install fine but every changed file trips the monitoring system (the
+  false-positive problem of Figure 1), and a Byzantine mirror can freeze
+  or replay updates unchallenged.
+* **Berger-style signed packages** (Berger et al. 2015/2016) — per-file
+  signatures injected at package *build* time with the community's key.
+  Solves file-integrity verification but requires changing the
+  distribution's packaging process and does nothing about installation
+  scripts; implemented here for comparison.
+"""
+
+from repro.baselines.berger import BergerBuilder
+from repro.core.client import MirrorRepositoryClient
+
+__all__ = ["BergerBuilder", "MirrorRepositoryClient"]

@@ -1,0 +1,65 @@
+"""The Berger et al. baseline: sign files when the community builds them.
+
+The approach the paper builds on (and contrasts with): every file inside a
+package gets a digital signature issued with the distribution's signing key
+during package creation, so IMA measurement reports can be verified with
+one certificate.  Limitations reproduced faithfully:
+
+* the community build pipeline must change (the paper's Problem 2) — here
+  that is explicit: the builder needs the distribution's *private* key;
+* installation scripts are untouched, so packages that mutate the OS
+  configuration still break attestation (the paper's Problem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.ima.subsystem import ima_signature_for
+from repro.crypto.rsa import RsaPrivateKey
+from repro.scripts.classify import classify_package_scripts
+
+
+@dataclass
+class BergerBuildReport:
+    """What signing at build time did (and did not) cover."""
+
+    package: ApkPackage
+    signed_files: int
+    scripts_still_unsafe: bool
+
+
+class BergerBuilder:
+    """Builds packages with in-package per-file signatures."""
+
+    def __init__(self, community_key: RsaPrivateKey):
+        # The baseline's defining requirement: direct access to the
+        # distribution's signing key at build time.
+        self._key = community_key
+
+    def build(self, package: ApkPackage) -> BergerBuildReport:
+        signed_files = [
+            PackageFile(
+                path=f.path,
+                content=f.content,
+                mode=f.mode,
+                ima_signature=ima_signature_for(f.content, self._key),
+            )
+            for f in package.files
+        ]
+        profile = classify_package_scripts(package.scripts)
+        rebuilt = ApkPackage(
+            name=package.name,
+            version=package.version,
+            arch=package.arch,
+            description=package.description,
+            depends=list(package.depends),
+            scripts=dict(package.scripts),  # unchanged: the gap TSR closes
+            files=signed_files,
+        )
+        return BergerBuildReport(
+            package=rebuilt,
+            signed_files=len(signed_files),
+            scripts_still_unsafe=not profile.safe,
+        )

@@ -1,0 +1,12 @@
+"""Bench harness: paper-vs-measured tables and shared cost constants."""
+
+from repro.bench.report import PaperTable, record_table, recorded_tables, reset_tables
+from repro.bench.costs import InstallCostModel
+
+__all__ = [
+    "PaperTable",
+    "record_table",
+    "recorded_tables",
+    "reset_tables",
+    "InstallCostModel",
+]

@@ -1,0 +1,65 @@
+"""Paper-vs-measured table rendering for the benchmark suite.
+
+Benches build a :class:`PaperTable` and call :func:`record_table`; the
+benchmark suite's conftest prints every recorded table in the pytest
+terminal summary (so tables survive pytest's output capturing) and writes
+them to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_RECORDED: list["PaperTable"] = []
+
+
+@dataclass
+class PaperTable:
+    """A table comparing the paper's reported values with ours."""
+
+    experiment: str           # e.g. "Table 3" or "Figure 12"
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells):
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment}: row has {len(cells)} cells, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def note(self, text: str):
+        self.notes.append(text)
+
+    def render(self) -> str:
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells):
+            return " | ".join(cell.ljust(width)
+                              for cell, width in zip(cells, widths))
+
+        out = [f"== {self.experiment}: {self.title} =="]
+        out.append(line(self.columns))
+        out.append("-+-".join("-" * width for width in widths))
+        out.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+
+def record_table(table: PaperTable):
+    _RECORDED.append(table)
+
+
+def recorded_tables() -> list[PaperTable]:
+    return list(_RECORDED)
+
+
+def reset_tables():
+    _RECORDED.clear()

@@ -1,0 +1,35 @@
+"""TSR — the Trusted Software Repository (the paper's contribution).
+
+A shielded proxy between package managers and community repositories:
+
+* :mod:`repro.core.policy` — per-client security policies (Listing 1),
+* :mod:`repro.core.quorum` — 2f+1 mirror agreement on the metadata index,
+* :mod:`repro.core.catalog` — repository-wide user/group discovery,
+* :mod:`repro.core.sanitizer` — package sanitization (section 4.2 / 5.3),
+* :mod:`repro.core.cache` / :mod:`repro.core.freshness` — untrusted-disk
+  cache with sealed, monotonic-counter-protected freshness (section 5.5),
+* :mod:`repro.core.program` — the code that runs *inside* the enclave,
+* :mod:`repro.core.service` — the host-side service + network endpoint,
+* :mod:`repro.core.client` — the package-manager-facing repository client.
+"""
+
+from repro.core.policy import SecurityPolicy, MirrorPolicyEntry
+from repro.core.quorum import QuorumReader, QuorumResult
+from repro.core.catalog import RepositoryCatalog
+from repro.core.sanitizer import Sanitizer, SanitizationResult, SanitizationRejected
+from repro.core.service import TrustedSoftwareRepository
+from repro.core.client import TsrRepositoryClient, MirrorRepositoryClient
+
+__all__ = [
+    "SecurityPolicy",
+    "MirrorPolicyEntry",
+    "QuorumReader",
+    "QuorumResult",
+    "RepositoryCatalog",
+    "Sanitizer",
+    "SanitizationResult",
+    "SanitizationRejected",
+    "TrustedSoftwareRepository",
+    "TsrRepositoryClient",
+    "MirrorRepositoryClient",
+]

@@ -1,0 +1,72 @@
+"""TSR's on-disk package cache (paper section 5.5).
+
+The cache lives on the *untrusted* local disk of the machine hosting TSR:
+an adversary with root can read, replace, or roll back its contents at
+will.  TSR therefore treats cache reads as untrusted input — before serving
+a cached sanitized package, the enclave re-checks its hash against the
+in-enclave sanitized index (see :mod:`repro.core.program`).
+
+Both the original upstream blob and the sanitized blob are cached: the
+former avoids re-downloading on re-sanitization, the latter turns a
+download request into a disk read (Fig. 10's 129x).
+"""
+
+from __future__ import annotations
+
+from repro.osim.fs import SimFileSystem
+from repro.util.errors import FileSystemError
+
+ORIGINAL_PREFIX = "/var/cache/tsr/original"
+SANITIZED_PREFIX = "/var/cache/tsr/sanitized"
+
+
+class PackageCache:
+    """Name-addressed blob store over the untrusted host filesystem."""
+
+    def __init__(self, disk: SimFileSystem | None = None):
+        self.disk = disk or SimFileSystem()
+
+    @staticmethod
+    def _path(prefix: str, repo_id: str, name: str) -> str:
+        return f"{prefix}/{repo_id}/{name}.apk"
+
+    # -- originals ----------------------------------------------------------
+
+    def put_original(self, repo_id: str, name: str, blob: bytes):
+        self.disk.write_file(self._path(ORIGINAL_PREFIX, repo_id, name), blob)
+
+    def get_original(self, repo_id: str, name: str) -> bytes | None:
+        return self._read(self._path(ORIGINAL_PREFIX, repo_id, name))
+
+    def has_original(self, repo_id: str, name: str) -> bool:
+        return self.disk.isfile(self._path(ORIGINAL_PREFIX, repo_id, name))
+
+    # -- sanitized ------------------------------------------------------------
+
+    def put_sanitized(self, repo_id: str, name: str, blob: bytes):
+        self.disk.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
+
+    def get_sanitized(self, repo_id: str, name: str) -> bytes | None:
+        return self._read(self._path(SANITIZED_PREFIX, repo_id, name))
+
+    def has_sanitized(self, repo_id: str, name: str) -> bool:
+        return self.disk.isfile(self._path(SANITIZED_PREFIX, repo_id, name))
+
+    def invalidate(self, repo_id: str, name: str):
+        for prefix in (ORIGINAL_PREFIX, SANITIZED_PREFIX):
+            path = self._path(prefix, repo_id, name)
+            if self.disk.isfile(path):
+                self.disk.remove(path)
+
+    # -- adversary surface -------------------------------------------------------
+
+    def tamper_sanitized(self, repo_id: str, name: str, blob: bytes):
+        """Root-adversary helper used by tests/benches: replace a cached
+        sanitized package (e.g. with an outdated version) behind TSR's back."""
+        self.disk.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
+
+    def _read(self, path: str) -> bytes | None:
+        try:
+            return self.disk.read_file(path)
+        except FileSystemError:
+            return None

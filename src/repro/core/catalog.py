@@ -1,0 +1,183 @@
+"""Repository-wide account catalog (paper section 4.2, "Script sanitization").
+
+TSR's determinism trick: *scan the entire repository* to learn every user
+and group any package might create, fix one global creation order, and make
+every sanitized script create all of them.  Any package subset installed in
+any order then converges to the same /etc/passwd, /etc/group, /etc/shadow
+contents — which TSR can sign ahead of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.archive.apk import ApkPackage
+from repro.scripts.accounts import (
+    GroupSpec,
+    UserSpec,
+    add_group,
+    add_user,
+    parse_adduser_args,
+    parse_addgroup_args,
+    parse_group,
+)
+from repro.scripts.parser import parse_script
+from repro.util.errors import ScriptError
+
+
+@dataclass
+class RepositoryCatalog:
+    """All users/groups any package in the repository may create, in the
+    fixed global creation order (sorted by name)."""
+
+    users: dict[str, UserSpec] = field(default_factory=dict)
+    groups: dict[str, GroupSpec] = field(default_factory=dict)
+    #: user -> primary group name requested via ``adduser -G``.
+    user_primary_group: dict[str, str] = field(default_factory=dict)
+    #: (package, user) pairs that tried to create an insecure account —
+    #: the CVE-2019-5021 pattern TSR detects and defuses.
+    insecure_findings: list[tuple[str, str]] = field(default_factory=list)
+
+    # -- building ---------------------------------------------------------------
+
+    def scan_package(self, package: ApkPackage):
+        """Extract account-creation commands from a package's scripts."""
+        for source in package.scripts.values():
+            try:
+                script = parse_script(source)
+            except ScriptError:
+                continue  # unparseable scripts are rejected later anyway
+            deleted_passwords: set[str] = set()
+            for command in script.iter_commands():
+                if command.name == "adduser":
+                    kwargs, primary_group = parse_adduser_args(command.args)
+                    if primary_group is not None:
+                        self._add_group(GroupSpec(name=primary_group))
+                        self.user_primary_group.setdefault(kwargs["name"],
+                                                           primary_group)
+                    self._add_user(UserSpec(**kwargs))
+                elif command.name == "addgroup":
+                    gid, positional = parse_addgroup_args(command.args)
+                    if len(positional) == 1:
+                        self._add_group(GroupSpec(name=positional[0], gid=gid))
+                    else:
+                        user, group_name = positional
+                        existing = self.groups.get(
+                            group_name, GroupSpec(name=group_name, gid=gid)
+                        )
+                        members = tuple(dict.fromkeys([*existing.members, user]))
+                        self.groups[group_name] = GroupSpec(
+                            name=group_name, gid=existing.gid, members=members
+                        )
+                elif command.name == "passwd" and "-d" in command.args:
+                    target = [a for a in command.args if not a.startswith("-")]
+                    if target:
+                        deleted_passwords.add(target[0])
+            for user_name in deleted_passwords:
+                spec = self.users.get(user_name)
+                shell = spec.shell if spec else "/bin/ash"
+                if not shell.endswith("nologin"):
+                    self.insecure_findings.append((package.name, user_name))
+
+    def _add_user(self, spec: UserSpec):
+        if spec.name not in self.users:
+            self.users[spec.name] = spec
+        if spec.is_insecure():
+            self.insecure_findings.append(("<direct>", spec.name))
+
+    def _add_group(self, spec: GroupSpec):
+        if spec.name not in self.groups:
+            self.groups[spec.name] = spec
+
+    # -- deterministic order -------------------------------------------------------
+
+    def creation_order(self) -> tuple[list[GroupSpec], list[UserSpec]]:
+        """The fixed global order: groups then users, each sorted by name."""
+        groups = [self.groups[name] for name in sorted(self.groups)]
+        users = [self.users[name] for name in sorted(self.users)]
+        return groups, users
+
+    # -- prediction ------------------------------------------------------------------
+
+    def predict_config(self, init_config: dict[str, str]) -> dict[str, str]:
+        """Apply the full creation order to the policy's initial files.
+
+        Returns the predicted final contents of /etc/passwd, /etc/shadow,
+        and /etc/group.  Because creation is idempotent and totally
+        ordered, this is the state *every* node converges to no matter
+        which packages it installs, or in which order.  The logic below
+        must mirror :meth:`prelude_script_lines` exactly — the property
+        tests in the suite enforce that equivalence.
+        """
+        passwd = init_config["/etc/passwd"]
+        shadow = init_config["/etc/shadow"]
+        group = init_config["/etc/group"]
+        groups, users = self.creation_order()
+        for group_spec in groups:
+            # Membership lines are appended separately, as the prelude does.
+            group = add_group(group, GroupSpec(name=group_spec.name,
+                                               gid=group_spec.gid))
+        for user_spec in users:
+            gid = None
+            primary = self.user_primary_group.get(user_spec.name)
+            if primary is not None:
+                gid = int(parse_group(group)[primary][2])
+            resolved = UserSpec(
+                name=user_spec.name,
+                uid=user_spec.uid,
+                gid=gid,
+                home=user_spec.home,
+                shell=user_spec.shell,
+                gecos=user_spec.gecos,
+            )
+            passwd, shadow, group = add_user(passwd, shadow, group, resolved)
+        for group_spec in groups:
+            for member in group_spec.members:
+                fields = parse_group(group)[group_spec.name]
+                members = [m for m in fields[3].split(",") if m]
+                if member not in members:
+                    members.append(member)
+                    fields[3] = ",".join(members)
+                    lines = []
+                    for line in group.splitlines():
+                        if line.split(":", 1)[0] == group_spec.name:
+                            lines.append(":".join(fields))
+                        else:
+                            lines.append(line)
+                    group = "\n".join(lines) + "\n"
+        return {
+            "/etc/passwd": passwd,
+            "/etc/shadow": shadow,
+            "/etc/group": group,
+        }
+
+    def prelude_script_lines(self) -> list[str]:
+        """Shell lines recreating the full account set in global order.
+
+        These lines are spliced into every sanitized script that touches
+        accounts; executing them on any node reproduces ``predict_config``
+        byte for byte.
+        """
+        lines: list[str] = []
+        groups, users = self.creation_order()
+        for group_spec in groups:
+            gid = f" -g {group_spec.gid}" if group_spec.gid is not None else ""
+            lines.append(f"addgroup -S{gid} {group_spec.name}")
+        for user_spec in users:
+            parts = ["adduser", "-S", "-D", "-H"]
+            if user_spec.uid is not None:
+                parts += ["-u", str(user_spec.uid)]
+            if user_spec.home != "/dev/null":
+                parts += ["-h", user_spec.home]
+            parts += ["-s", user_spec.shell]
+            if user_spec.gecos:
+                parts += ["-g", user_spec.gecos]
+            primary = self.user_primary_group.get(user_spec.name)
+            if primary is not None:
+                parts += ["-G", primary]
+            parts.append(user_spec.name)
+            lines.append(" ".join(parts))
+        for group_spec in groups:
+            for member in group_spec.members:
+                lines.append(f"addgroup {member} {group_spec.name}")
+        return lines

@@ -1,0 +1,83 @@
+"""Repository clients used by package managers (over the simulated network).
+
+``TsrRepositoryClient`` talks to a TSR instance; ``MirrorRepositoryClient``
+talks directly to a mirror (the baseline setup) — package managers cannot
+tell them apart, which is the paper's transparency claim (section 4.3).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rsa import RsaPublicKey
+from repro.sgx.enclave import EnclaveQuote
+from repro.sgx.platform import AttestationService
+from repro.simnet.network import Network, Request
+from repro.util.errors import AttestationError
+
+
+class TsrRepositoryClient:
+    """A package manager's view of one TSR tenant repository."""
+
+    def __init__(self, network: Network, src_host: str, tsr_host: str,
+                 repo_id: str):
+        self._network = network
+        self._src = src_host
+        self._tsr = tsr_host
+        self.repo_id = repo_id
+
+    def fetch_index(self) -> bytes:
+        response = self._network.call(
+            self._src, Request(self._tsr, "get_index", payload=self.repo_id)
+        )
+        return response.payload
+
+    def fetch_package(self, name: str) -> bytes:
+        response = self._network.call(
+            self._src,
+            Request(self._tsr, "get_package",
+                    payload={"repo": self.repo_id, "name": name}),
+        )
+        return response.payload
+
+
+class MirrorRepositoryClient:
+    """Direct-to-mirror client: the conventional (baseline) configuration."""
+
+    def __init__(self, network: Network, src_host: str, mirror_host: str):
+        self._network = network
+        self._src = src_host
+        self._mirror = mirror_host
+
+    def fetch_index(self) -> bytes:
+        return self._network.call(
+            self._src, Request(self._mirror, "get_index")
+        ).payload
+
+    def fetch_package(self, name: str) -> bytes:
+        return self._network.call(
+            self._src, Request(self._mirror, "get_package", payload=name)
+        ).payload
+
+
+def deploy_policy_with_attestation(network: Network, src_host: str,
+                                   tsr_host: str, policy_yaml: str,
+                                   attestation_service: AttestationService,
+                                   expected_mrenclave: bytes | None = None,
+                                   ) -> tuple[str, RsaPublicKey]:
+    """The OS-owner onboarding flow (paper Figure 7).
+
+    Deploys a policy and verifies, via SGX remote attestation, that the
+    public signing key returned really comes from the expected enclave on a
+    genuine CPU.  Returns ``(repo_id, trusted_public_key)``.
+    """
+    response = network.call(
+        src_host, Request(tsr_host, "deploy_policy", payload=policy_yaml,
+                          size_bytes=len(policy_yaml))
+    ).payload
+    quote: EnclaveQuote = response["quote"]
+    quote.verify(attestation_service, expected_mrenclave=expected_mrenclave)
+    public_key = RsaPublicKey.from_pem(response["public_key_pem"])
+    if quote.report_data.decode() != public_key.fingerprint():
+        raise AttestationError(
+            "attestation quote does not bind the returned public key"
+        )
+    return response["repo_id"], public_key

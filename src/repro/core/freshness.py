@@ -1,0 +1,60 @@
+"""Rollback protection for TSR state across restarts (paper section 5.5).
+
+In-enclave metadata (the upstream and sanitized indexes) is lost on
+restart, and the on-disk copy is under adversary control.  TSR therefore:
+
+1. increments a TPM monotonic counter when persisting,
+2. seals ``state || counter_value`` with the enclave sealing key,
+3. on restart, unseals and requires the embedded counter to equal the
+   TPM's current value — a replayed older blob embeds a smaller value and
+   is rejected.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sgx.sealing import seal, unseal
+from repro.tpm.device import Tpm, TpmError
+from repro.util.errors import RollbackError, SealingError
+
+_CONTEXT = b"tsr-state-v1"
+
+
+class FreshnessManager:
+    """Binds sealed state blobs to a TPM monotonic counter."""
+
+    def __init__(self, tpm: Tpm, counter_name: str = "tsr-state"):
+        self._tpm = tpm
+        self._counter = counter_name
+        try:
+            tpm.create_counter(counter_name)
+        except TpmError:
+            pass  # counter survives restarts; reuse it
+
+    def persist(self, sealing_key: bytes, state: dict) -> bytes:
+        """Increment the counter and seal state bound to its new value."""
+        counter_value = self._tpm.increment_counter(self._counter)
+        payload = json.dumps({"mc": counter_value, "state": state},
+                             sort_keys=True).encode()
+        return seal(sealing_key, payload, context=_CONTEXT)
+
+    def restore(self, sealing_key: bytes, blob: bytes) -> dict:
+        """Unseal and verify freshness; raises on rollback or tampering."""
+        try:
+            payload = unseal(sealing_key, blob, context=_CONTEXT)
+        except SealingError as exc:
+            raise RollbackError(f"sealed state unusable: {exc}") from exc
+        try:
+            decoded = json.loads(payload)
+            embedded_mc = decoded["mc"]
+            state = decoded["state"]
+        except (ValueError, KeyError) as exc:
+            raise RollbackError(f"sealed state malformed: {exc}") from exc
+        current = self._tpm.read_counter(self._counter)
+        if embedded_mc != current:
+            raise RollbackError(
+                f"stale sealed state: embeds counter {embedded_mc}, "
+                f"TPM counter is {current} (rollback attack)"
+            )
+        return state

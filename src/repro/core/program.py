@@ -1,0 +1,336 @@
+"""The code that runs *inside* the SGX enclave.
+
+Everything security-critical happens here: per-repository signing keys are
+generated and used only inside; mirror responses are signature-checked and
+quorum-counted inside; cached blobs are hash-checked against the in-enclave
+sanitized index before being released to clients; state leaves the enclave
+only sealed.
+
+The host (``repro.core.service``) performs all I/O — network, disk, TPM —
+and feeds results in through ecalls, the standard SGX partitioning.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.archive.index import IndexEntry, RepositoryIndex
+from repro.core.catalog import RepositoryCatalog
+from repro.core.policy import SecurityPolicy
+from repro.core.sanitizer import SanitizationResult, Sanitizer
+from repro.crypto.hashes import hmac_sha256, sha256_hex
+from repro.crypto.rsa import generate_keypair
+from repro.scripts.accounts import GroupSpec, UserSpec
+from repro.util.errors import (
+    IntegrityError,
+    PolicyError,
+    QuorumError,
+    RollbackError,
+)
+
+
+class _RepositoryState:
+    """In-enclave state of one tenant repository."""
+
+    def __init__(self, repo_id: str, policy: SecurityPolicy, signing_key):
+        self.repo_id = repo_id
+        self.policy = policy
+        self.signing_key = signing_key
+        self.upstream_index: RepositoryIndex | None = None
+        self.sanitized_index = RepositoryIndex(serial=0)
+        self.catalog = RepositoryCatalog()
+        self.sanitizer: Sanitizer | None = None
+
+    def build_sanitizer(self):
+        self.sanitizer = Sanitizer(
+            signing_key=self.signing_key,
+            trusted_signers=self.policy.signers_keys,
+            catalog=self.catalog,
+            init_config=self.policy.init_config_files,
+        )
+
+
+class TsrProgram:
+    """Enclave program implementing the TSR trusted core."""
+
+    def __init__(self, key_bits: int = 2048):
+        self._key_bits = key_bits
+        self._repos: dict[str, _RepositoryState] = {}
+        self._enclave = None  # bound via _bind_enclave (EGETKEY analog)
+
+    def _bind_enclave(self, enclave):
+        self._enclave = enclave
+
+    def _sealing_key(self) -> bytes:
+        if self._enclave is None:
+            raise PolicyError("enclave facilities not bound")
+        return self._enclave.sealing_key()
+
+    def _repo(self, repo_id: str) -> _RepositoryState:
+        if repo_id not in self._repos:
+            raise PolicyError(f"unknown repository id: {repo_id}")
+        return self._repos[repo_id]
+
+    # -- policy deployment ------------------------------------------------------
+
+    def deploy_policy(self, policy_yaml: str) -> dict:
+        """Create a tenant repository; returns id + public signing key.
+
+        The signing key is derived deterministically from the enclave
+        sealing key and the repository id: it exists only inside this
+        enclave on this CPU, and the same enclave can re-derive it after a
+        restart even without sealed state.
+        """
+        policy = SecurityPolicy.from_yaml(policy_yaml)
+        repo_id = f"repo-{len(self._repos) + 1:04d}"
+        seed = int.from_bytes(
+            hmac_sha256(self._sealing_key(), b"signing-key:" + repo_id.encode())[:8],
+            "big",
+        )
+        signing_key = generate_keypair(self._key_bits, seed=seed)
+        self._repos[repo_id] = _RepositoryState(repo_id, policy, signing_key)
+        return {
+            "repo_id": repo_id,
+            "public_key_pem": signing_key.public_key.to_pem(),
+            "mirrors": [
+                {"hostname": m.hostname, "continent": m.continent.value}
+                for m in policy.mirrors
+            ],
+            "fault_tolerance": policy.fault_tolerance,
+        }
+
+    def public_key_pem(self, repo_id: str) -> str:
+        return self._repo(repo_id).signing_key.public_key.to_pem()
+
+    # -- quorum evaluation ---------------------------------------------------------
+
+    def evaluate_quorum(self, repo_id: str,
+                        responses: list[tuple[str, bytes]]) -> dict:
+        """Count mirror index responses inside the enclave.
+
+        ``responses`` are (hostname, raw index bytes) pairs collected by the
+        untrusted host.  Returns the accepted serial and the list of
+        packages that changed vs. the enclave's known upstream index, or
+        raises :class:`QuorumError` if no value has f+1 valid votes.
+        """
+        state = self._repo(repo_id)
+        needed = state.policy.fault_tolerance + 1
+        votes: dict[str, list[str]] = {}
+        parsed: dict[str, RepositoryIndex] = {}
+        for hostname, blob in responses:
+            try:
+                index = RepositoryIndex.from_bytes(bytes(blob))
+            except Exception:
+                continue
+            if not any(index.verify(k) for k in state.policy.signers_keys):
+                continue
+            votes.setdefault(index.body_hash(), []).append(hostname)
+            parsed.setdefault(index.body_hash(), index)
+        winner = next(
+            (h for h, names in votes.items() if len(names) >= needed), None
+        )
+        if winner is None:
+            raise QuorumError(
+                f"no index value reached {needed} matching valid responses "
+                f"out of {len(responses)}"
+            )
+        accepted = parsed[winner]
+        if state.upstream_index is None:
+            changed = sorted(accepted.entries)
+        else:
+            if accepted.serial < state.upstream_index.serial:
+                raise RollbackError(
+                    f"quorum index serial {accepted.serial} older than known "
+                    f"serial {state.upstream_index.serial} (replay attack)"
+                )
+            changed = [e.name for e in accepted.diff_updated(state.upstream_index)]
+        changed = [name for name in changed if state.policy.allows_package(name)]
+        state.upstream_index = accepted
+        return {
+            "serial": accepted.serial,
+            "changed": changed,
+            "agreeing": votes[winner],
+            # Expected blob identities, so the host can validate its cache
+            # before re-downloading (the enclave re-checks regardless).
+            "expected": {
+                name: {"sha256": accepted.entries[name].sha256,
+                       "size": accepted.entries[name].size}
+                for name in changed
+            },
+        }
+
+    # -- catalog & sanitization -------------------------------------------------------
+
+    def scan_for_accounts(self, repo_id: str, blob: bytes):
+        """Feed one upstream package through the account scanner."""
+        from repro.archive.apk import ApkPackage
+
+        state = self._repo(repo_id)
+        self._check_upstream_blob(state, blob)
+        state.catalog.scan_package(ApkPackage.parse(bytes(blob)).package)
+
+    def finish_catalog(self, repo_id: str) -> dict:
+        """Freeze the catalog and build the sanitizer."""
+        state = self._repo(repo_id)
+        state.build_sanitizer()
+        return {
+            "users": len(state.catalog.users),
+            "groups": len(state.catalog.groups),
+            "insecure_findings": list(state.catalog.insecure_findings),
+        }
+
+    def sanitize_package(self, repo_id: str, blob: bytes) -> SanitizationResult:
+        """Verify an upstream blob against the quorum index and sanitize it."""
+        state = self._repo(repo_id)
+        if state.sanitizer is None:
+            raise PolicyError("catalog not finalized: call finish_catalog first")
+        entry = self._check_upstream_blob(state, blob)
+        result = state.sanitizer.sanitize_blob(bytes(blob))
+        state.sanitized_index.add(IndexEntry(
+            name=entry.name,
+            version=entry.version,
+            size=len(result.blob),
+            sha256=sha256_hex(result.blob),
+            depends=entry.depends,
+        ))
+        return result
+
+    def finalize_index(self, repo_id: str) -> bytes:
+        """Sign the sanitized index; serial mirrors the upstream serial."""
+        state = self._repo(repo_id)
+        if state.upstream_index is None:
+            raise PolicyError("no upstream index accepted yet")
+        state.sanitized_index.serial = state.upstream_index.serial
+        state.sanitized_index.sign(state.signing_key)
+        return state.sanitized_index.to_bytes()
+
+    def sanitized_index_bytes(self, repo_id: str) -> bytes:
+        state = self._repo(repo_id)
+        if state.sanitized_index.signature is None:
+            raise PolicyError("sanitized index not finalized yet")
+        return state.sanitized_index.to_bytes()
+
+    def check_cached_blob(self, repo_id: str, name: str, blob: bytes) -> bool:
+        """Rollback defence: a cached blob must match the in-enclave index."""
+        state = self._repo(repo_id)
+        entry = state.sanitized_index.get(name)
+        if entry is None:
+            raise IntegrityError(f"package {name!r} not in sanitized index")
+        if len(blob) != entry.size or sha256_hex(bytes(blob)) != entry.sha256:
+            raise RollbackError(
+                f"cached package {name!r} does not match the sanitized index "
+                "(tampered or rolled-back cache)"
+            )
+        return True
+
+    def _check_upstream_blob(self, state: _RepositoryState,
+                             blob: bytes) -> IndexEntry:
+        if state.upstream_index is None:
+            raise PolicyError("no upstream index accepted yet")
+        digest = sha256_hex(bytes(blob))
+        for entry in state.upstream_index.entries.values():
+            if entry.sha256 == digest and entry.size == len(blob):
+                return entry
+        raise IntegrityError(
+            "upstream blob does not match any entry of the quorum-validated "
+            "index (corrupt mirror download)"
+        )
+
+    # -- attestation -------------------------------------------------------------------
+
+    def quote_for_repo(self, repo_id: str) -> dict:
+        """Remote-attestation quote binding this enclave to the repo key."""
+        state = self._repo(repo_id)
+        fingerprint = state.signing_key.public_key.fingerprint()
+        quote = self._enclave.quote(report_data=fingerprint.encode())
+        return {
+            "quote": quote,
+            "public_key_pem": state.signing_key.public_key.to_pem(),
+        }
+
+    # -- sealing ------------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of all tenant state (sealed by the host
+        flow in :class:`FreshnessManager`; keys are re-derived, not stored)."""
+        snapshot: dict = {}
+        for repo_id, state in self._repos.items():
+            snapshot[repo_id] = {
+                "policy_yaml": state.policy.to_yaml(),
+                "upstream_index": (
+                    state.upstream_index.to_bytes().hex()
+                    if state.upstream_index is not None else None
+                ),
+                "sanitized_index": (
+                    state.sanitized_index.to_bytes().hex()
+                    if state.sanitized_index.signature is not None else None
+                ),
+                "catalog": _catalog_to_dict(state.catalog),
+            }
+        return snapshot
+
+    def restore_state(self, snapshot: dict):
+        """Rebuild tenant state from an (already freshness-checked) export."""
+        for repo_id, raw in snapshot.items():
+            policy = SecurityPolicy.from_yaml(raw["policy_yaml"])
+            seed = int.from_bytes(
+                hmac_sha256(self._sealing_key(),
+                            b"signing-key:" + repo_id.encode())[:8],
+                "big",
+            )
+            signing_key = generate_keypair(self._key_bits, seed=seed)
+            state = _RepositoryState(repo_id, policy, signing_key)
+            if raw.get("upstream_index"):
+                state.upstream_index = RepositoryIndex.from_bytes(
+                    bytes.fromhex(raw["upstream_index"])
+                )
+            if raw.get("sanitized_index"):
+                state.sanitized_index = RepositoryIndex.from_bytes(
+                    bytes.fromhex(raw["sanitized_index"])
+                )
+            state.catalog = _catalog_from_dict(raw.get("catalog", {}))
+            state.build_sanitizer()
+            self._repos[repo_id] = state
+
+    def repository_ids(self) -> list[str]:
+        return sorted(self._repos)
+
+
+def _catalog_to_dict(catalog: RepositoryCatalog) -> dict:
+    return {
+        "users": [
+            {
+                "name": u.name, "uid": u.uid, "gid": u.gid, "home": u.home,
+                "shell": u.shell, "gecos": u.gecos,
+            }
+            for u in catalog.users.values()
+        ],
+        "groups": [
+            {"name": g.name, "gid": g.gid, "members": list(g.members)}
+            for g in catalog.groups.values()
+        ],
+        "primary": dict(catalog.user_primary_group),
+        "insecure": [list(pair) for pair in catalog.insecure_findings],
+    }
+
+
+def _catalog_from_dict(raw: dict) -> RepositoryCatalog:
+    catalog = RepositoryCatalog()
+    for user in raw.get("users", []):
+        catalog.users[user["name"]] = UserSpec(
+            name=user["name"], uid=user["uid"], gid=user["gid"],
+            home=user["home"], shell=user["shell"], gecos=user["gecos"],
+        )
+    for group in raw.get("groups", []):
+        catalog.groups[group["name"]] = GroupSpec(
+            name=group["name"], gid=group["gid"],
+            members=tuple(group["members"]),
+        )
+    catalog.user_primary_group = dict(raw.get("primary", {}))
+    catalog.insecure_findings = [tuple(pair) for pair in raw.get("insecure", [])]
+    return catalog
+
+
+def state_to_json(snapshot: dict) -> str:
+    """Canonical JSON used by the sealing flow."""
+    return json.dumps(snapshot, sort_keys=True)

@@ -1,0 +1,125 @@
+"""Quorum reads of the repository metadata index (paper section 4.5).
+
+TSR never trusts an individual mirror.  It contacts the fastest f+1 of the
+policy's 2f+1 mirrors; if their (signature-valid) indexes disagree, it
+contacts additional mirrors until some index value is reported by f+1
+mirrors.  Packages themselves may then come from any single mirror because
+the quorum-validated index pins their sizes and hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.archive.index import RepositoryIndex
+from repro.core.policy import MirrorPolicyEntry
+from repro.crypto.rsa import RsaPublicKey
+from repro.simnet.network import Network, Request
+from repro.util.errors import NetworkError, QuorumError
+
+
+@dataclass
+class QuorumResult:
+    """Outcome of a quorum read."""
+
+    index: RepositoryIndex
+    agreeing_mirrors: list[str]
+    contacted: int
+    elapsed: float
+    #: Mirrors whose answers were invalid or divergent (Byzantine evidence).
+    dissenting_mirrors: list[str] = field(default_factory=list)
+
+
+class QuorumReader:
+    """Reads the metadata index with 2f+1 fault tolerance."""
+
+    def __init__(self, network: Network, src_host: str,
+                 mirrors: list[MirrorPolicyEntry],
+                 index_keys: list[RsaPublicKey]):
+        if not mirrors:
+            raise QuorumError("no mirrors configured")
+        self._network = network
+        self._src = src_host
+        self._mirrors = list(mirrors)
+        self._index_keys = list(index_keys)
+
+    @property
+    def fault_tolerance(self) -> int:
+        return (len(self._mirrors) - 1) // 2
+
+    def _mirrors_fastest_first(self) -> list[MirrorPolicyEntry]:
+        """Order mirrors by expected RTT from the TSR host's continent."""
+        src_continent = self._network.host(self._src).continent
+        return sorted(
+            self._mirrors,
+            key=lambda m: self._network.latency.base_rtt(src_continent,
+                                                         m.continent),
+        )
+
+    def read_index(self) -> QuorumResult:
+        """Establish the quorum; raises :class:`QuorumError` if impossible."""
+        start = self._network.clock.now()
+        ordered = self._mirrors_fastest_first()
+        needed = self.fault_tolerance + 1
+        votes: dict[str, list[str]] = {}          # body hash -> mirror names
+        indexes: dict[str, RepositoryIndex] = {}  # body hash -> parsed index
+        dissenting: list[str] = []
+        contacted = 0
+        cursor = 0
+
+        def tally(batch: list[MirrorPolicyEntry]):
+            nonlocal contacted
+            requests = [Request(m.hostname, "get_index") for m in batch]
+            responses = self._network.gather(self._src, requests)
+            contacted += len(batch)
+            for mirror, response in zip(batch, responses):
+                if isinstance(response, NetworkError):
+                    dissenting.append(mirror.hostname)
+                    continue
+                index = self._validate(response.payload)
+                if index is None:
+                    dissenting.append(mirror.hostname)
+                    continue
+                votes.setdefault(index.body_hash(), []).append(mirror.hostname)
+                indexes.setdefault(index.body_hash(), index)
+
+        # First wave: the fastest f+1 mirrors, contacted concurrently.
+        first_wave = ordered[:needed]
+        cursor = len(first_wave)
+        tally(first_wave)
+        # Extend one mirror at a time until some value reaches f+1 votes.
+        while not any(len(v) >= needed for v in votes.values()):
+            if cursor >= len(ordered):
+                raise QuorumError(
+                    f"no index value reached {needed} matching responses "
+                    f"({contacted} mirrors contacted, "
+                    f"{len(dissenting)} invalid/unreachable)"
+                )
+            tally([ordered[cursor]])
+            cursor += 1
+
+        winning_hash = next(h for h, v in votes.items() if len(v) >= needed)
+        agreeing = votes[winning_hash]
+        dissenting.extend(
+            name for h, names in votes.items() if h != winning_hash
+            for name in names
+        )
+        return QuorumResult(
+            index=indexes[winning_hash],
+            agreeing_mirrors=agreeing,
+            contacted=contacted,
+            elapsed=self._network.clock.now() - start,
+            dissenting_mirrors=dissenting,
+        )
+
+    def _validate(self, payload: object) -> RepositoryIndex | None:
+        """Parse + verify one mirror's answer; None if unusable."""
+        if not isinstance(payload, (bytes, bytearray)):
+            return None
+        try:
+            index = RepositoryIndex.from_bytes(bytes(payload))
+        except Exception:
+            return None
+        if not any(index.verify(key) for key in self._index_keys):
+            return None
+        return index

@@ -1,0 +1,309 @@
+"""Package sanitization (paper sections 4.2 and 5.3).
+
+Sanitizing a package means:
+
+1. **verify** its authenticity and integrity (signature over the control
+   segment, datahash over the data segment) against the policy's trusted
+   signer keys;
+2. **classify** its installation scripts (Table 2) and reject the package
+   if any operation is neither safe nor sanitizable (configuration
+   changes, shell activation);
+3. **rewrite** the scripts: account-creation commands are replaced by the
+   repository-wide deterministic prelude; ``passwd -d`` (the
+   CVE-2019-5021 pattern) is dropped; predicted configuration files and
+   ``touch``-created empty files get ``setfattr`` lines installing TSR's
+   IMA signatures;
+4. **sign** every file in the data segment (256-byte RSA signatures into
+   PAX ``security.ima`` records);
+5. **repack** and re-sign the package with the repository's key.
+
+Each phase is timed individually — Table 4's correlations and Fig. 8/12
+are computed from these timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.archive.apk import ApkPackage, ParsedApk
+from repro.core.catalog import RepositoryCatalog
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.ima.subsystem import ima_signature_for
+from repro.scripts.classify import OperationType, ScriptProfile, classify_script
+from repro.scripts.parser import parse_script
+from repro.scripts.shell_ast import (
+    ConditionalList,
+    IfStatement,
+    Pipeline,
+    Script,
+    Statement,
+)
+from repro.util.errors import ReproError, ScriptError
+
+_ACCOUNT_COMMANDS = frozenset({"adduser", "addgroup", "passwd"})
+
+CONFIG_PATHS = ("/etc/passwd", "/etc/shadow", "/etc/group")
+
+
+class SanitizationRejected(ReproError):
+    """The package cannot be made safe; TSR refuses to publish it."""
+
+    def __init__(self, package: str, reason: str):
+        super().__init__(f"package {package!r} rejected: {reason}")
+        self.package = package
+        self.reason = reason
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each sanitization phase."""
+
+    verify: float = 0.0
+    archive: float = 0.0
+    scripts: float = 0.0
+    sign: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.verify + self.archive + self.scripts + self.sign
+
+    def proportions(self) -> dict[str, float]:
+        total = self.total or 1e-12
+        return {
+            "verify": self.verify / total,
+            "archive": self.archive / total,
+            "scripts": self.scripts / total,
+            "sign": self.sign / total,
+        }
+
+
+@dataclass
+class SanitizationResult:
+    """A sanitized package plus the measurements the evaluation needs."""
+
+    package: ApkPackage
+    blob: bytes
+    original_size: int
+    sanitized_size: int
+    file_count: int
+    uncompressed_size: int
+    timings: PhaseTimings
+    profile: ScriptProfile
+    insecure_findings: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def size_overhead(self) -> float:
+        """Fractional growth, e.g. 0.12 for +12 % (Fig. 9)."""
+        if self.original_size == 0:
+            return 0.0
+        return (self.sanitized_size - self.original_size) / self.original_size
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Peak enclave memory estimate: compressed blob + extracted data."""
+        return self.original_size + self.uncompressed_size
+
+
+class Sanitizer:
+    """Sanitizes packages for one TSR repository (one policy)."""
+
+    def __init__(self, signing_key: RsaPrivateKey,
+                 trusted_signers: list[RsaPublicKey],
+                 catalog: RepositoryCatalog,
+                 init_config: dict[str, str]):
+        self._signing_key = signing_key
+        self._trusted_signers = list(trusted_signers)
+        self._catalog = catalog
+        self._predicted_config = catalog.predict_config(init_config)
+        self._config_signatures = {
+            path: ima_signature_for(content.encode(), signing_key)
+            for path, content in self._predicted_config.items()
+        }
+        self._prelude_lines = catalog.prelude_script_lines()
+        self._empty_file_signature = ima_signature_for(b"", signing_key)
+
+    @property
+    def predicted_config(self) -> dict[str, str]:
+        return dict(self._predicted_config)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._signing_key.public_key
+
+    # -- the pipeline ------------------------------------------------------------
+
+    def sanitize_blob(self, blob: bytes) -> SanitizationResult:
+        """Run the full sanitization pipeline on raw apk bytes."""
+        timings = PhaseTimings()
+
+        start = time.perf_counter()
+        parsed = ApkPackage.parse(blob)
+        timings.archive += time.perf_counter() - start
+
+        start = time.perf_counter()
+        parsed.verify(self._trusted_signers)
+        timings.verify += time.perf_counter() - start
+
+        package = parsed.package
+
+        start = time.perf_counter()
+        profile, new_scripts, touched_paths = self._rewrite_scripts(package)
+        timings.scripts += time.perf_counter() - start
+
+        start = time.perf_counter()
+        signed_files = []
+        for pkg_file in package.files:
+            signed_files.append(type(pkg_file)(
+                path=pkg_file.path,
+                content=pkg_file.content,
+                mode=pkg_file.mode,
+                ima_signature=ima_signature_for(pkg_file.content,
+                                                self._signing_key),
+            ))
+        config_signatures = {}
+        if OperationType.USER_GROUP_CREATION in profile.operations:
+            config_signatures = dict(self._config_signatures)
+        timings.sign += time.perf_counter() - start
+
+        sanitized = ApkPackage(
+            name=package.name,
+            version=package.version,
+            arch=package.arch,
+            description=package.description,
+            depends=list(package.depends),
+            scripts=new_scripts,
+            files=signed_files,
+            config_signatures=config_signatures,
+        )
+
+        start = time.perf_counter()
+        sanitized_blob = sanitized.build(self._signing_key, key_name="tsr")
+        timings.archive += time.perf_counter() - start
+
+        uncompressed = sum(len(f.content) for f in package.files)
+        findings = [
+            (pkg, user) for pkg, user in self._catalog.insecure_findings
+            if pkg == package.name
+        ]
+        return SanitizationResult(
+            package=sanitized,
+            blob=sanitized_blob,
+            original_size=len(blob),
+            sanitized_size=len(sanitized_blob),
+            file_count=len(package.files),
+            uncompressed_size=uncompressed,
+            timings=timings,
+            profile=profile,
+            insecure_findings=findings,
+        )
+
+    # -- script rewriting -----------------------------------------------------------
+
+    def _rewrite_scripts(self, package: ApkPackage) -> tuple[
+            ScriptProfile, dict[str, str], list[str]]:
+        profile = ScriptProfile()
+        new_scripts: dict[str, str] = {}
+        touched_all: list[str] = []
+        for hook, source in package.scripts.items():
+            try:
+                script = parse_script(source)
+                hook_profile = classify_script(script)
+            except ScriptError as exc:
+                raise SanitizationRejected(package.name,
+                                           f"unparseable script {hook}: {exc}")
+            profile = profile.merge(hook_profile)
+            if not hook_profile.sanitizable:
+                bad = ", ".join(sorted(
+                    op.label for op in hook_profile.unsafe_operations
+                    if not op.sanitizable
+                ))
+                raise SanitizationRejected(package.name,
+                                           f"script {hook} performs: {bad}")
+            if hook_profile.safe:
+                new_scripts[hook] = source  # nothing to change
+                continue
+            new_scripts[hook], touched = self._rewrite_one(script, hook_profile)
+            touched_all.extend(touched)
+        return profile, new_scripts, touched_all
+
+    def _rewrite_one(self, script: Script,
+                     profile: ScriptProfile) -> tuple[str, list[str]]:
+        """Rewrite one unsafe-but-sanitizable script."""
+        kept = _filter_statements(script.statements)
+        touched = _touched_paths(kept)
+        lines: list[str] = []
+        if OperationType.USER_GROUP_CREATION in profile.operations:
+            # Deterministic account prelude replaces the script's own
+            # adduser/addgroup/passwd commands.
+            lines.extend(self._prelude_lines)
+        rewritten = Script(statements=kept, shebang=script.shebang or "#!/bin/sh")
+        body = rewritten.render().splitlines()
+        if body and body[0].startswith("#!"):
+            shebang, body = body[0], body[1:]
+        else:
+            shebang = "#!/bin/sh"
+        lines = [shebang, *lines, *body]
+        if OperationType.USER_GROUP_CREATION in profile.operations:
+            for path in CONFIG_PATHS:
+                signature = self._config_signatures[path]
+                lines.append(
+                    f"setfattr -n security.ima -v 0x{signature.hex()} {path}"
+                )
+        for path in touched:
+            lines.append(
+                "setfattr -n security.ima -v "
+                f"0x{self._empty_file_signature.hex()} {path}"
+            )
+        return "\n".join(lines) + "\n", touched
+
+
+def _filter_statements(statements: list[Statement]) -> list[Statement]:
+    """Drop account-management pipelines; recurse into if-statements."""
+    kept: list[Statement] = []
+    for statement in statements:
+        if isinstance(statement, IfStatement):
+            then_body = _filter_statements(statement.then_body)
+            else_body = _filter_statements(statement.else_body)
+            if not then_body and not else_body:
+                continue
+            kept.append(IfStatement(condition=statement.condition,
+                                    then_body=then_body, else_body=else_body))
+            continue
+        filtered = _filter_conditional(statement)
+        if filtered is not None:
+            kept.append(filtered)
+    return kept
+
+
+def _filter_conditional(conditional: ConditionalList) -> ConditionalList | None:
+    pipelines: list[Pipeline] = []
+    connectors: list[str] = []
+    previous_connector: str | None = None
+    for index, pipeline in enumerate(conditional.pipelines):
+        connector = conditional.connectors[index - 1] if index else None
+        if _is_account_pipeline(pipeline):
+            # Dropping `adduser x && mkdir y` must keep `mkdir y`
+            # unconditional; the prelude guarantees the account exists.
+            previous_connector = ";" if connector is not None else None
+            continue
+        if pipelines:
+            connectors.append(previous_connector or connector or ";")
+        pipelines.append(pipeline)
+        previous_connector = None
+    if not pipelines:
+        return None
+    return ConditionalList(pipelines=pipelines, connectors=connectors)
+
+
+def _is_account_pipeline(pipeline: Pipeline) -> bool:
+    return any(cmd.name in _ACCOUNT_COMMANDS for cmd in pipeline.commands)
+
+
+def _touched_paths(statements: list[Statement]) -> list[str]:
+    """Paths created by ``touch`` in the retained statements."""
+    touched: list[str] = []
+    for command in Script(statements=statements).iter_commands():
+        if command.name == "touch":
+            touched.extend(arg for arg in command.args if not arg.startswith("-"))
+    return touched

@@ -1,0 +1,370 @@
+"""The host-side TSR service (paper Figure 6, component D).
+
+Runs on an untrusted cloud machine: performs network and disk I/O, hosts
+the enclave, and exposes the repository API on the simulated network.
+Trust-relevant decisions all happen inside the enclave program; the service
+moves bytes.
+
+Time accounting: network and disk operations advance the simulated clock;
+sanitization is *really executed* (real CPU work) and its measured duration
+is injected into the simulated clock, scaled by the EPC cost model when SGX
+is enabled.  EXPERIMENTS.md documents this split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cache import PackageCache
+from repro.core.freshness import FreshnessManager
+from repro.core.policy import SecurityPolicy
+from repro.core.program import TsrProgram
+from repro.core.sanitizer import SanitizationRejected, SanitizationResult
+from repro.crypto.hashes import sha256_hex
+from repro.sgx.enclave import Enclave
+from repro.sgx.epc import EpcModel
+from repro.sgx.platform import SgxCpu
+from repro.simnet.latency import (
+    LOCAL_DISK_BANDWIDTH_BYTES_PER_S,
+    LOCAL_DISK_SEEK_S,
+)
+from repro.simnet.network import Host, Network, Request
+from repro.tpm.device import Tpm
+from repro.util.errors import NetworkError, PolicyError, QuorumError, RollbackError
+
+SEALED_STATE_PATH = "/var/lib/tsr/state.sealed"
+
+
+@dataclass
+class RefreshReport:
+    """What one repository refresh did (drives Table 3 and Fig. 10)."""
+
+    serial: int
+    changed_packages: list[str]
+    sanitized: int
+    rejected: list[tuple[str, str]]
+    downloaded_bytes: int
+    quorum_elapsed: float
+    download_elapsed: float
+    sanitize_elapsed: float
+    insecure_findings: list[tuple[str, str]] = field(default_factory=list)
+    results: list[SanitizationResult] = field(default_factory=list)
+
+    @property
+    def total_elapsed(self) -> float:
+        return self.quorum_elapsed + self.download_elapsed + self.sanitize_elapsed
+
+
+class TrustedSoftwareRepository:
+    """A TSR deployment: enclave + cache + network endpoint."""
+
+    def __init__(self, hostname: str, network: Network, cpu: SgxCpu, tpm: Tpm,
+                 continent=None, key_bits: int = 1024,
+                 sgx_enabled: bool = True, epc_model: EpcModel | None = None):
+        from repro.simnet.latency import Continent
+
+        self.hostname = hostname
+        self._network = network
+        self._cpu = cpu
+        self._tpm = tpm
+        self._key_bits = key_bits
+        self.sgx_enabled = sgx_enabled
+        self.epc_model = epc_model or EpcModel()
+        self.cache = PackageCache()
+        self._freshness = FreshnessManager(tpm)
+        self._enclave = Enclave(cpu, TsrProgram, key_bits=key_bits)
+        network.add_host(Host(
+            name=hostname,
+            continent=continent or Continent.EUROPE,
+            handler=self._handle_request,
+        ))
+
+    # -- client-facing API (network handler) ---------------------------------------
+
+    def _handle_request(self, operation: str, payload: object) -> tuple[object, int]:
+        if operation == "deploy_policy":
+            response = self.deploy_policy(str(payload))
+            return response, 2048
+        if operation == "get_index":
+            blob = self._enclave.ecall("sanitized_index_bytes", str(payload))
+            return blob, len(blob)
+        if operation == "get_package":
+            repo_id = payload["repo"]
+            name = payload["name"]
+            blob = self.serve_package(repo_id, name)
+            return blob, len(blob)
+        if operation == "attest":
+            return self._enclave.ecall("quote_for_repo", str(payload)), 2048
+        raise NetworkError(f"TSR {self.hostname}: unknown operation {operation!r}")
+
+    # -- policy deployment -------------------------------------------------------------
+
+    def deploy_policy(self, policy_yaml: str) -> dict:
+        """Tenant onboarding: returns repo id, public key, and the quote."""
+        deployed = self._enclave.ecall("deploy_policy", policy_yaml)
+        attestation = self._enclave.ecall("quote_for_repo", deployed["repo_id"])
+        deployed["quote"] = attestation["quote"]
+        return deployed
+
+    def repository_ids(self) -> list[str]:
+        return self._enclave.ecall("repository_ids")
+
+    def public_key_pem(self, repo_id: str) -> str:
+        return self._enclave.ecall("public_key_pem", repo_id)
+
+    # -- refresh (batch sanitization) ------------------------------------------------------
+
+    def refresh(self, repo_id: str,
+                parallel_downloads: int = 1) -> RefreshReport:
+        """Quorum-read the upstream index, sanitize changed packages,
+        publish a new sanitized index, and seal state.
+
+        ``parallel_downloads`` spreads package fetches over that many
+        concurrent mirror connections — the optimization the paper leaves
+        as future work (Table 3 discussion); 1 reproduces the paper's
+        sequential behaviour.
+        """
+        if parallel_downloads < 1:
+            raise ValueError("parallel_downloads must be >= 1")
+        policy_mirrors = self._policy_mirrors(repo_id)
+        quorum_start = self._network.clock.now()
+        quorum = self._read_quorum(repo_id, policy_mirrors)
+        quorum_elapsed = self._network.clock.now() - quorum_start
+
+        download_elapsed = 0.0
+        sanitize_elapsed = 0.0
+        downloaded = 0
+        rejected: list[tuple[str, str]] = []
+        results: list[SanitizationResult] = []
+
+        # Pass 1: make sure every changed package blob is available locally
+        # (cache hit or mirror download), verified against the quorum index.
+        blobs: dict[str, bytes] = {}
+        to_download: list[str] = []
+        for name in quorum["changed"]:
+            cached = self.cache.get_original(repo_id, name)
+            expected = quorum["expected"][name]
+            if cached is not None and len(cached) == expected["size"] \
+                    and sha256_hex(cached) == expected["sha256"]:
+                self._advance_disk_read(len(cached))
+                blobs[name] = cached
+            else:
+                to_download.append(name)
+
+        if parallel_downloads == 1:
+            for name in to_download:
+                start = self._network.clock.now()
+                blob = self._download_package(policy_mirrors, name,
+                                              quorum["expected"][name])
+                download_elapsed += self._network.clock.now() - start
+                downloaded += len(blob)
+                self.cache.put_original(repo_id, name, blob)
+                blobs[name] = blob
+        elif to_download:
+            start = self._network.clock.now()
+            fetched = self._download_parallel(policy_mirrors, to_download,
+                                              quorum["expected"],
+                                              parallel_downloads)
+            download_elapsed += self._network.clock.now() - start
+            for name, blob in fetched.items():
+                downloaded += len(blob)
+                self.cache.put_original(repo_id, name, blob)
+                blobs[name] = blob
+
+        # Pass 2: account catalog over the whole upstream set (first refresh)
+        # or just the changed set (incremental refreshes keep the catalog).
+        for name, blob in blobs.items():
+            self._enclave.ecall("scan_for_accounts", repo_id, blob)
+        catalog_info = self._enclave.ecall("finish_catalog", repo_id)
+
+        # Pass 3: sanitize.
+        for name, blob in blobs.items():
+            try:
+                result = self._enclave.ecall("sanitize_package", repo_id, blob)
+            except SanitizationRejected as exc:
+                rejected.append((name, exc.reason))
+                continue
+            sanitize_elapsed += self._simulated_sanitize_time(result)
+            self.cache.put_sanitized(repo_id, name, result.blob)
+            results.append(result)
+
+        index_bytes = self._enclave.ecall("finalize_index", repo_id)
+        del index_bytes  # published on demand via get_index
+        self._seal_state()
+        return RefreshReport(
+            serial=quorum["serial"],
+            changed_packages=list(quorum["changed"]),
+            sanitized=len(results),
+            rejected=rejected,
+            downloaded_bytes=downloaded,
+            quorum_elapsed=quorum_elapsed,
+            download_elapsed=download_elapsed,
+            sanitize_elapsed=sanitize_elapsed,
+            insecure_findings=catalog_info["insecure_findings"],
+            results=results,
+        )
+
+    def _policy_mirrors(self, repo_id: str) -> list[dict]:
+        deployed = self._enclave.ecall("export_state")
+        policy_yaml = deployed[repo_id]["policy_yaml"]
+        policy = SecurityPolicy.from_yaml(policy_yaml)
+        return [
+            {"hostname": m.hostname, "continent": m.continent}
+            for m in policy.mirrors
+        ]
+
+    def _read_quorum(self, repo_id: str, mirrors: list[dict]) -> dict:
+        """Contact the fastest f+1 mirrors, widening until the enclave
+        accepts a quorum (section 4.5)."""
+        src_continent = self._network.host(self.hostname).continent
+        ordered = sorted(
+            mirrors,
+            key=lambda m: self._network.latency.base_rtt(src_continent,
+                                                         m["continent"]),
+        )
+        needed = (len(ordered) - 1) // 2 + 1
+        responses: list[tuple[str, bytes]] = []
+        cursor = needed
+        batch = ordered[:needed]
+        responses.extend(self._gather_indexes(batch))
+        while True:
+            try:
+                return self._enclave.ecall("evaluate_quorum", repo_id,
+                                           responses)
+            except QuorumError:
+                if cursor >= len(ordered):
+                    raise
+                responses.extend(self._gather_indexes([ordered[cursor]]))
+                cursor += 1
+
+    def _gather_indexes(self, mirrors: list[dict]) -> list[tuple[str, bytes]]:
+        requests = [Request(m["hostname"], "get_index") for m in mirrors]
+        responses = self._network.gather(self.hostname, requests)
+        collected = []
+        for mirror, response in zip(mirrors, responses):
+            if isinstance(response, NetworkError):
+                continue
+            collected.append((mirror["hostname"], response.payload))
+        return collected
+
+    def _download_package(self, mirrors: list[dict], name: str,
+                          expected: dict) -> bytes:
+        """Packages come from any single mirror; the quorum-validated index
+        pins their hash, so corrupt downloads are detected immediately and
+        retried on the next-fastest mirror."""
+        src_continent = self._network.host(self.hostname).continent
+        ordered = sorted(
+            mirrors,
+            key=lambda m: self._network.latency.base_rtt(src_continent,
+                                                         m["continent"]),
+        )
+        last_error: Exception | str | None = None
+        for mirror in ordered:
+            try:
+                response = self._network.call(
+                    self.hostname, Request(mirror["hostname"], "get_package",
+                                           payload=name)
+                )
+            except NetworkError as exc:
+                last_error = exc
+                continue
+            blob = response.payload
+            if len(blob) != expected["size"] \
+                    or sha256_hex(blob) != expected["sha256"]:
+                last_error = (
+                    f"mirror {mirror['hostname']} served a blob that does "
+                    "not match the quorum-validated index"
+                )
+                continue
+            return blob
+        raise NetworkError(
+            f"package {name!r} unavailable from every policy mirror: {last_error}"
+        )
+
+    def _download_parallel(self, mirrors: list[dict], names: list[str],
+                           expected: dict, width: int) -> dict[str, bytes]:
+        """Fetch packages in concurrent waves, round-robining mirrors.
+
+        Each wave issues up to ``width`` requests at once via the
+        transport's gather (the clock advances by the slowest transfer of
+        the wave, not the sum).  Failed or corrupt responses fall back to
+        the verified sequential path.
+        """
+        src_continent = self._network.host(self.hostname).continent
+        ordered = sorted(
+            mirrors,
+            key=lambda m: self._network.latency.base_rtt(src_continent,
+                                                         m["continent"]),
+        )
+        fetched: dict[str, bytes] = {}
+        pending = list(names)
+        while pending:
+            wave, pending = pending[:width], pending[width:]
+            requests = [
+                Request(ordered[i % len(ordered)]["hostname"], "get_package",
+                        payload=name)
+                for i, name in enumerate(wave)
+            ]
+            responses = self._network.gather(self.hostname, requests)
+            for name, response in zip(wave, responses):
+                want = expected[name]
+                if (not isinstance(response, NetworkError)
+                        and len(response.payload) == want["size"]
+                        and sha256_hex(response.payload) == want["sha256"]):
+                    fetched[name] = response.payload
+                else:
+                    fetched[name] = self._download_package(mirrors, name, want)
+        return fetched
+
+    # -- serving -----------------------------------------------------------------------------
+
+    def serve_package(self, repo_id: str, name: str) -> bytes:
+        """Serve a sanitized package from cache, re-verified in-enclave."""
+        blob = self.cache.get_sanitized(repo_id, name)
+        if blob is None:
+            raise NetworkError(f"package {name!r} not available (not sanitized)")
+        self._advance_disk_read(len(blob))
+        self._enclave.ecall("check_cached_blob", repo_id, name, blob)
+        return blob
+
+    def get_index_bytes(self, repo_id: str) -> bytes:
+        return self._enclave.ecall("sanitized_index_bytes", repo_id)
+
+    # -- restart & freshness ---------------------------------------------------------------------
+
+    def _seal_state(self):
+        state = self._enclave.ecall("export_state")
+        sealed = self._freshness.persist(self._enclave.sealing_key(), state)
+        self.cache.disk.write_file(SEALED_STATE_PATH, sealed)
+
+    def restart(self):
+        """Stop the enclave and bring up a fresh one from sealed state.
+
+        Raises :class:`RollbackError` if the on-disk sealed state is stale
+        or tampered (the adversary rolled the cache back).
+        """
+        self._enclave.destroy()
+        self._enclave = Enclave(self._cpu, TsrProgram, key_bits=self._key_bits)
+        if not self.cache.disk.isfile(SEALED_STATE_PATH):
+            raise RollbackError("sealed state missing after restart")
+        sealed = self.cache.disk.read_file(SEALED_STATE_PATH)
+        state = self._freshness.restore(self._enclave.sealing_key(), sealed)
+        self._enclave.ecall("restore_state", state)
+
+    # -- time accounting ---------------------------------------------------------------------------
+
+    def _advance_disk_read(self, size: int):
+        self._network.clock.advance(
+            LOCAL_DISK_SEEK_S + size / LOCAL_DISK_BANDWIDTH_BYTES_PER_S
+        )
+
+    def _simulated_sanitize_time(self, result: SanitizationResult) -> float:
+        native = result.timings.total
+        if not self.sgx_enabled:
+            self._network.clock.advance(native)
+            return native
+        duration = self.epc_model.simulated_duration(
+            native, result.working_set_bytes
+        )
+        self._network.clock.advance(duration)
+        return duration

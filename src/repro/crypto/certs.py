@@ -1,0 +1,134 @@
+"""Minimal certificate chains for mirror endpoint authentication.
+
+Policies pin a ``certificate_chain`` per mirror (paper Listing 1).  A
+certificate here binds a subject name (hostname) to an RSA public key and is
+signed by an issuer key.  Chains are verified leaf-to-root against a pinned
+root, which is all TSR needs to authenticate a TLS-like endpoint in the
+simulated network.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto.pem import pem_decode, pem_encode
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.util.errors import SignatureError
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A subject-name-to-public-key binding signed by an issuer."""
+
+    subject: str
+    issuer: str
+    public_key: RsaPublicKey
+    signature: bytes
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed encoding (canonical JSON of the bound fields)."""
+        return json.dumps(
+            {
+                "subject": self.subject,
+                "issuer": self.issuer,
+                "n": self.public_key.n,
+                "e": self.public_key.e,
+            },
+            sort_keys=True,
+        ).encode("ascii")
+
+    def to_pem(self) -> str:
+        payload = json.dumps(
+            {
+                "subject": self.subject,
+                "issuer": self.issuer,
+                "n": self.public_key.n,
+                "e": self.public_key.e,
+                "signature": self.signature.hex(),
+            },
+            sort_keys=True,
+        ).encode("ascii")
+        return pem_encode("CERTIFICATE", payload)
+
+    @classmethod
+    def from_pem(cls, pem: str) -> "Certificate":
+        label, body = pem_decode(pem)
+        if label != "CERTIFICATE":
+            raise SignatureError(f"expected CERTIFICATE PEM, got {label}")
+        try:
+            fields = json.loads(body)
+            return cls(
+                subject=fields["subject"],
+                issuer=fields["issuer"],
+                public_key=RsaPublicKey(n=fields["n"], e=fields["e"]),
+                signature=bytes.fromhex(fields["signature"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SignatureError(f"malformed certificate body: {exc}") from exc
+
+
+class CertificateAuthority:
+    """Issues certificates; the root of a (usually two-level) chain."""
+
+    def __init__(self, name: str, key_bits: int = 1024, seed: int | None = None):
+        self.name = name
+        self._key = generate_keypair(key_bits, seed=seed)
+        self.certificate = self._self_signed()
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._key.public_key
+
+    def _self_signed(self) -> Certificate:
+        unsigned = Certificate(
+            subject=self.name,
+            issuer=self.name,
+            public_key=self._key.public_key,
+            signature=b"",
+        )
+        return Certificate(
+            subject=unsigned.subject,
+            issuer=unsigned.issuer,
+            public_key=unsigned.public_key,
+            signature=self._key.sign(unsigned.tbs_bytes()),
+        )
+
+    def issue(self, subject: str, public_key: RsaPublicKey) -> Certificate:
+        """Sign a leaf certificate binding ``subject`` to ``public_key``."""
+        unsigned = Certificate(
+            subject=subject, issuer=self.name, public_key=public_key, signature=b""
+        )
+        return Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            signature=self._key.sign(unsigned.tbs_bytes()),
+        )
+
+    def issue_endpoint(self, subject: str, key_bits: int = 1024,
+                       seed: int | None = None) -> tuple[RsaPrivateKey, Certificate]:
+        """Convenience: generate an endpoint key and certify it."""
+        key = generate_keypair(key_bits, seed=seed)
+        return key, self.issue(subject, key.public_key)
+
+
+def verify_chain(chain: list[Certificate], trusted_root: RsaPublicKey,
+                 expected_subject: str | None = None) -> bool:
+    """Verify a leaf-first chain against a pinned root key.
+
+    Each certificate must be signed by the next one's key; the last must be
+    signed by ``trusted_root``.  If ``expected_subject`` is given the leaf
+    subject must match (hostname pinning).
+    """
+    if not chain:
+        return False
+    if expected_subject is not None and chain[0].subject != expected_subject:
+        return False
+    for cert, issuer in zip(chain, chain[1:]):
+        if cert.issuer != issuer.subject:
+            return False
+        if not issuer.public_key.verify(cert.tbs_bytes(), cert.signature):
+            return False
+    root = chain[-1]
+    return trusted_root.verify(root.tbs_bytes(), root.signature)

@@ -1,0 +1,34 @@
+"""Digest helpers: SHA-256 and HMAC-SHA-256.
+
+``hashlib`` provides the compression function; everything above it
+(IMA measurement formats, apk datahashes, sealing MACs) is built here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+SHA256_DIGEST_SIZE = 32
+
+
+def sha256_bytes(data: bytes) -> bytes:
+    """Raw 32-byte SHA-256 digest."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"sha256 expects bytes, got {type(data).__name__}")
+    return hashlib.sha256(bytes(data)).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 digest, the format IMA logs and APKINDEX use."""
+    return sha256_bytes(data).hex()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256, used by SGX sealing to authenticate sealed blobs."""
+    block_size = 64
+    if len(key) > block_size:
+        key = sha256_bytes(key)
+    key = key.ljust(block_size, b"\x00")
+    outer = bytes(b ^ 0x5C for b in key)
+    inner = bytes(b ^ 0x36 for b in key)
+    return sha256_bytes(outer + sha256_bytes(inner + data))

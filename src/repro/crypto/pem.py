@@ -1,0 +1,48 @@
+"""PEM-style armoring for keys and certificates.
+
+Policies embed key material as PEM blobs (paper Listing 1); this module
+provides the ``-----BEGIN <LABEL>-----`` framing over base64 bodies.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.util.errors import SignatureError
+
+_LINE_LENGTH = 64
+
+
+def pem_encode(label: str, body: bytes) -> str:
+    """Wrap ``body`` in PEM armor with the given label."""
+    if not label or label != label.upper():
+        raise ValueError(f"PEM label must be non-empty upper-case, got {label!r}")
+    encoded = base64.b64encode(body).decode("ascii")
+    lines = [encoded[i:i + _LINE_LENGTH] for i in range(0, len(encoded), _LINE_LENGTH)]
+    return "\n".join(
+        [f"-----BEGIN {label}-----", *lines, f"-----END {label}-----"]
+    )
+
+
+def pem_decode(pem: str) -> tuple[str, bytes]:
+    """Parse PEM armor; returns ``(label, body)``.
+
+    Tolerates surrounding whitespace (policies store PEMs as block scalars).
+    """
+    lines = [line.strip() for line in pem.strip().splitlines() if line.strip()]
+    if len(lines) < 2:
+        raise SignatureError("PEM too short")
+    head, tail = lines[0], lines[-1]
+    if not (head.startswith("-----BEGIN ") and head.endswith("-----")):
+        raise SignatureError(f"malformed PEM header: {head!r}")
+    if not (tail.startswith("-----END ") and tail.endswith("-----")):
+        raise SignatureError(f"malformed PEM footer: {tail!r}")
+    label = head[len("-----BEGIN "):-len("-----")]
+    end_label = tail[len("-----END "):-len("-----")]
+    if label != end_label:
+        raise SignatureError(f"PEM label mismatch: {label!r} vs {end_label!r}")
+    try:
+        body = base64.b64decode("".join(lines[1:-1]), validate=True)
+    except Exception as exc:
+        raise SignatureError(f"invalid PEM base64 body: {exc}") from exc
+    return label, body

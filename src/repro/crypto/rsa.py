@@ -1,0 +1,196 @@
+"""RSA signatures: keygen, PKCS#1 v1.5 sign/verify, serialization.
+
+This mirrors what Alpine Linux's ``abuild-sign`` produces: RSA keys whose
+SHA-256 PKCS#1 v1.5 signatures are ``modulus_size`` bytes long (256 bytes for
+RSA-2048).  Signing uses the CRT optimization; verification is a single
+public-exponent exponentiation.
+
+Keys serialize to a PEM-like container (see :mod:`repro.crypto.pem`) so that
+security policies can embed them exactly as the paper's Listing 1 shows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256_bytes
+from repro.crypto.pem import pem_decode, pem_encode
+from repro.crypto.primes import generate_prime
+from repro.util.errors import SignatureError
+
+PUBLIC_EXPONENT = 65537
+
+# DER prefix for a SHA-256 DigestInfo, per RFC 8017 section 9.2.
+_SHA256_DIGEST_INFO_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+def _i2osp(value: int, length: int) -> bytes:
+    """Integer-to-octet-string (big endian, fixed length)."""
+    return value.to_bytes(length, "big")
+
+
+def _os2ip(data: bytes) -> int:
+    """Octet-string-to-integer (big endian)."""
+    return int.from_bytes(data, "big")
+
+
+def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of a SHA-256 digest (RFC 8017 section 9.2)."""
+    t = _SHA256_DIGEST_INFO_PREFIX + sha256_bytes(message)
+    if em_len < len(t) + 11:
+        raise SignatureError("intended encoded message length too short")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """Public portion of an RSA key; verifies PKCS#1 v1.5 signatures."""
+
+    n: int
+    e: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Length of the modulus (and of every signature) in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is valid for ``message``."""
+        if len(signature) != self.size_bytes:
+            return False
+        s = _os2ip(signature)
+        if s >= self.n:
+            return False
+        em = _i2osp(pow(s, self.e, self.n), self.size_bytes)
+        try:
+            expected = _emsa_pkcs1_v15(message, self.size_bytes)
+        except SignatureError:
+            return False
+        return em == expected
+
+    def fingerprint(self) -> str:
+        """Short stable identifier used in policies and IMA key rings."""
+        material = self.n.to_bytes(self.size_bytes, "big") + self.e.to_bytes(4, "big")
+        return sha256_bytes(material)[:8].hex()
+
+    def to_pem(self) -> str:
+        body = _encode_integers([self.n, self.e])
+        return pem_encode("PUBLIC KEY", body)
+
+    @classmethod
+    def from_pem(cls, pem: str) -> "RsaPublicKey":
+        label, body = pem_decode(pem)
+        if label != "PUBLIC KEY":
+            raise SignatureError(f"expected PUBLIC KEY PEM, got {label}")
+        n, e = _decode_integers(body, 2)
+        return cls(n=n, e=e)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key with CRT parameters for fast signing."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    def sign(self, message: bytes) -> bytes:
+        """PKCS#1 v1.5 SHA-256 signature, ``size_bytes`` long."""
+        em = _emsa_pkcs1_v15(message, self.size_bytes)
+        m = _os2ip(em)
+        # CRT: two half-size exponentiations instead of one full-size.
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = pow(self.q, -1, self.p)
+        m1 = pow(m, dp, self.p)
+        m2 = pow(m, dq, self.q)
+        h = (q_inv * (m1 - m2)) % self.p
+        s = m2 + h * self.q
+        signature = _i2osp(s, self.size_bytes)
+        # Sanity check guards against fault attacks corrupting the CRT path.
+        if not self.public_key.verify(message, signature):
+            raise SignatureError("self-check of freshly produced signature failed")
+        return signature
+
+    def to_pem(self) -> str:
+        body = _encode_integers([self.n, self.e, self.d, self.p, self.q])
+        return pem_encode("RSA PRIVATE KEY", body)
+
+    @classmethod
+    def from_pem(cls, pem: str) -> "RsaPrivateKey":
+        label, body = pem_decode(pem)
+        if label != "RSA PRIVATE KEY":
+            raise SignatureError(f"expected RSA PRIVATE KEY PEM, got {label}")
+        n, e, d, p, q = _decode_integers(body, 5)
+        return cls(n=n, e=e, d=d, p=p, q=q)
+
+
+def generate_keypair(bits: int = 2048, seed: int | None = None) -> RsaPrivateKey:
+    """Generate an RSA keypair.
+
+    ``bits`` is the modulus size; 2048 yields the paper's 256-byte
+    signatures.  ``seed`` makes generation deterministic, which the test
+    suite and the workload generator use for reproducibility.  Production
+    deployments (the real TSR) would of course use an entropy-backed RNG —
+    inside the enclave simulator the seed is derived from the enclave
+    identity, preserving the "key never leaves the enclave" property.
+    """
+    if bits < 512:
+        raise ValueError(f"RSA modulus below 512 bits is not supported: {bits}")
+    if bits % 2:
+        raise ValueError("RSA modulus size must be even")
+    rng = random.Random(seed) if seed is not None else random.SystemRandom()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(PUBLIC_EXPONENT, -1, phi)
+        except ValueError:
+            continue  # e not invertible mod phi; re-draw primes
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        return RsaPrivateKey(n=n, e=PUBLIC_EXPONENT, d=d, p=p, q=q)
+
+
+def _encode_integers(values: list[int]) -> bytes:
+    """Length-prefixed big-endian integer list (a DER-lite container)."""
+    chunks = []
+    for value in values:
+        raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        chunks.append(len(raw).to_bytes(4, "big"))
+        chunks.append(raw)
+    return b"".join(chunks)
+
+
+def _decode_integers(body: bytes, expected: int) -> list[int]:
+    values = []
+    offset = 0
+    while offset < len(body):
+        if offset + 4 > len(body):
+            raise SignatureError("truncated key body")
+        length = int.from_bytes(body[offset:offset + 4], "big")
+        offset += 4
+        if offset + length > len(body):
+            raise SignatureError("truncated key body")
+        values.append(int.from_bytes(body[offset:offset + length], "big"))
+        offset += length
+    if len(values) != expected:
+        raise SignatureError(f"expected {expected} integers in key, got {len(values)}")
+    return values

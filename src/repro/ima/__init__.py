@@ -1,0 +1,23 @@
+"""Linux IMA (integrity measurement architecture) simulator.
+
+Hooks the simulated VFS open path exactly where the kernel's IMA sits:
+every file is measured (hashed, appended to the measurement list, extended
+into PCR 10) before its content reaches the caller.  With appraisal
+enabled, files must carry a valid ``security.ima`` signature from the
+trusted keyring or the open is denied (IMA-appraisal enforce mode) — the
+paper's local enforcement mechanism (section 3.2, problem 1).
+"""
+
+from repro.ima.subsystem import (
+    AppraisalMode,
+    ImaMeasurement,
+    ImaSubsystem,
+    ima_signature_for,
+)
+
+__all__ = [
+    "AppraisalMode",
+    "ImaMeasurement",
+    "ImaSubsystem",
+    "ima_signature_for",
+]

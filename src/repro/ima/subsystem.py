@@ -1,0 +1,212 @@
+"""The IMA measurement and appraisal engine."""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crypto.hashes import sha256_bytes
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.tpm.device import IMA_PCR_INDEX, Tpm
+from repro.util.errors import FileSystemError
+
+if TYPE_CHECKING:  # osim imports ima at runtime; keep this edge hints-only
+    from repro.osim.fs import FileNode, SimFileSystem
+
+IMA_XATTR = "security.ima"
+
+#: Leading byte of a signature-type security.ima value (EVM_IMA_XATTR_DIGSIG).
+IMA_SIG_PREFIX = b"\x03"
+
+
+class AppraisalMode(enum.Enum):
+    """IMA-appraisal operating modes."""
+
+    OFF = "off"          # measure only
+    LOG = "log"          # record appraisal failures, allow the open
+    ENFORCE = "enforce"  # deny opens that fail appraisal
+
+
+@dataclass(frozen=True)
+class ImaMeasurement:
+    """One line of the IMA measurement list (ima-sig template)."""
+
+    pcr_index: int
+    path: str
+    filedata_hash: bytes
+    signature: bytes | None
+
+    def template_digest(self) -> bytes:
+        """The digest extended into the PCR for this entry."""
+        sig = self.signature or b""
+        return sha256_bytes(
+            self.filedata_hash + self.path.encode() + b"\x00" + sig
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "pcr": self.pcr_index,
+            "path": self.path,
+            "hash": self.filedata_hash.hex(),
+            "sig": self.signature.hex() if self.signature else None,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ImaMeasurement":
+        return cls(
+            pcr_index=raw["pcr"],
+            path=raw["path"],
+            filedata_hash=bytes.fromhex(raw["hash"]),
+            signature=bytes.fromhex(raw["sig"]) if raw.get("sig") else None,
+        )
+
+
+def ima_signature_for(content: bytes, key: RsaPrivateKey) -> bytes:
+    """Produce a security.ima signature value for file content."""
+    return IMA_SIG_PREFIX + key.sign(sha256_bytes(content))
+
+
+def verify_ima_signature(content_hash: bytes, signature: bytes,
+                         keyring: list[RsaPublicKey]) -> bool:
+    """Check a security.ima value against the trusted keyring."""
+    if not signature.startswith(IMA_SIG_PREFIX):
+        return False
+    raw = signature[len(IMA_SIG_PREFIX):]
+    return any(key.verify(content_hash, raw) for key in keyring)
+
+
+#: Default local-appraisal scope: code paths, like a real ima_appraise
+#: policy (BPRM_CHECK / MMAP rules).  Config files under /etc are measured
+#: and *remotely* verified via the monitoring system, but not locally
+#: enforced — otherwise every legitimate account-file rewrite would wedge
+#: the OS mid-script.
+DEFAULT_APPRAISE_PREFIXES = ("/bin", "/sbin", "/usr", "/lib")
+DEFAULT_EXEMPT_PREFIXES = ("/lib/apk",)
+
+#: Mutable runtime state is excluded from *measurement* entirely, the
+#: equivalent of ``dont_measure`` rules every production IMA policy carries
+#: for databases, spools, and logs — their churn carries no integrity
+#: signal and would drown verifiers in noise.
+DEFAULT_MEASURE_EXEMPT_PREFIXES = ("/lib/apk", "/tmp", "/run", "/proc")
+
+
+class ImaSubsystem:
+    """Measurement + appraisal, attached to one OS instance."""
+
+    def __init__(self, fs: SimFileSystem, tpm: Tpm,
+                 appraisal: AppraisalMode = AppraisalMode.OFF,
+                 keyring: list[RsaPublicKey] | None = None,
+                 appraise_prefixes: tuple[str, ...] = DEFAULT_APPRAISE_PREFIXES,
+                 exempt_prefixes: tuple[str, ...] = DEFAULT_EXEMPT_PREFIXES,
+                 measure_exempt_prefixes: tuple[str, ...] =
+                 DEFAULT_MEASURE_EXEMPT_PREFIXES):
+        self._fs = fs
+        self._tpm = tpm
+        self.appraisal = appraisal
+        self.keyring: list[RsaPublicKey] = list(keyring or [])
+        self.appraise_prefixes = appraise_prefixes
+        self.exempt_prefixes = exempt_prefixes
+        self.measure_exempt_prefixes = measure_exempt_prefixes
+        self.measurements: list[ImaMeasurement] = []
+        self.appraisal_failures: list[str] = []
+        self._measured: set[tuple[str, bytes]] = set()
+        self._exempt_depth = 0
+        fs.install_open_hook(self._on_open)
+
+    @contextmanager
+    def measurement_exempt(self):
+        """Suppress measurement for the package-manager execution context.
+
+        Production IMA policies carry ``dont_measure`` rules keyed on the
+        package manager's SELinux label: the transient intermediate file
+        contents it reads while editing /etc (adduser re-reads the account
+        files between writes) carry no integrity signal — what matters is
+        the final state services read afterwards, which *is* measured.
+        """
+        self._exempt_depth += 1
+        try:
+            yield
+        finally:
+            self._exempt_depth -= 1
+
+    # -- keyring management ----------------------------------------------------
+
+    def trust_key(self, key: RsaPublicKey):
+        """Add a verification key (e.g. the TSR public signing key)."""
+        self.keyring.append(key)
+
+    # -- boot ---------------------------------------------------------------------
+
+    def record_boot_aggregate(self):
+        """First measurement list entry: aggregate over the boot PCRs."""
+        aggregate = sha256_bytes(
+            b"".join(self._tpm.pcr_bank.read(i) for i in range(8))
+        )
+        entry = ImaMeasurement(
+            pcr_index=IMA_PCR_INDEX,
+            path="boot_aggregate",
+            filedata_hash=aggregate,
+            signature=None,
+        )
+        self.measurements.append(entry)
+        self._tpm.extend(IMA_PCR_INDEX, entry.template_digest(), "boot_aggregate")
+
+    # -- the VFS hook ---------------------------------------------------------------
+
+    def in_appraise_scope(self, path: str) -> bool:
+        if any(path.startswith(prefix) for prefix in self.exempt_prefixes):
+            return False
+        return any(path.startswith(prefix) for prefix in self.appraise_prefixes)
+
+    def _on_open(self, path: str, node: FileNode):
+        if self._exempt_depth:
+            return
+        if any(path.startswith(prefix)
+               for prefix in self.measure_exempt_prefixes):
+            return
+        content_hash = sha256_bytes(node.content)
+        signature = node.xattrs.get(IMA_XATTR)
+        if self.appraisal is not AppraisalMode.OFF and self.in_appraise_scope(path):
+            self._appraise(path, content_hash, signature)
+        key = (path, content_hash)
+        if key in self._measured:
+            return  # kernel IMA measures a given content once
+        self._measured.add(key)
+        entry = ImaMeasurement(
+            pcr_index=IMA_PCR_INDEX,
+            path=path,
+            filedata_hash=content_hash,
+            signature=signature,
+        )
+        self.measurements.append(entry)
+        self._tpm.extend(IMA_PCR_INDEX, entry.template_digest(), f"ima:{path}")
+
+    def _appraise(self, path: str, content_hash: bytes, signature: bytes | None):
+        valid = signature is not None and verify_ima_signature(
+            content_hash, signature, self.keyring
+        )
+        if valid:
+            return
+        self.appraisal_failures.append(path)
+        if self.appraisal is AppraisalMode.ENFORCE:
+            raise FileSystemError(
+                f"IMA-appraisal denied open of {path}: "
+                f"{'missing' if signature is None else 'invalid'} security.ima"
+            )
+
+    # -- verification-side helpers -------------------------------------------------------
+
+    def measurement_list(self) -> list[ImaMeasurement]:
+        return list(self.measurements)
+
+
+def replay_measurement_list(entries: list[ImaMeasurement]) -> bytes:
+    """Recompute the PCR-10 value a list of measurements should produce."""
+    from repro.crypto.hashes import SHA256_DIGEST_SIZE
+
+    pcr = bytes(SHA256_DIGEST_SIZE)
+    for entry in entries:
+        pcr = sha256_bytes(pcr + entry.template_digest())
+    return pcr

@@ -1,0 +1,20 @@
+"""Repositories and mirrors, honest and Byzantine.
+
+The original repository is the root of trust for updates (paper section
+2.1); mirrors replicate it with bounded control by the community.  The
+threat model (section 3.1) grants the adversary up to f of 2f+1 mirrors;
+this package implements the honest mirror plus the freeze / replay /
+corrupt behaviours of Figure 5.
+"""
+
+from repro.mirrors.repository import OriginalRepository
+from repro.mirrors.mirror import Mirror, MirrorBehavior
+from repro.mirrors.builder import MirrorSpec, build_mirror_network
+
+__all__ = [
+    "OriginalRepository",
+    "Mirror",
+    "MirrorBehavior",
+    "MirrorSpec",
+    "build_mirror_network",
+]

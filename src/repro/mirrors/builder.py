@@ -1,0 +1,42 @@
+"""Helpers wiring repositories and mirrors onto the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mirrors.mirror import Mirror, MirrorBehavior
+from repro.mirrors.repository import OriginalRepository
+from repro.simnet.latency import Continent
+from repro.simnet.network import Host, Network
+
+
+@dataclass(frozen=True)
+class MirrorSpec:
+    """Deployment description of one mirror."""
+
+    name: str
+    continent: Continent
+    behavior: MirrorBehavior = MirrorBehavior.HONEST
+    pinned_serial: int | None = None
+
+
+def build_mirror_network(origin: OriginalRepository, specs: list[MirrorSpec],
+                         network: Network) -> dict[str, Mirror]:
+    """Instantiate mirrors and register them as network hosts."""
+    mirrors: dict[str, Mirror] = {}
+    for spec in specs:
+        mirror = Mirror(spec.name, origin, behavior=spec.behavior,
+                        pinned_serial=spec.pinned_serial)
+        mirrors[spec.name] = mirror
+        network.add_host(Host(
+            name=spec.name,
+            continent=spec.continent,
+            handler=mirror.handle,
+        ))
+    return mirrors
+
+
+def sync_all(mirrors: dict[str, Mirror]):
+    """Propagate the origin's latest snapshot to every (honest) mirror."""
+    for mirror in mirrors.values():
+        mirror.sync()

@@ -1,0 +1,28 @@
+"""Simulated integrity-enforced operating system.
+
+Provides the in-memory filesystem with extended attributes, the account
+database files, the measured boot chain, the installed-package database,
+and an ``apk``-like package manager that executes installation scripts via
+the shell interpreter.  The IMA subsystem (:mod:`repro.ima`) hooks into the
+filesystem's open path, exactly where the kernel's IMA sits.
+"""
+
+from repro.osim.fs import SimFileSystem
+from repro.osim.os import AttestationEvidence, BASELINE_FILES, IntegrityEnforcedOS
+from repro.osim.pkgdb import InstalledPackage, PackageDatabase
+from repro.osim.pkgmgr import InstallStats, PackageManager, RepositoryClient
+from repro.osim.version import Version, is_newer
+
+__all__ = [
+    "SimFileSystem",
+    "IntegrityEnforcedOS",
+    "AttestationEvidence",
+    "BASELINE_FILES",
+    "InstalledPackage",
+    "PackageDatabase",
+    "PackageManager",
+    "RepositoryClient",
+    "InstallStats",
+    "Version",
+    "is_newer",
+]

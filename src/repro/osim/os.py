@@ -1,0 +1,138 @@
+"""The integrity-enforced operating system.
+
+Boots through a measured chain (firmware → bootloader → kernel → IMA boot
+aggregate), lays down the baseline Alpine-like filesystem, and exposes the
+attestation surface the monitoring system reads (TPM quote + IMA log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.ima.subsystem import AppraisalMode, ImaMeasurement, ImaSubsystem, ima_signature_for
+from repro.osim.fs import SimFileSystem
+from repro.osim.pkgdb import PackageDatabase
+from repro.tpm.device import IMA_PCR_INDEX, Tpm, TpmQuote
+from repro.util.errors import ReproError
+
+#: Baseline files of a freshly installed OS; the initial trusted state the
+#: monitoring system knows (and that policies may override via
+#: ``init_config_files``, paper Listing 1).
+BASELINE_FILES: dict[str, str] = {
+    "/etc/passwd": (
+        "root:x:0:0:root:/root:/bin/ash\n"
+        "daemon:x:2:2:daemon:/sbin:/sbin/nologin\n"
+        "nobody:x:65534:65534:nobody:/:/sbin/nologin\n"
+    ),
+    "/etc/shadow": (
+        "root:!:0:0:99999:7:::\n"
+        "daemon:!:0:0:99999:7:::\n"
+        "nobody:!:0:0:99999:7:::\n"
+    ),
+    "/etc/group": (
+        "root:x:0:\n"
+        "daemon:x:2:root,bin,daemon\n"
+        "nobody:x:65534:\n"
+    ),
+    "/etc/shells": "/bin/ash\n",
+    "/etc/hostname": "alpine-node\n",
+    "/etc/apk/repositories": "https://tsr.example/v3.10/main\n",
+}
+
+#: Pseudo-binaries measured at boot (stand-ins for busybox and the libc).
+BASELINE_BINARIES: dict[str, bytes] = {
+    "/bin/busybox": b"\x7fELF\x02busybox-1.31.1 simulated binary",
+    "/lib/ld-musl-x86_64.so.1": b"\x7fELF\x02musl-1.1.24 simulated loader",
+}
+
+_BOOT_COMPONENTS = (
+    (0, "firmware", b"simulated-uefi-firmware-v1"),
+    (0, "firmware-config", b"secure-boot=on"),
+    (4, "bootloader", b"simulated-grub-2.04"),
+    (4, "kernel", b"simulated-linux-5.4-ima"),
+    (5, "initramfs", b"simulated-initramfs"),
+)
+
+
+@dataclass
+class AttestationEvidence:
+    """What the OS hands to a remote verifier: quote + measurement list."""
+
+    node_name: str
+    quote: TpmQuote
+    ima_log: list[ImaMeasurement]
+    attestation_key: RsaPublicKey
+
+
+class IntegrityEnforcedOS:
+    """A node running Alpine-like Linux with IMA + TPM enabled."""
+
+    def __init__(self, name: str,
+                 appraisal: AppraisalMode = AppraisalMode.OFF,
+                 vendor_key: RsaPrivateKey | None = None,
+                 init_config_files: dict[str, str] | None = None):
+        self.name = name
+        self.fs = SimFileSystem()
+        self.tpm = Tpm(serial=f"tpm-{name}")
+        self.ima = ImaSubsystem(self.fs, self.tpm, appraisal=appraisal)
+        self.pkgdb = PackageDatabase(self.fs)
+        self._vendor_key = vendor_key
+        self._init_config_files = dict(init_config_files or {})
+        self._booted = False
+        if vendor_key is not None:
+            self.ima.trust_key(vendor_key.public_key)
+
+    # -- boot ------------------------------------------------------------------
+
+    def boot(self):
+        """Measured boot: extend the chain of trust, then lay down and
+        measure the baseline filesystem."""
+        if self._booted:
+            raise ReproError(f"node {self.name} is already booted")
+        for pcr, description, blob in _BOOT_COMPONENTS:
+            self.tpm.measure(pcr, blob, description)
+        self.ima.record_boot_aggregate()
+        baseline = dict(BASELINE_FILES)
+        baseline.update(self._init_config_files)
+        for path, content in baseline.items():
+            self._write_baseline(path, content.encode())
+        for path, content in BASELINE_BINARIES.items():
+            self._write_baseline(path, content, mode=0o755)
+        # Loading the baseline measures it (services start at boot).
+        for path in sorted(baseline) + sorted(BASELINE_BINARIES):
+            self.fs.read_file(path)
+        self._booted = True
+
+    def _write_baseline(self, path: str, content: bytes, mode: int = 0o644):
+        self.fs.write_file(path, content, mode=mode)
+        if self._vendor_key is not None:
+            self.fs.set_xattr(path, "security.ima",
+                              ima_signature_for(content, self._vendor_key))
+
+    @property
+    def booted(self) -> bool:
+        return self._booted
+
+    # -- runtime ------------------------------------------------------------------
+
+    def load_file(self, path: str) -> bytes:
+        """Open a file as a process would (fires IMA measurement/appraisal)."""
+        return self.fs.read_file(path)
+
+    def exercise_paths(self, paths: list[str]):
+        """Open many files — models services restarting after an update."""
+        for path in paths:
+            self.fs.read_file(path)
+
+    # -- attestation -----------------------------------------------------------------
+
+    def attest(self, nonce: bytes) -> AttestationEvidence:
+        """Produce the remote-attestation evidence a verifier requests."""
+        quote = self.tpm.quote(list(range(8)) + [IMA_PCR_INDEX], nonce)
+        return AttestationEvidence(
+            node_name=self.name,
+            quote=quote,
+            ima_log=self.ima.measurement_list(),
+            attestation_key=self.tpm.attestation_public_key,
+        )

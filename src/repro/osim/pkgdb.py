@@ -1,0 +1,111 @@
+"""The installed-package database.
+
+Alpine keeps it as a plain file (``/lib/apk/db/installed``); the paper's
+Fig. 11 experiment *tampers* with this file (rewriting version numbers and
+hashes) to make installed packages look outdated, so the database here is
+likewise a text file inside the simulated filesystem rather than opaque
+Python state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.osim.fs import SimFileSystem
+from repro.util.errors import PackageManagerError
+
+DB_PATH = "/lib/apk/db/installed"
+
+
+@dataclass(frozen=True)
+class InstalledPackage:
+    """One installed package record."""
+
+    name: str
+    version: str
+    content_hash: str
+    files: tuple[str, ...]
+
+
+class PackageDatabase:
+    """File-backed database of installed packages."""
+
+    def __init__(self, fs: SimFileSystem, path: str = DB_PATH):
+        self._fs = fs
+        self._path = path
+        if not fs.exists(path):
+            fs.write_file(path, b"")
+
+    # -- persistence -----------------------------------------------------------
+
+    def _load(self) -> dict[str, InstalledPackage]:
+        packages: dict[str, InstalledPackage] = {}
+        text = self._fs.read_file(self._path).decode()
+        for block in text.split("\n\n"):
+            if not block.strip():
+                continue
+            fields: dict[str, str] = {}
+            for line in block.splitlines():
+                key, _, value = line.partition(":")
+                fields[key] = value
+            try:
+                package = InstalledPackage(
+                    name=fields["P"],
+                    version=fields["V"],
+                    content_hash=fields["C"],
+                    files=tuple(f for f in fields.get("F", "").split("|") if f),
+                )
+            except KeyError as exc:
+                raise PackageManagerError(
+                    f"corrupt package database block: missing {exc}"
+                ) from exc
+            packages[package.name] = package
+        return packages
+
+    def _store(self, packages: dict[str, InstalledPackage]):
+        blocks = []
+        for name in sorted(packages):
+            package = packages[name]
+            blocks.append(
+                f"P:{package.name}\nV:{package.version}\n"
+                f"C:{package.content_hash}\nF:{'|'.join(package.files)}"
+            )
+        self._fs.write_file(self._path, "\n\n".join(blocks).encode())
+
+    # -- operations ---------------------------------------------------------------
+
+    def add(self, package: InstalledPackage):
+        packages = self._load()
+        packages[package.name] = package
+        self._store(packages)
+
+    def remove(self, name: str):
+        packages = self._load()
+        if name not in packages:
+            raise PackageManagerError(f"package not installed: {name}")
+        del packages[name]
+        self._store(packages)
+
+    def get(self, name: str) -> InstalledPackage | None:
+        return self._load().get(name)
+
+    def all(self) -> list[InstalledPackage]:
+        return sorted(self._load().values(), key=lambda p: p.name)
+
+    def installed_names(self) -> set[str]:
+        return set(self._load())
+
+    def mark_outdated(self, name: str, fake_version: str = "0.0.0-r0"):
+        """Tamper helper used by the Fig. 11 experiment: rewrite the version
+        and hash so the package manager believes an update is pending."""
+        packages = self._load()
+        if name not in packages:
+            raise PackageManagerError(f"package not installed: {name}")
+        current = packages[name]
+        packages[name] = InstalledPackage(
+            name=current.name,
+            version=fake_version,
+            content_hash="0" * 64,
+            files=current.files,
+        )
+        self._store(packages)

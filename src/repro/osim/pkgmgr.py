@@ -1,0 +1,260 @@
+"""The apk-like package manager.
+
+Implements the client side of the update pipeline (paper section 2.2):
+fetch and verify the signed metadata index, resolve dependencies, download
+packages, verify size + hash against the index and the package signature
+against the trusted keyring, run installation scripts through the shell
+interpreter, and extract files — transparently materialising PAX
+``security.ima`` records as filesystem xattrs, exactly what GNU tar does on
+a real system (paper section 5.3).
+
+TSR transparency (paper section 4.3) shows up here as an interface: the
+package manager talks to any :class:`RepositoryClient`, and a TSR instance
+is just another repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.archive.apk import ApkPackage, ParsedApk
+from repro.archive.index import IndexEntry, RepositoryIndex
+from repro.crypto.hashes import sha256_hex
+from repro.crypto.rsa import RsaPublicKey
+from repro.osim.os import IntegrityEnforcedOS
+from repro.osim.pkgdb import InstalledPackage
+from repro.osim.version import is_newer
+from repro.scripts.interpreter import Interpreter
+from repro.util.errors import (
+    IntegrityError,
+    PackageManagerError,
+    SignatureError,
+)
+
+
+class RepositoryClient(Protocol):
+    """Anything a package manager can download from."""
+
+    def fetch_index(self) -> bytes: ...
+    def fetch_package(self, name: str) -> bytes: ...
+
+
+@dataclass
+class InstallStats:
+    """Accounting for one package-manager operation (feeds the latency
+    cost model of the Fig. 11 bench)."""
+
+    packages: int = 0
+    files_written: int = 0
+    bytes_written: int = 0
+    xattrs_written: int = 0
+    scripts_run: int = 0
+    bytes_downloaded: int = 0
+    operations: list[str] = field(default_factory=list)
+
+
+class PackageManager:
+    """The OS-side update client."""
+
+    def __init__(self, node: IntegrityEnforcedOS, client: RepositoryClient,
+                 trusted_keys: list[RsaPublicKey]):
+        self._node = node
+        self._client = client
+        self.trusted_keys = list(trusted_keys)
+        self._index: RepositoryIndex | None = None
+        self._interpreter = Interpreter(node.fs)
+
+    # -- index handling -----------------------------------------------------------
+
+    def update(self) -> RepositoryIndex:
+        """``apk update``: fetch and authenticate the metadata index."""
+        blob = self._client.fetch_index()
+        index = RepositoryIndex.from_bytes(blob)
+        if not any(index.verify(key) for key in self.trusted_keys):
+            raise SignatureError("repository index signature not trusted")
+        self._index = index
+        return index
+
+    @property
+    def index(self) -> RepositoryIndex:
+        if self._index is None:
+            raise PackageManagerError("no index: run update() first")
+        return self._index
+
+    def available_upgrades(self) -> list[IndexEntry]:
+        """Installed packages with a newer version in the index."""
+        upgrades = []
+        for installed in self._node.pkgdb.all():
+            entry = self.index.get(installed.name)
+            if entry is not None and is_newer(entry.version, installed.version):
+                upgrades.append(entry)
+        return upgrades
+
+    # -- resolution ------------------------------------------------------------------
+
+    def resolve_install_order(self, name: str) -> list[IndexEntry]:
+        """Dependencies-first order for a package and its closure."""
+        order: list[IndexEntry] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(pkg_name: str):
+            if pkg_name in done:
+                return
+            if pkg_name in visiting:
+                raise PackageManagerError(
+                    f"dependency cycle involving {pkg_name!r}"
+                )
+            entry = self.index.get(pkg_name)
+            if entry is None:
+                raise PackageManagerError(f"unsatisfiable dependency: {pkg_name!r}")
+            visiting.add(pkg_name)
+            for dep in entry.depends:
+                visit(dep)
+            visiting.discard(pkg_name)
+            done.add(pkg_name)
+            order.append(entry)
+
+        visit(name)
+        return order
+
+    # -- download & verification --------------------------------------------------------
+
+    def _download_verified(self, entry: IndexEntry, stats: InstallStats) -> ParsedApk:
+        blob = self._client.fetch_package(entry.name)
+        stats.bytes_downloaded += len(blob)
+        if len(blob) != entry.size:
+            raise IntegrityError(
+                f"{entry.describe()}: size {len(blob)} != index size {entry.size} "
+                "(endless-data defence)"
+            )
+        if sha256_hex(blob) != entry.sha256:
+            raise IntegrityError(
+                f"{entry.describe()}: content hash does not match signed index"
+            )
+        parsed = ApkPackage.parse(blob)
+        parsed.verify(self.trusted_keys)
+        if parsed.package.name != entry.name:
+            raise IntegrityError(
+                f"index entry {entry.name!r} delivered package "
+                f"{parsed.package.name!r}"
+            )
+        return parsed
+
+    # -- install / upgrade / remove --------------------------------------------------------
+
+    def install(self, name: str, stats: InstallStats | None = None) -> InstallStats:
+        """Install a package and its dependency closure."""
+        stats = stats if stats is not None else InstallStats()
+        for entry in self.resolve_install_order(name):
+            installed = self._node.pkgdb.get(entry.name)
+            if installed is not None:
+                if installed.version == entry.version:
+                    continue
+                self._upgrade_one(entry, stats)
+            else:
+                self._install_one(entry, stats)
+        return stats
+
+    def upgrade_all(self) -> InstallStats:
+        """``apk upgrade``: bring every installed package to index version."""
+        stats = InstallStats()
+        for entry in self.available_upgrades():
+            self.install(entry.name, stats)
+        return stats
+
+    def uninstall(self, name: str) -> InstallStats:
+        stats = InstallStats()
+        installed = self._node.pkgdb.get(name)
+        if installed is None:
+            raise PackageManagerError(f"package not installed: {name}")
+        # Re-fetch the package to obtain its de-installation scripts.
+        entry = self.index.get(name)
+        scripts = {}
+        if entry is not None:
+            try:
+                scripts = self._download_verified(entry, InstallStats()).package.scripts
+            except (IntegrityError, SignatureError):
+                scripts = {}
+        self._run_script(scripts, ".pre-deinstall", stats)
+        for path in installed.files:
+            if self._node.fs.exists(path):
+                self._node.fs.remove(path)
+        self._run_script(scripts, ".post-deinstall", stats)
+        self._node.pkgdb.remove(name)
+        stats.packages += 1
+        stats.operations.append(f"del {name}")
+        return stats
+
+    def _install_one(self, entry: IndexEntry, stats: InstallStats):
+        parsed = self._download_verified(entry, stats)
+        package = parsed.package
+        self._run_script(package.scripts, ".pre-install", stats)
+        self._extract(package, stats)
+        self._run_script(package.scripts, ".post-install", stats)
+        self._record(package, entry, parsed)
+        stats.packages += 1
+        stats.operations.append(f"add {entry.describe()}")
+
+    def _upgrade_one(self, entry: IndexEntry, stats: InstallStats):
+        parsed = self._download_verified(entry, stats)
+        package = parsed.package
+        previous = self._node.pkgdb.get(entry.name)
+        self._run_script(package.scripts, ".pre-upgrade", stats)
+        self._extract(package, stats)
+        # Remove files the new version no longer ships.
+        new_paths = {f.path for f in package.files}
+        if previous is not None:
+            for path in previous.files:
+                if path not in new_paths and self._node.fs.exists(path):
+                    self._node.fs.remove(path)
+        self._run_script(package.scripts, ".post-upgrade", stats)
+        self._record(package, entry, parsed)
+        stats.packages += 1
+        stats.operations.append(f"upg {entry.describe()}")
+
+    def _extract(self, package: ApkPackage, stats: InstallStats):
+        """Extract data-segment files; PAX security.ima records become
+        filesystem xattrs (the GNU-tar behaviour TSR relies on)."""
+        for pkg_file in package.files:
+            self._node.fs.write_file(pkg_file.path, pkg_file.content,
+                                     mode=pkg_file.mode)
+            stats.files_written += 1
+            stats.bytes_written += len(pkg_file.content)
+            if pkg_file.ima_signature is not None:
+                self._node.fs.set_xattr(pkg_file.path, "security.ima",
+                                        pkg_file.ima_signature)
+                stats.xattrs_written += 1
+
+    def _run_script(self, scripts: dict[str, str], hook: str, stats: InstallStats):
+        source = scripts.get(hook)
+        if source is None:
+            return
+        # Scripts run in the package-manager context: their transient reads
+        # are not measured (the dont_measure policy rule; see ImaSubsystem).
+        with self._node.ima.measurement_exempt():
+            result = self._interpreter.run(source)
+        stats.scripts_run += 1
+        if result.exit_code != 0:
+            raise PackageManagerError(
+                f"installation script {hook} failed with exit {result.exit_code}"
+            )
+
+    def _record(self, package: ApkPackage, entry: IndexEntry, parsed: ParsedApk):
+        self._node.pkgdb.add(InstalledPackage(
+            name=package.name,
+            version=package.version,
+            content_hash=entry.sha256,
+            files=tuple(sorted(f.path for f in package.files)),
+        ))
+
+    # -- post-install exercising -----------------------------------------------------------
+
+    def exercise(self, name: str):
+        """Open every file of an installed package (services restarting),
+        which drives the IMA measurements verifiers will see."""
+        installed = self._node.pkgdb.get(name)
+        if installed is None:
+            raise PackageManagerError(f"package not installed: {name}")
+        self._node.exercise_paths(list(installed.files))

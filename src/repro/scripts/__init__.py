@@ -1,0 +1,44 @@
+"""A small POSIX-shell subset: lexer, parser, interpreter, classifier.
+
+Software packages carry installation scripts executed as root during
+installation (paper section 2.2).  TSR must *analyze* those scripts to
+decide whether they keep the OS in a verifiable state (Table 2 taxonomy)
+and *rewrite* the sanitizable ones.  This package implements:
+
+* a shell lexer/parser for the subset real Alpine maintainer scripts use
+  (simple commands, quoting, ``&&``/``||``/``;`` lists, pipelines, ``if``
+  statements, output redirection),
+* an interpreter that executes scripts against a filesystem-like host
+  (the simulated OS provides one),
+* the operation classifier reproducing the paper's Table 2 taxonomy.
+"""
+
+from repro.scripts.lexer import tokenize, Token, TokenType
+from repro.scripts.parser import parse_script
+from repro.scripts.shell_ast import Command, ConditionalList, IfStatement, Pipeline, Script
+from repro.scripts.interpreter import ExecutionResult, Interpreter, ScriptHost
+from repro.scripts.classify import (
+    OperationType,
+    ScriptProfile,
+    classify_script,
+    classify_package_scripts,
+)
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse_script",
+    "Script",
+    "Command",
+    "Pipeline",
+    "ConditionalList",
+    "IfStatement",
+    "Interpreter",
+    "ScriptHost",
+    "ExecutionResult",
+    "OperationType",
+    "ScriptProfile",
+    "classify_script",
+    "classify_package_scripts",
+]

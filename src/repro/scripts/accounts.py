@@ -1,0 +1,221 @@
+"""Text formats of /etc/passwd, /etc/group, /etc/shadow.
+
+Both the interpreter's ``adduser``/``addgroup`` commands and the sanitizer's
+configuration prediction (paper section 4.2) manipulate these files, so the
+line-level logic lives here as pure text transformations.  Determinism is
+the whole point: adding the same accounts in the same order always yields
+byte-identical files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ScriptError
+
+FIRST_SYSTEM_UID = 100
+FIRST_SYSTEM_GID = 101
+
+#: shadow password field for an account that can never log in.
+LOCKED_PASSWORD = "!"
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """Parameters of a user-creation request (busybox adduser subset)."""
+
+    name: str
+    uid: int | None = None
+    gid: int | None = None
+    home: str = "/dev/null"
+    shell: str = "/sbin/nologin"
+    gecos: str = ""
+    password: str = LOCKED_PASSWORD
+    system: bool = True
+
+    def is_insecure(self) -> bool:
+        """Empty password + usable shell = the CVE-2019-5021 pattern."""
+        return self.password == "" and not self.shell.endswith("nologin")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Parameters of a group-creation request."""
+
+    name: str
+    gid: int | None = None
+    members: tuple[str, ...] = ()
+
+
+def parse_passwd(text: str) -> dict[str, list[str]]:
+    """Map user name -> the seven passwd fields."""
+    return _parse_colon_file(text, 7, "passwd")
+
+
+def parse_group(text: str) -> dict[str, list[str]]:
+    """Map group name -> the four group fields."""
+    return _parse_colon_file(text, 4, "group")
+
+
+def parse_shadow(text: str) -> dict[str, list[str]]:
+    """Map user name -> the nine shadow fields."""
+    return _parse_colon_file(text, 9, "shadow")
+
+
+def _parse_colon_file(text: str, fields: int, what: str) -> dict[str, list[str]]:
+    entries: dict[str, list[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        parts = line.split(":")
+        if len(parts) != fields:
+            raise ScriptError(
+                f"/etc/{what} line {number} has {len(parts)} fields, expected {fields}"
+            )
+        entries[parts[0]] = parts
+    return entries
+
+
+def next_free_id(used: set[int], first: int) -> int:
+    candidate = first
+    while candidate in used:
+        candidate += 1
+    return candidate
+
+
+def add_group(group_text: str, spec: GroupSpec) -> str:
+    """Append a group; idempotent if the group already exists."""
+    groups = parse_group(group_text)
+    if spec.name in groups:
+        return group_text
+    used = {int(fields[2]) for fields in groups.values() if fields[2].isdigit()}
+    gid = spec.gid if spec.gid is not None else next_free_id(used, FIRST_SYSTEM_GID)
+    line = f"{spec.name}:x:{gid}:{','.join(spec.members)}"
+    return _append_line(group_text, line)
+
+
+def add_user(passwd_text: str, shadow_text: str, group_text: str,
+             spec: UserSpec) -> tuple[str, str, str]:
+    """Add a user to all three account files; idempotent per user name.
+
+    Mirrors busybox ``adduser -S``: creates a matching group when no gid is
+    given, locks the password unless the spec overrides it.
+    """
+    passwd = parse_passwd(passwd_text)
+    if spec.name in passwd:
+        return passwd_text, shadow_text, group_text
+    groups = parse_group(group_text)
+    if spec.gid is not None:
+        gid = spec.gid
+    elif spec.name in groups:
+        gid = int(groups[spec.name][2])
+    else:
+        group_text = add_group(group_text, GroupSpec(name=spec.name))
+        gid = int(parse_group(group_text)[spec.name][2])
+    used_uids = {int(fields[2]) for fields in passwd.values() if fields[2].isdigit()}
+    uid = spec.uid if spec.uid is not None else next_free_id(used_uids, FIRST_SYSTEM_UID)
+    passwd_line = (
+        f"{spec.name}:x:{uid}:{gid}:{spec.gecos}:{spec.home}:{spec.shell}"
+    )
+    shadow_line = f"{spec.name}:{spec.password}:0:0:99999:7:::"
+    return (
+        _append_line(passwd_text, passwd_line),
+        _append_line(shadow_text, shadow_line),
+        group_text,
+    )
+
+
+def set_password(shadow_text: str, user: str, password: str) -> str:
+    """Replace a user's shadow password field (``passwd -d`` sets it empty)."""
+    entries = shadow_text.splitlines()
+    found = False
+    for index, line in enumerate(entries):
+        if line.split(":", 1)[0] == user:
+            fields = line.split(":")
+            fields[1] = password
+            entries[index] = ":".join(fields)
+            found = True
+    if not found:
+        raise ScriptError(f"passwd: unknown user {user!r}")
+    return "\n".join(entries) + "\n"
+
+
+def insecure_accounts(passwd_text: str, shadow_text: str) -> list[str]:
+    """Users with an empty password and a usable login shell.
+
+    This is the CVE-2019-5021 pattern the paper's sanitizer detected in two
+    Alpine packages (section 4.2, "Script sanitization").
+    """
+    shadow = parse_shadow(shadow_text)
+    risky = []
+    for name, fields in parse_passwd(passwd_text).items():
+        shell = fields[6]
+        shadow_fields = shadow.get(name)
+        if shadow_fields is None:
+            continue
+        if shadow_fields[1] == "" and not shell.endswith("nologin"):
+            risky.append(name)
+    return sorted(risky)
+
+
+def _append_line(text: str, line: str) -> str:
+    if text and not text.endswith("\n"):
+        text += "\n"
+    return text + line + "\n"
+
+
+def parse_adduser_args(args: list[str]) -> tuple[dict, str | None]:
+    """Parse busybox ``adduser`` arguments into UserSpec kwargs.
+
+    Returns ``(kwargs, primary_group)``; shared by the interpreter command
+    and the sanitizer's static script analysis so both agree on semantics.
+    """
+    kwargs: dict = {}
+    primary_group: str | None = None
+    positional: list[str] = []
+    iterator = iter(args)
+    for arg in iterator:
+        if arg in ("-S", "-D", "-H"):
+            continue  # system account, no password, no home dir: our defaults
+        elif arg == "-h":
+            kwargs["home"] = next(iterator, "/dev/null")
+        elif arg == "-s":
+            kwargs["shell"] = next(iterator, "/sbin/nologin")
+        elif arg == "-g":
+            kwargs["gecos"] = next(iterator, "")
+        elif arg == "-G":
+            primary_group = next(iterator, None)
+            if primary_group is None:
+                raise ScriptError("adduser: -G requires a group name")
+        elif arg == "-u":
+            kwargs["uid"] = int(next(iterator, "0"))
+        elif arg.startswith("-"):
+            raise ScriptError(f"adduser: unsupported flag {arg}")
+        else:
+            positional.append(arg)
+    if len(positional) != 1:
+        raise ScriptError("adduser: expected exactly one user name")
+    kwargs["name"] = positional[0]
+    return kwargs, primary_group
+
+
+def parse_addgroup_args(args: list[str]) -> tuple[int | None, list[str]]:
+    """Parse busybox ``addgroup`` arguments: ``(gid, positional)``.
+
+    One positional operand creates a group; two appends a user to a group.
+    """
+    gid: int | None = None
+    positional: list[str] = []
+    iterator = iter(args)
+    for arg in iterator:
+        if arg == "-S":
+            continue
+        elif arg == "-g":
+            gid = int(next(iterator, "0"))
+        elif arg.startswith("-"):
+            raise ScriptError(f"addgroup: unsupported flag {arg}")
+        else:
+            positional.append(arg)
+    if len(positional) not in (1, 2):
+        raise ScriptError("addgroup: expected [user] group")
+    return gid, positional

@@ -1,0 +1,176 @@
+"""Operation classifier reproducing the paper's Table 2 taxonomy.
+
+Every command in a script maps to one operation type; the set of types in a
+package's scripts decides whether the package is *safe* as-is, *sanitizable*
+by TSR, or *unsupported*:
+
+=====================  =====  ==================
+operation              safe   safe after TSR
+=====================  =====  ==================
+Filesystem changes     yes    yes
+Empty scripts          yes    yes
+Text processing        yes    yes
+Configuration change   no     no  (rejected)
+Empty file creation    no     yes (pre-signed)
+User/Group creation    no     yes (deterministic rewrite)
+Shell activation       no     no  (rejected by design)
+=====================  =====  ==================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.scripts.parser import parse_script
+from repro.scripts.shell_ast import Command, Script
+from repro.util.errors import ScriptError
+
+
+class OperationType(enum.Enum):
+    """The seven operation categories of the paper's Table 2."""
+
+    FILESYSTEM_CHANGE = "filesystem_change"
+    EMPTY = "empty"
+    TEXT_PROCESSING = "text_processing"
+    CONFIG_CHANGE = "config_change"
+    EMPTY_FILE_CREATION = "empty_file_creation"
+    USER_GROUP_CREATION = "user_group_creation"
+    SHELL_ACTIVATION = "shell_activation"
+
+    @property
+    def safe(self) -> bool:
+        """Safe to run in an integrity-enforced OS without sanitization."""
+        return self in _SAFE_OPERATIONS
+
+    @property
+    def sanitizable(self) -> bool:
+        """Unsafe, but TSR sanitization makes it safe (Table 2 last column)."""
+        return self in _SANITIZABLE_OPERATIONS
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+
+_SAFE_OPERATIONS = frozenset({
+    OperationType.FILESYSTEM_CHANGE,
+    OperationType.EMPTY,
+    OperationType.TEXT_PROCESSING,
+})
+
+_SANITIZABLE_OPERATIONS = frozenset({
+    OperationType.EMPTY_FILE_CREATION,
+    OperationType.USER_GROUP_CREATION,
+})
+
+_LABELS = {
+    OperationType.FILESYSTEM_CHANGE: "Filesystem changes",
+    OperationType.EMPTY: "Empty scripts",
+    OperationType.TEXT_PROCESSING: "Text processing",
+    OperationType.CONFIG_CHANGE: "Configuration change",
+    OperationType.EMPTY_FILE_CREATION: "Empty file creation",
+    OperationType.USER_GROUP_CREATION: "User/Group creation",
+    OperationType.SHELL_ACTIVATION: "Shell activation",
+}
+
+_EMPTY_COMMANDS = frozenset({"true", ":", "false", "exit", "echo", "test", "["})
+_FILESYSTEM_COMMANDS = frozenset({
+    "mkdir", "rmdir", "rm", "mv", "cp", "ln", "chmod", "install", "setfattr",
+})
+_TEXT_COMMANDS = frozenset({"cat", "grep", "sed", "cut", "head", "wc"})
+_ACCOUNT_COMMANDS = frozenset({"adduser", "addgroup", "passwd"})
+_SHELL_COMMANDS = frozenset({"add-shell", "remove-shell"})
+
+#: Precedence when reporting a package's primary category: the least
+#: tractable operation wins (an unsupported op dominates a sanitizable one).
+PRIMARY_PRECEDENCE = (
+    OperationType.SHELL_ACTIVATION,
+    OperationType.CONFIG_CHANGE,
+    OperationType.USER_GROUP_CREATION,
+    OperationType.EMPTY_FILE_CREATION,
+    OperationType.FILESYSTEM_CHANGE,
+    OperationType.TEXT_PROCESSING,
+    OperationType.EMPTY,
+)
+
+
+def classify_command(command: Command) -> OperationType:
+    """Map one command (with its redirect) to an operation type."""
+    if command.redirect is not None:
+        # Script output redirected into a file rewrites that file's contents
+        # in a way signatures cannot predict -> configuration change.
+        return OperationType.CONFIG_CHANGE
+    if command.name in _SHELL_COMMANDS:
+        return OperationType.SHELL_ACTIVATION
+    if command.name in _ACCOUNT_COMMANDS:
+        return OperationType.USER_GROUP_CREATION
+    if command.name == "touch":
+        return OperationType.EMPTY_FILE_CREATION
+    if command.name == "sed" and "-i" in command.args:
+        return OperationType.CONFIG_CHANGE
+    if command.name in _TEXT_COMMANDS:
+        return OperationType.TEXT_PROCESSING
+    if command.name in _FILESYSTEM_COMMANDS:
+        return OperationType.FILESYSTEM_CHANGE
+    if command.name in _EMPTY_COMMANDS:
+        return OperationType.EMPTY
+    raise ScriptError(f"cannot classify unsupported command {command.name!r}")
+
+
+@dataclass
+class ScriptProfile:
+    """Classification of a single script."""
+
+    operations: set[OperationType] = field(default_factory=set)
+    commands: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """Only conditional checks / display output (Table 2 'Empty scripts')."""
+        return self.operations <= {OperationType.EMPTY}
+
+    @property
+    def safe(self) -> bool:
+        return all(op.safe for op in self.operations)
+
+    @property
+    def sanitizable(self) -> bool:
+        """True when TSR can rewrite this script into a safe one."""
+        return all(op.safe or op.sanitizable for op in self.operations)
+
+    @property
+    def unsafe_operations(self) -> set[OperationType]:
+        return {op for op in self.operations if not op.safe}
+
+    def primary_category(self) -> OperationType:
+        if not self.operations:
+            return OperationType.EMPTY
+        for op in PRIMARY_PRECEDENCE:
+            if op in self.operations:
+                return op
+        raise AssertionError("unreachable: unknown operation type")
+
+    def merge(self, other: "ScriptProfile") -> "ScriptProfile":
+        return ScriptProfile(
+            operations=self.operations | other.operations,
+            commands=self.commands + other.commands,
+        )
+
+
+def classify_script(source: str | Script) -> ScriptProfile:
+    """Classify one script's operations."""
+    script = parse_script(source) if isinstance(source, str) else source
+    profile = ScriptProfile()
+    for command in script.iter_commands():
+        profile.operations.add(classify_command(command))
+        profile.commands += 1
+    return profile
+
+
+def classify_package_scripts(scripts: dict[str, str]) -> ScriptProfile:
+    """Classify all of a package's hook scripts as one profile."""
+    profile = ScriptProfile()
+    for source in scripts.values():
+        profile = profile.merge(classify_script(source))
+    return profile

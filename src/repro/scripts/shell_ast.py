@@ -1,0 +1,132 @@
+"""AST node types for the shell subset.
+
+A script is a sequence of statements; each statement is either a
+conditional list (pipelines joined by ``&&`` / ``||`` / ``;``) or an ``if``
+statement.  Redirections attach to individual commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Redirect:
+    """Stdout redirection: ``> path`` (truncate) or ``>> path`` (append)."""
+
+    path: str
+    append: bool = False
+
+
+@dataclass
+class Command:
+    """A simple command: name, arguments, optional stdout redirect."""
+
+    name: str
+    args: list[str] = field(default_factory=list)
+    redirect: Redirect | None = None
+    line: int = 0
+
+    def argv(self) -> list[str]:
+        return [self.name, *self.args]
+
+    def render(self) -> str:
+        parts = [_quote(self.name), *(_quote(a) for a in self.args)]
+        if self.redirect is not None:
+            parts.append(">>" if self.redirect.append else ">")
+            parts.append(_quote(self.redirect.path))
+        return " ".join(parts)
+
+
+@dataclass
+class Pipeline:
+    """Commands joined by ``|``; the last command's status is the result."""
+
+    commands: list[Command]
+
+    def render(self) -> str:
+        return " | ".join(c.render() for c in self.commands)
+
+
+@dataclass
+class ConditionalList:
+    """Pipelines joined by connectors.
+
+    ``connectors[i]`` joins ``pipelines[i]`` to ``pipelines[i+1]`` and is one
+    of ``"&&"``, ``"||"``, or ``";"``.
+    """
+
+    pipelines: list[Pipeline]
+    connectors: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [self.pipelines[0].render()]
+        for connector, pipeline in zip(self.connectors, self.pipelines[1:]):
+            joiner = "; " if connector == ";" else f" {connector} "
+            parts.append(joiner + pipeline.render())
+        return "".join(parts)
+
+
+@dataclass
+class IfStatement:
+    """``if <condition>; then <body> [else <body>] fi``."""
+
+    condition: "ConditionalList"
+    then_body: list["Statement"]
+    else_body: list["Statement"] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"if {self.condition.render()}; then"]
+        lines.extend("  " + stmt.render() for stmt in self.then_body)
+        if self.else_body:
+            lines.append("else")
+            lines.extend("  " + stmt.render() for stmt in self.else_body)
+        lines.append("fi")
+        return "\n".join(lines)
+
+
+Statement = ConditionalList | IfStatement
+
+
+@dataclass
+class Script:
+    """A parsed installation script."""
+
+    statements: list[Statement]
+    shebang: str | None = None
+
+    def render(self) -> str:
+        """Regenerate shell source (used by the sanitizer to emit scripts)."""
+        lines = []
+        if self.shebang:
+            lines.append(self.shebang)
+        lines.extend(stmt.render() for stmt in self.statements)
+        return "\n".join(lines) + "\n"
+
+    def iter_commands(self):
+        """Yield every Command in the script, recursing into if-statements."""
+        yield from _iter_commands(self.statements)
+
+
+def _iter_commands(statements: list[Statement]):
+    for statement in statements:
+        if isinstance(statement, ConditionalList):
+            for pipeline in statement.pipelines:
+                yield from pipeline.commands
+        elif isinstance(statement, IfStatement):
+            for pipeline in statement.condition.pipelines:
+                yield from pipeline.commands
+            yield from _iter_commands(statement.then_body)
+            yield from _iter_commands(statement.else_body)
+
+
+_SAFE_WORD_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "._-/=:+,@%^[]!"
+)
+
+
+def _quote(word: str) -> str:
+    if word and all(c in _SAFE_WORD_CHARS for c in word):
+        return word
+    return "'" + word.replace("'", "'\\''") + "'"

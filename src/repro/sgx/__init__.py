@@ -1,0 +1,32 @@
+"""Intel SGX simulator: enclaves, sealing, attestation, EPC cost model.
+
+TSR relies on SGX for four properties (paper sections 4.4, 5.5, 6.2):
+
+1. **confidentiality** — the signing key lives in enclave memory an
+   adversary with root cannot read;
+2. **sealing** — state persisted to untrusted disk is bound to the CPU and
+   the enclave measurement;
+3. **remote attestation** — clients deploy policies only after verifying
+   the enclave's identity (MRENCLAVE) on a genuine CPU;
+4. **the EPC performance cliff** — working sets beyond the ~128 MB enclave
+   page cache page in/out with a measurable slowdown (Fig. 12).
+
+This package models all four explicitly; the cost model's calibration is
+documented in EXPERIMENTS.md.
+"""
+
+from repro.sgx.platform import SgxCpu, AttestationService
+from repro.sgx.enclave import Enclave, EnclaveQuote
+from repro.sgx.sealing import seal, unseal
+from repro.sgx.epc import EpcModel, DEFAULT_EPC_BYTES
+
+__all__ = [
+    "SgxCpu",
+    "AttestationService",
+    "Enclave",
+    "EnclaveQuote",
+    "seal",
+    "unseal",
+    "EpcModel",
+    "DEFAULT_EPC_BYTES",
+]

@@ -1,0 +1,167 @@
+"""The enclave abstraction.
+
+An enclave wraps a *program* (any object exposing methods) behind a strict
+boundary: the host calls exported entry points via :meth:`Enclave.ecall`,
+and the program's state is reachable only from inside.  The measurement
+(MRENCLAVE) binds the program's code identity; remote attestation produces
+a quote over (MRENCLAVE, report_data) signed by the CPU's attestation key.
+
+The adversary model from the paper — root on the TSR machine — is modelled
+by :meth:`host_memory_dump`: it returns everything a root adversary can
+read from the process, which by construction excludes enclave state.  Tests
+assert the signing key never appears there.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256_bytes
+from repro.crypto.rsa import RsaPublicKey
+from repro.sgx.platform import AttestationService, SgxCpu
+from repro.util.errors import AttestationError, ReproError
+
+
+class EnclaveError(ReproError):
+    """An ecall failed or the enclave rejected the request."""
+
+
+@dataclass(frozen=True)
+class EnclaveQuote:
+    """Remote-attestation evidence for one enclave."""
+
+    cpu_id: str
+    mrenclave: bytes
+    report_data: bytes
+    signature: bytes
+
+    def report_bytes(self) -> bytes:
+        body = {
+            "cpu": self.cpu_id,
+            "mrenclave": self.mrenclave.hex(),
+            "report_data": self.report_data.hex(),
+        }
+        return json.dumps(body, sort_keys=True).encode("ascii")
+
+    def verify(self, service: AttestationService,
+               expected_mrenclave: bytes | None = None) -> bool:
+        """Check the quote chains to a genuine CPU (and, optionally, that
+        the enclave identity matches the build the verifier expects)."""
+        key: RsaPublicKey = service.attestation_key_for(self.cpu_id)
+        if not key.verify(self.report_bytes(), self.signature):
+            raise AttestationError("enclave quote signature invalid")
+        if expected_mrenclave is not None and self.mrenclave != expected_mrenclave:
+            raise AttestationError(
+                "MRENCLAVE mismatch: enclave is not the expected build"
+            )
+        return True
+
+
+def measure_program(program_class: type) -> bytes:
+    """MRENCLAVE: hash of the program's code identity.
+
+    Uses the class's qualified name and source text — a faithful stand-in
+    for hashing the enclave's initial memory contents: any code change
+    yields a different measurement.
+    """
+    try:
+        source = inspect.getsource(program_class)
+    except (OSError, TypeError):
+        source = repr(program_class)
+    identity = f"{program_class.__module__}.{program_class.__qualname__}\n{source}"
+    return sha256_bytes(identity.encode())
+
+
+class Enclave:
+    """A loaded enclave instance hosting one program object."""
+
+    def __init__(self, cpu: SgxCpu, program_class: type, *args, **kwargs):
+        self._cpu = cpu
+        self.mrenclave = measure_program(program_class)
+        self._program = program_class(*args, **kwargs)
+        self._destroyed = False
+        # EGETKEY analog: programs that define _bind_enclave get a handle to
+        # in-enclave facilities (sealing key derivation). The method is
+        # private, so it is not reachable as an ecall from the host.
+        bind = getattr(self._program, "_bind_enclave", None)
+        if callable(bind):
+            bind(self)
+
+    # -- entry points ---------------------------------------------------------
+
+    def ecall(self, entry_point: str, *args, **kwargs):
+        """Call an exported entry point inside the enclave.
+
+        Only public methods of the program are exported; private state and
+        private methods are not reachable from the host.
+        """
+        if self._destroyed:
+            raise EnclaveError("enclave has been destroyed")
+        if entry_point.startswith("_"):
+            raise EnclaveError(
+                f"entry point {entry_point!r} is not exported (private)"
+            )
+        handler = getattr(self._program, entry_point, None)
+        if handler is None or not callable(handler):
+            raise EnclaveError(f"no such entry point: {entry_point!r}")
+        return handler(*args, **kwargs)
+
+    def destroy(self):
+        """Tear down the enclave; in-memory state is irrecoverably lost.
+
+        This models a TSR restart (paper section 5.5): whatever was not
+        sealed to disk is gone.
+        """
+        self._program = None
+        self._destroyed = True
+
+    @property
+    def alive(self) -> bool:
+        return not self._destroyed
+
+    # -- sealing & attestation ----------------------------------------------------
+
+    def sealing_key(self) -> bytes:
+        """The CPU+enclave-bound sealing key (usable only from inside)."""
+        if self._destroyed:
+            raise EnclaveError("enclave has been destroyed")
+        return self._cpu.derive_sealing_key(self.mrenclave)
+
+    def quote(self, report_data: bytes) -> EnclaveQuote:
+        """Produce remote-attestation evidence carrying ``report_data``.
+
+        TSR puts the public signing key's fingerprint in ``report_data`` so
+        clients know the key they receive came from *this* enclave.
+        """
+        if self._destroyed:
+            raise EnclaveError("enclave has been destroyed")
+        unsigned = EnclaveQuote(
+            cpu_id=self._cpu.cpu_id,
+            mrenclave=self.mrenclave,
+            report_data=report_data,
+            signature=b"",
+        )
+        signature = self._cpu.sign_quote(unsigned.report_bytes())
+        return EnclaveQuote(
+            cpu_id=self._cpu.cpu_id,
+            mrenclave=self.mrenclave,
+            report_data=report_data,
+            signature=signature,
+        )
+
+    # -- adversary surface -----------------------------------------------------------
+
+    def host_memory_dump(self) -> dict:
+        """What a root adversary sees when dumping the host process.
+
+        Enclave memory is hardware-encrypted; the dump exposes only the
+        enclave's existence and its public metadata, never program state.
+        """
+        return {
+            "enclave_loaded": not self._destroyed,
+            "mrenclave": self.mrenclave.hex(),
+            "cpu_id": self._cpu.cpu_id,
+            # Note: deliberately no reference to self._program state.
+        }

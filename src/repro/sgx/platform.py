@@ -1,0 +1,50 @@
+"""The SGX-capable CPU and the (Intel-like) attestation service.
+
+A :class:`SgxCpu` owns two secrets a real CPU fuses at manufacturing time:
+the root sealing key (never leaves the die; derives per-enclave sealing
+keys) and the attestation key certified by the manufacturer.  The
+:class:`AttestationService` plays the role of Intel's provisioning /
+attestation infrastructure: verifiers ask it whether a quote chains up to a
+genuine CPU.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import hmac_sha256, sha256_bytes
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.util.errors import AttestationError
+
+
+class AttestationService:
+    """Knows which CPU attestation keys belong to genuine hardware."""
+
+    def __init__(self):
+        self._genuine: dict[str, RsaPublicKey] = {}
+
+    def register_cpu(self, cpu_id: str, attestation_key: RsaPublicKey):
+        self._genuine[cpu_id] = attestation_key
+
+    def attestation_key_for(self, cpu_id: str) -> RsaPublicKey:
+        if cpu_id not in self._genuine:
+            raise AttestationError(f"CPU {cpu_id!r} is not a genuine SGX platform")
+        return self._genuine[cpu_id]
+
+
+class SgxCpu:
+    """An SGX-capable processor."""
+
+    def __init__(self, cpu_id: str, attestation_service: AttestationService,
+                 key_bits: int = 1024):
+        self.cpu_id = cpu_id
+        seed = int.from_bytes(sha256_bytes(b"sgx-cpu:" + cpu_id.encode())[:8], "big")
+        self._root_sealing_key = sha256_bytes(b"fused-seal-key:" + cpu_id.encode())
+        self._attestation_key: RsaPrivateKey = generate_keypair(key_bits, seed=seed)
+        attestation_service.register_cpu(cpu_id, self._attestation_key.public_key)
+
+    def derive_sealing_key(self, mrenclave: bytes) -> bytes:
+        """MRENCLAVE-bound sealing key: same enclave on same CPU only."""
+        return hmac_sha256(self._root_sealing_key, b"MRENCLAVE:" + mrenclave)
+
+    def sign_quote(self, report: bytes) -> bytes:
+        """The quoting machinery signs an enclave report (EPID/DCAP stand-in)."""
+        return self._attestation_key.sign(report)

@@ -1,0 +1,60 @@
+"""SGX sealing: authenticated encryption bound to CPU + enclave.
+
+``seal``/``unseal`` implement encrypt-then-MAC over an HMAC-SHA-256
+keystream (a from-scratch stream cipher is sufficient here — the security
+property exercised by the reproduction is *binding*: only the same enclave
+measurement on the same CPU derives the key that unseals the blob, and any
+tampering breaks the MAC).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import hmac_sha256, sha256_bytes
+from repro.util.errors import SealingError
+
+_MAC_SIZE = 32
+_NONCE_SIZE = 16
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hmac_sha256(key, nonce + counter.to_bytes(8, "big")))
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def seal(sealing_key: bytes, plaintext: bytes, context: bytes = b"") -> bytes:
+    """Seal ``plaintext``; ``context`` is authenticated but not stored."""
+    if len(sealing_key) != 32:
+        raise SealingError("sealing key must be 32 bytes")
+    nonce = sha256_bytes(b"nonce:" + sealing_key + plaintext)[:_NONCE_SIZE]
+    enc_key = hmac_sha256(sealing_key, b"enc")
+    mac_key = hmac_sha256(sealing_key, b"mac")
+    ciphertext = bytes(
+        a ^ b for a, b in zip(plaintext, _keystream(enc_key, nonce, len(plaintext)))
+    )
+    mac = hmac_sha256(mac_key, nonce + ciphertext + context)
+    return nonce + ciphertext + mac
+
+
+def unseal(sealing_key: bytes, blob: bytes, context: bytes = b"") -> bytes:
+    """Unseal; raises :class:`SealingError` on wrong key or tampering."""
+    if len(sealing_key) != 32:
+        raise SealingError("sealing key must be 32 bytes")
+    if len(blob) < _NONCE_SIZE + _MAC_SIZE:
+        raise SealingError("sealed blob too short")
+    nonce = blob[:_NONCE_SIZE]
+    ciphertext = blob[_NONCE_SIZE:-_MAC_SIZE]
+    mac = blob[-_MAC_SIZE:]
+    mac_key = hmac_sha256(sealing_key, b"mac")
+    expected = hmac_sha256(mac_key, nonce + ciphertext + context)
+    if mac != expected:
+        raise SealingError(
+            "unsealing failed: wrong CPU/enclave or tampered blob"
+        )
+    enc_key = hmac_sha256(sealing_key, b"enc")
+    return bytes(
+        a ^ b for a, b in zip(ciphertext, _keystream(enc_key, nonce, len(ciphertext)))
+    )

@@ -1,0 +1,36 @@
+"""Simulated monotonic clock.
+
+All latency experiments run against this clock so results are deterministic
+and independent of the machine executing the reproduction.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonic simulated clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock backwards ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute timestamp (no-op if in the past)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.6f}s)"

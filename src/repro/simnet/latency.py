@@ -1,0 +1,96 @@
+"""Continent-level latency and bandwidth model.
+
+Calibration anchors from the paper's testbed and evaluation:
+
+* TSR runs in Europe; an official Alpine mirror on the same continent shows
+  an average network latency of 26.4 ms (Fig. 10 setup).
+* Downloading ~3 GB of packages from upstream takes ~17 minutes (Table 3),
+  i.e. roughly 3 MB/s sustained from a single mirror.
+* Cross-continent quorums (Fig. 13) reach ~2.2 s for nine mirrors, implying
+  intercontinental round trips in the 100-300 ms range.
+
+The matrix below encodes those anchors; jitter is deterministic per
+(src, dst, sequence) so repeated runs produce identical series.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+DEFAULT_BANDWIDTH_BYTES_PER_S = 3 * 1024 * 1024  # ~3 MB/s, Table 3 anchor
+LOCAL_DISK_BANDWIDTH_BYTES_PER_S = 450 * 1024 * 1024  # SATA SSD, testbed
+LOCAL_DISK_SEEK_S = 0.0001
+
+
+class Continent(enum.Enum):
+    """Geographic regions used in the paper's Fig. 13 scenarios."""
+
+    EUROPE = "europe"
+    NORTH_AMERICA = "north_america"
+    ASIA = "asia"
+
+    @classmethod
+    def parse(cls, text: str) -> "Continent":
+        normalized = text.strip().lower().replace(" ", "_").replace("-", "_")
+        for member in cls:
+            if member.value == normalized:
+                return member
+        aliases = {"eu": cls.EUROPE, "na": cls.NORTH_AMERICA, "as": cls.ASIA,
+                   "america": cls.NORTH_AMERICA, "us": cls.NORTH_AMERICA}
+        if normalized in aliases:
+            return aliases[normalized]
+        raise ValueError(f"unknown continent: {text!r}")
+
+
+# Round-trip times in seconds between continents (symmetric).
+_RTT_MATRIX: dict[frozenset[Continent], float] = {
+    frozenset([Continent.EUROPE]): 0.0264,
+    frozenset([Continent.NORTH_AMERICA]): 0.030,
+    frozenset([Continent.ASIA]): 0.042,
+    frozenset([Continent.EUROPE, Continent.NORTH_AMERICA]): 0.095,
+    frozenset([Continent.EUROPE, Continent.ASIA]): 0.205,
+    frozenset([Continent.NORTH_AMERICA, Continent.ASIA]): 0.160,
+}
+
+_JITTER_FRACTION = 0.15
+
+
+class LatencyModel:
+    """Deterministic RTT + bandwidth model between continents."""
+
+    def __init__(self, rtt_matrix: dict[frozenset[Continent], float] | None = None,
+                 jitter: float = _JITTER_FRACTION, seed: int = 0):
+        self._rtt = dict(rtt_matrix or _RTT_MATRIX)
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter fraction out of range: {jitter}")
+        self._jitter = jitter
+        self._seed = seed
+        self._sequence = 0
+
+    def base_rtt(self, src: Continent, dst: Continent) -> float:
+        """Jitter-free round-trip time between two continents."""
+        key = frozenset([src, dst])
+        if key not in self._rtt:
+            raise ValueError(f"no RTT configured for {src} <-> {dst}")
+        return self._rtt[key]
+
+    def rtt(self, src: Continent, dst: Continent) -> float:
+        """Round-trip time with deterministic jitter applied."""
+        base = self.base_rtt(src, dst)
+        self._sequence += 1
+        rng = random.Random(f"{self._seed}:{src.value}:{dst.value}:{self._sequence}")
+        spread = base * self._jitter
+        return max(0.0, base + rng.uniform(-spread, spread))
+
+    def transfer_time(self, size_bytes: int,
+                      bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_S) -> float:
+        """Seconds to move a payload at the given sustained bandwidth."""
+        if size_bytes < 0:
+            raise ValueError("negative payload size")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        return size_bytes / bandwidth
+
+
+DEFAULT_LATENCY_MODEL = LatencyModel()

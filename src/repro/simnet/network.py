@@ -1,0 +1,193 @@
+"""Synchronous request/response transport over the latency model.
+
+Hosts register a handler; callers issue requests that advance the shared
+:class:`SimClock` by RTT plus payload transfer plus handler processing time.
+``gather`` models concurrent fan-out (the quorum reader contacts several
+mirrors at once): the clock advances to the *slowest completed* request, but
+each response records its individual completion offset.
+
+Failure injection: hosts can be taken down (requests fail after a timeout)
+and pairs of hosts can be partitioned — the paper's adversary "prevents
+network connection to the original repository and arbitrary mirrors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.simnet.clock import SimClock
+from repro.simnet.latency import (
+    Continent,
+    DEFAULT_BANDWIDTH_BYTES_PER_S,
+    LatencyModel,
+)
+from repro.util.errors import NetworkError
+
+DEFAULT_TIMEOUT_S = 5.0
+
+
+@dataclass
+class Request:
+    """A request addressed to a host; ``payload`` is handler-defined."""
+
+    target: str
+    operation: str
+    payload: object = None
+    size_bytes: int = 256  # small control message by default
+
+
+@dataclass
+class Response:
+    """Handler result plus transport accounting."""
+
+    payload: object
+    size_bytes: int
+    elapsed: float  # seconds from issue to completion (simulated)
+
+
+@dataclass
+class Host:
+    """A network endpoint with a handler and failure state."""
+
+    name: str
+    continent: Continent
+    handler: Callable[[str, object], tuple[object, int]] | None = None
+    processing_time: float = 0.0005
+    bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_S
+    up: bool = True
+    # Extra one-way delay, used to model overloaded or throttled mirrors.
+    extra_delay: float = 0.0
+    #: When set, concurrent ``gather`` responses share this sustained
+    #: download bandwidth at the *receiving* host (the NIC bottleneck that
+    #: makes quorum latency grow with mirror count, Fig. 13).
+    downlink_bandwidth: float | None = None
+
+    def handle(self, operation: str, payload: object) -> tuple[object, int]:
+        if self.handler is None:
+            raise NetworkError(f"host {self.name} has no handler registered")
+        return self.handler(operation, payload)
+
+
+class Network:
+    """Host registry and transport; owns the latency model."""
+
+    def __init__(self, clock: SimClock | None = None,
+                 latency: LatencyModel | None = None,
+                 timeout: float = DEFAULT_TIMEOUT_S):
+        self.clock = clock or SimClock()
+        self.latency = latency or LatencyModel()
+        self.timeout = timeout
+        self._hosts: dict[str, Host] = {}
+        self._partitions: set[frozenset[str]] = set()
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self._hosts:
+            raise NetworkError(f"host already registered: {host.name}")
+        self._hosts[host.name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host: {name}") from None
+
+    def hosts(self) -> list[Host]:
+        return list(self._hosts.values())
+
+    def set_down(self, name: str, down: bool = True):
+        self.host(name).up = not down
+
+    def partition(self, a: str, b: str):
+        """Block traffic between two hosts (adversarial network control)."""
+        self._partitions.add(frozenset([a, b]))
+
+    def heal(self, a: str, b: str):
+        self._partitions.discard(frozenset([a, b]))
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        return frozenset([src, dst]) not in self._partitions
+
+    def _completion_parts(self, src: Host,
+                          request: Request) -> tuple[object, int, float, float]:
+        """Compute (payload, response size, pre-download offset, download).
+
+        The pre-download offset covers RTT, request upload, server
+        processing and throttling; the download part is reported separately
+        so ``gather`` can model a shared receiver downlink.
+        """
+        dst = self.host(request.target)
+        if not dst.up or not self._reachable(src.name, dst.name):
+            # A dead or partitioned peer manifests as a timeout.
+            raise NetworkError(
+                f"request from {src.name} to {request.target} timed out "
+                f"after {self.timeout}s"
+            )
+        rtt = self.latency.rtt(src.continent, dst.continent)
+        payload_up = self.latency.transfer_time(request.size_bytes, dst.bandwidth)
+        result, response_size = dst.handle(request.operation, request.payload)
+        payload_down = self.latency.transfer_time(response_size, dst.bandwidth)
+        pre = rtt + payload_up + dst.processing_time + dst.extra_delay
+        if pre + payload_down > self.timeout:
+            raise NetworkError(
+                f"request from {src.name} to {request.target} exceeded "
+                f"timeout ({pre + payload_down:.3f}s > {self.timeout}s)"
+            )
+        return result, response_size, pre, payload_down
+
+    def _completion_offset(self, src: Host, request: Request) -> tuple[object, int, float]:
+        """Compute (response payload, response size, completion offset)."""
+        payload, size, pre, download = self._completion_parts(src, request)
+        return payload, size, pre + download
+
+    def call(self, src_name: str, request: Request) -> Response:
+        """Issue a single request; advances the clock by its full latency."""
+        src = self.host(src_name)
+        payload, size, offset = self._completion_offset(src, request)
+        self.clock.advance(offset)
+        return Response(payload=payload, size_bytes=size, elapsed=offset)
+
+    def gather(self, src_name: str, requests: list[Request],
+               advance: str = "max") -> list[Response | NetworkError]:
+        """Issue requests concurrently.
+
+        Returns one entry per request: a :class:`Response` or the
+        :class:`NetworkError` the request failed with.  The clock advances by
+        the slowest *successful* completion (``advance="max"``) — timeouts do
+        not stall the caller because the quorum logic proceeds as soon as it
+        has enough answers — or by the timeout if every request failed.
+        """
+        if advance not in ("max", "none"):
+            raise ValueError(f"unsupported advance mode: {advance}")
+        src = self.host(src_name)
+        results: list[Response | NetworkError] = []
+        pres: list[float] = []
+        downloads: list[float] = []
+        sizes: list[int] = []
+        for request in requests:
+            try:
+                payload, size, pre, download = self._completion_parts(src, request)
+            except NetworkError as exc:
+                results.append(exc)
+            else:
+                results.append(Response(payload=payload, size_bytes=size,
+                                        elapsed=pre + download))
+                pres.append(pre)
+                downloads.append(download)
+                sizes.append(size)
+        if not pres:
+            if advance == "max":
+                self.clock.advance(self.timeout)
+            return results
+        if src.downlink_bandwidth is not None and len(sizes) > 1:
+            # Concurrent responses contend for the receiver's NIC: total
+            # transfer time is bounded by the shared downlink.
+            shared = self.latency.transfer_time(sum(sizes),
+                                                src.downlink_bandwidth)
+            total = max(pres) + max(shared, max(downloads))
+        else:
+            total = max(pre + down for pre, down in zip(pres, downloads))
+        if advance == "max":
+            self.clock.advance(total)
+        return results

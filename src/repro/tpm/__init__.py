@@ -1,0 +1,25 @@
+"""Software TPM 2.0: PCRs, event log, quotes, monotonic counters.
+
+The trusted-computing substrate of the paper: integrity measurements are
+extended into PCRs, a quote signed by the TPM's attestation key certifies
+the PCR state to remote verifiers, and monotonic counters anchor TSR's
+rollback protection (paper section 5.5).
+"""
+
+from repro.tpm.device import (
+    Tpm,
+    TpmQuote,
+    PcrBank,
+    EventLogEntry,
+    verify_quote,
+    IMA_PCR_INDEX,
+)
+
+__all__ = [
+    "Tpm",
+    "TpmQuote",
+    "PcrBank",
+    "EventLogEntry",
+    "verify_quote",
+    "IMA_PCR_INDEX",
+]

@@ -1,0 +1,34 @@
+"""Shared utilities: error hierarchy, a mini-YAML parser, and statistics helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    IntegrityError,
+    SignatureError,
+    PolicyError,
+    QuorumError,
+    PackagingError,
+    ScriptError,
+    SealingError,
+    RollbackError,
+    AttestationError,
+)
+from repro.util.miniyaml import parse_yaml, dump_yaml
+from repro.util.stats import percentile, trimmed_mean, summarize_latencies
+
+__all__ = [
+    "ReproError",
+    "IntegrityError",
+    "SignatureError",
+    "PolicyError",
+    "QuorumError",
+    "PackagingError",
+    "ScriptError",
+    "SealingError",
+    "RollbackError",
+    "AttestationError",
+    "parse_yaml",
+    "dump_yaml",
+    "percentile",
+    "trimmed_mean",
+    "summarize_latencies",
+]

@@ -1,0 +1,58 @@
+"""Error hierarchy shared by every subsystem.
+
+Each subsystem raises a dedicated subclass of :class:`ReproError` so callers
+can catch exactly the failure domain they care about (e.g. a monitoring
+system distinguishes an :class:`AttestationError` from a transport failure).
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class IntegrityError(ReproError):
+    """A cryptographic hash did not match its expected value."""
+
+
+class SignatureError(ReproError):
+    """A digital signature failed verification or could not be produced."""
+
+
+class PolicyError(ReproError):
+    """A security policy is malformed or violates invariants."""
+
+
+class QuorumError(ReproError):
+    """Not enough agreeing mirrors to establish a quorum."""
+
+
+class PackagingError(ReproError):
+    """A package archive is malformed or violates the apk format."""
+
+
+class ScriptError(ReproError):
+    """An installation script could not be parsed, executed, or sanitized."""
+
+
+class SealingError(ReproError):
+    """Sealed data could not be unsealed (wrong CPU, enclave, or tampering)."""
+
+
+class RollbackError(ReproError):
+    """State was rolled back to an earlier version (freshness violation)."""
+
+
+class AttestationError(ReproError):
+    """A remote attestation report failed verification."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed (host down, partition)."""
+
+
+class FileSystemError(ReproError):
+    """A simulated filesystem operation failed."""
+
+
+class PackageManagerError(ReproError):
+    """The package manager could not complete an operation."""

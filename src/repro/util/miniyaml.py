@@ -1,0 +1,311 @@
+"""A small YAML-subset parser and emitter for TSR security policies.
+
+PyYAML is not available offline, and the policy format from the paper
+(Listing 1) only needs a well-defined subset of YAML:
+
+* nested mappings with ``key: value`` pairs,
+* block sequences with ``- `` items (scalars or mappings),
+* literal block scalars ``|-`` / ``|`` (used for PEM certificate blobs),
+* comments introduced with ``#`` outside of block scalars,
+* plain scalars (strings, ints, floats, booleans, null).
+
+The grammar is indentation-based, two or more spaces per level, exactly like
+the policy examples shipped with this repository.  Anything outside the
+subset raises :class:`MiniYamlError` with a line number so policy authors get
+actionable feedback.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ReproError
+
+
+class MiniYamlError(ReproError):
+    """Raised when input does not conform to the supported YAML subset."""
+
+    def __init__(self, message: str, line: int | None = None):
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class _Line:
+    """A significant (non-blank, non-comment) input line."""
+
+    __slots__ = ("number", "indent", "content")
+
+    def __init__(self, number: int, indent: int, content: str):
+        self.number = number
+        self.indent = indent
+        self.content = content
+
+
+def _significant_lines(text: str) -> list[_Line]:
+    lines = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        leading = raw[:len(raw) - len(raw.lstrip())]
+        if "\t" in leading:
+            raise MiniYamlError("tabs are not allowed in indentation", number)
+        indent = len(raw) - len(raw.lstrip(" "))
+        lines.append(_Line(number, indent, stripped))
+    return lines
+
+
+def _parse_scalar(token: str):
+    """Interpret a plain scalar: quotes, booleans, null, numbers, strings."""
+    token = token.strip()
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered in ("null", "~"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _strip_inline_comment(value: str) -> str:
+    """Drop a trailing ``# comment`` from an unquoted scalar."""
+    if value.startswith(('"', "'")):
+        return value
+    in_field = True
+    for index, char in enumerate(value):
+        if char == "#" and in_field and (index == 0 or value[index - 1] in " \t"):
+            return value[:index].rstrip()
+    return value
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._raw_lines = text.splitlines()
+        self._lines = _significant_lines(text)
+        self._pos = 0
+
+    def parse(self):
+        if not self._lines:
+            return {}
+        value = self._parse_block(self._lines[0].indent)
+        if self._pos != len(self._lines):
+            line = self._lines[self._pos]
+            raise MiniYamlError("unexpected trailing content", line.number)
+        return value
+
+    def _peek(self) -> _Line | None:
+        if self._pos < len(self._lines):
+            return self._lines[self._pos]
+        return None
+
+    def _parse_block(self, indent: int):
+        line = self._peek()
+        if line is None:
+            raise MiniYamlError("unexpected end of input")
+        if line.content.startswith("- ") or line.content == "-":
+            return self._parse_sequence(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_sequence(self, indent: int) -> list:
+        items = []
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent:
+                break
+            if not (line.content.startswith("- ") or line.content == "-"):
+                break
+            self._pos += 1
+            rest = line.content[1:].strip()
+            if not rest:
+                child = self._peek()
+                if child is None or child.indent <= indent:
+                    items.append(None)
+                else:
+                    items.append(self._parse_block(child.indent))
+            elif rest.startswith("|"):
+                # Block content must be indented past the dash column itself.
+                items.append(self._parse_block_scalar(rest, line, indent))
+            elif ":" in rest and not rest.startswith(('"', "'")):
+                # A mapping whose first entry shares the dash line. Subsequent
+                # entries are indented to the column right after "- ".
+                items.append(self._parse_inline_mapping(rest, line, indent + 2))
+            else:
+                items.append(_parse_scalar(_strip_inline_comment(rest)))
+        return items
+
+    def _parse_inline_mapping(self, first_entry: str, line: _Line, indent: int) -> dict:
+        mapping = {}
+        key, value = self._split_key(first_entry, line.number)
+        self._store_entry(mapping, key, value, line, indent)
+        while True:
+            nxt = self._peek()
+            if nxt is None or nxt.indent != indent or nxt.content.startswith("- "):
+                break
+            self._pos += 1
+            key, value = self._split_key(nxt.content, nxt.number)
+            self._store_entry(mapping, key, value, nxt, indent)
+        return mapping
+
+    def _parse_mapping(self, indent: int) -> dict:
+        mapping = {}
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent:
+                break
+            if line.content.startswith("- "):
+                break
+            self._pos += 1
+            key, value = self._split_key(line.content, line.number)
+            self._store_entry(mapping, key, value, line, indent)
+        return mapping
+
+    def _split_key(self, content: str, number: int) -> tuple[str, str]:
+        if ":" not in content:
+            raise MiniYamlError(f"expected 'key: value', got {content!r}", number)
+        key, _, value = content.partition(":")
+        key = key.strip()
+        if not key:
+            raise MiniYamlError("empty mapping key", number)
+        return _parse_scalar(key), value.strip()
+
+    def _store_entry(self, mapping: dict, key, value: str, line: _Line, indent: int):
+        if key in mapping:
+            raise MiniYamlError(f"duplicate key {key!r}", line.number)
+        if not value:
+            child = self._peek()
+            if child is None or child.indent <= indent:
+                mapping[key] = None
+            else:
+                mapping[key] = self._parse_block(child.indent)
+        elif value.startswith("|"):
+            mapping[key] = self._parse_block_scalar(value, line, indent)
+        else:
+            mapping[key] = _parse_scalar(_strip_inline_comment(value))
+
+    def _parse_block_scalar(self, marker: str, line: _Line, parent_indent: int) -> str:
+        marker = _strip_inline_comment(marker).strip()
+        if marker not in ("|", "|-", "|+"):
+            raise MiniYamlError(f"unsupported block scalar marker {marker!r}", line.number)
+        # Collect raw lines more indented than the parent until dedent.
+        start_raw = line.number  # line numbers are 1-based, content starts after
+        collected: list[str] = []
+        block_indent: int | None = None
+        raw_index = start_raw
+        while raw_index < len(self._raw_lines):
+            raw = self._raw_lines[raw_index]
+            if not raw.strip():
+                collected.append("")
+                raw_index += 1
+                continue
+            indent = len(raw) - len(raw.lstrip(" "))
+            if indent <= parent_indent:
+                break
+            if block_indent is None:
+                block_indent = indent
+            collected.append(raw[block_indent:])
+            raw_index += 1
+        # Advance the significant-line cursor past consumed lines.
+        while self._pos < len(self._lines) and self._lines[self._pos].number <= raw_index:
+            self._pos += 1
+        while collected and not collected[-1]:
+            collected.pop()
+        body = "\n".join(collected)
+        if marker == "|":
+            body += "\n"
+        return body
+
+
+def parse_yaml(text: str):
+    """Parse a YAML-subset document into dicts / lists / scalars."""
+    return _Parser(text).parse()
+
+
+def _needs_quoting(value: str) -> bool:
+    if value == "" or value != value.strip():
+        return True
+    if value[0] in "-?:#&*!|>'\"%@`[]{},":
+        return True
+    if ": " in value or value.lower() in ("null", "true", "false", "~"):
+        return True
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def _dump_scalar(value) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if _needs_quoting(text):
+        escaped = text.replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def _dump_node(node, indent: int, out: list[str]):
+    pad = " " * indent
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if isinstance(value, dict) and value:
+                out.append(f"{pad}{key}:")
+                _dump_node(value, indent + 2, out)
+            elif isinstance(value, list) and value:
+                out.append(f"{pad}{key}:")
+                _dump_node(value, indent + 2, out)
+            elif isinstance(value, str) and "\n" in value:
+                out.append(f"{pad}{key}: |-")
+                for line in value.splitlines():
+                    out.append(f"{pad}  {line}")
+            else:
+                out.append(f"{pad}{key}: {_dump_scalar(value)}")
+    elif isinstance(node, list):
+        for item in node:
+            if isinstance(item, dict) and item:
+                first = True
+                keys = list(item.keys())
+                for key in keys:
+                    value = item[key]
+                    prefix = f"{pad}- " if first else f"{pad}  "
+                    first = False
+                    if isinstance(value, (dict, list)) and value:
+                        out.append(f"{prefix}{key}:")
+                        _dump_node(value, indent + 4, out)
+                    elif isinstance(value, str) and "\n" in value:
+                        out.append(f"{prefix}{key}: |-")
+                        for line in value.splitlines():
+                            out.append(f"{pad}    {line}")
+                    else:
+                        out.append(f"{prefix}{key}: {_dump_scalar(value)}")
+            elif isinstance(item, str) and "\n" in item:
+                out.append(f"{pad}- |-")
+                for line in item.splitlines():
+                    out.append(f"{pad}  {line}")
+            else:
+                out.append(f"{pad}- {_dump_scalar(item)}")
+    else:
+        out.append(f"{pad}{_dump_scalar(node)}")
+
+
+def dump_yaml(node) -> str:
+    """Emit dicts / lists / scalars as a document `parse_yaml` can read back."""
+    out: list[str] = []
+    _dump_node(node, 0, out)
+    return "\n".join(out) + "\n"

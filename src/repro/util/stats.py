@@ -1,0 +1,112 @@
+"""Statistics helpers used by the evaluation harness.
+
+The paper reports 20 % trimmed means, percentile boxplots (5/25/50/75/95),
+and Spearman rank correlations.  These helpers implement the first two;
+Spearman comes from scipy in the bench harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (same convention as numpy default).
+
+    ``q`` is expressed in percent, e.g. ``percentile(xs, 95)``.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    # The equal-neighbour guard also avoids subnormal underflow in the
+    # interpolation products (e.g. 5e-324 * 0.75 rounding to 0.0).
+    if low == high or ordered[low] == ordered[high]:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+
+def trimmed_mean(values: Sequence[float], trim: float = 0.2) -> float:
+    """Mean after dropping ``trim`` fraction from each tail (paper uses 20 %)."""
+    if not values:
+        raise ValueError("trimmed mean of empty sequence")
+    if not 0 <= trim < 0.5:
+        raise ValueError(f"trim fraction out of range: {trim}")
+    ordered = sorted(values)
+    drop = int(len(ordered) * trim)
+    kept = ordered[drop:len(ordered) - drop] or ordered
+    return sum(kept) / len(kept)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Five-number summary plus mean, as used in the paper's boxplots."""
+
+    count: int
+    mean: float
+    p5: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+
+    def row(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p5": self.p5,
+            "p25": self.p25,
+            "p50": self.p50,
+            "p75": self.p75,
+            "p95": self.p95,
+        }
+
+
+def summarize_latencies(values: Iterable[float]) -> LatencySummary:
+    """Build the five-number summary the paper's boxplots report."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarize empty latency series")
+    return LatencySummary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p5=percentile(data, 5),
+        p25=percentile(data, 25),
+        p50=percentile(data, 50),
+        p75=percentile(data, 75),
+        p95=percentile(data, 95),
+    )
+
+
+def human_bytes(size: float) -> str:
+    """Render a byte count for table output, e.g. ``3.1 GB``."""
+    magnitude = float(size)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if magnitude < 1024 or unit == "TB":
+            if unit == "B":
+                return f"{int(magnitude)} {unit}"
+            return f"{magnitude:.1f} {unit}"
+        magnitude /= 1024
+    raise AssertionError("unreachable")
+
+
+def human_duration(seconds: float) -> str:
+    """Render a duration for table output, e.g. ``13.4 min`` or ``36 ms``."""
+    if seconds < 0:
+        raise ValueError("negative duration")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60:.1f} min"

@@ -1,0 +1,27 @@
+"""Synthetic Alpine-like workloads calibrated to the paper's statistics.
+
+The paper evaluates on Alpine v3.11 main + community: 11,581 packages,
+~3 GB, with the script census of Tables 1-2 and the size / file-count
+distributions behind Figs. 8-9.  This package samples synthetic package
+populations from those published distributions (details in EXPERIMENTS.md);
+``scale`` shrinks the population while preserving proportions.
+"""
+
+from repro.workload.generator import (
+    GeneratedWorkload,
+    WorkloadExpectation,
+    generate_workload,
+    generate_update_batch,
+    PAPER_TOTALS,
+)
+from repro.workload.scenario import Scenario, build_scenario
+
+__all__ = [
+    "GeneratedWorkload",
+    "WorkloadExpectation",
+    "generate_workload",
+    "generate_update_batch",
+    "PAPER_TOTALS",
+    "Scenario",
+    "build_scenario",
+]

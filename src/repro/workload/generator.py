@@ -1,0 +1,339 @@
+"""Synthetic package population generator.
+
+Census targets (full scale, from the paper's Tables 1-2):
+
+* 11,581 packages; 97.6 % without scripts;
+* safe-scripted packages: 53 (filesystem-only 15, empty 22, text-only 16);
+* user/group creation: 201 packages (30 of which also do filesystem
+  changes, 20 also text processing, 5 also unsafe config changes);
+* configuration change only: 13; shell activation: 10; empty file: 1;
+* 2 packages exhibit the CVE-2019-5021 insecure-account pattern;
+* 28 packages (0.24 %) are unsupported by TSR (config change + shell).
+
+Size / file-count distributions are log-normal, calibrated so that the
+sanitization size overhead and timing reproduce the shapes of Figs. 8-9
+(constants below; discussion in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.scripts.classify import OperationType
+
+#: Full-scale census targets.
+PAPER_TOTALS = {
+    "packages": 11581,
+    "no_scripts": 11303,
+    "safe_scripts": 53,
+    "unsafe_scripts": 225,
+    "unsupported": 28,
+    "repo_bytes": 3000 * 1024 * 1024,
+}
+
+# Unique-package counts per primary category at full scale.
+_CATEGORY_COUNTS = {
+    "fs_only": 15,
+    "empty": 22,
+    "text_only": 16,
+    "user_group": 196,        # user/group creation only (+fs/text mixins)
+    "user_group_config": 5,   # user/group AND config change -> unsupported
+    "config_only": 13,
+    "shell": 10,
+    "empty_file": 1,
+}
+
+#: Of the 196 sanitizable user/group packages: how many also run
+#: filesystem / text-processing commands (keeps Table 2's row counts).
+_USER_GROUP_FS_MIXIN = 30
+_USER_GROUP_TEXT_MIXIN = 20
+
+#: How many packages exhibit the insecure-account (CVE-2019-5021) pattern.
+_INSECURE_COUNT = 2
+
+# Log-normal parameters, calibrated so sanitization size overhead lands on
+# the paper's Fig. 9 percentiles (12/27/76 % at p50/p75/p95, +3.6 % total):
+# each package has one main payload file and many small supporting files;
+# signature bytes (256/file) against that mix reproduce the shape.
+_FILES_MEDIAN = 8
+_FILES_SIGMA = 1.6
+_FILES_MAX = 600
+_PAYLOAD_MEDIAN = 10_000
+_PAYLOAD_SIGMA = 2.4
+_PAYLOAD_MIN = 1_024
+_PAYLOAD_MAX = 10_000_000
+_SUPPORT_MEDIAN = 600
+_SUPPORT_SIGMA = 1.2
+_SUPPORT_MIN = 200
+_SUPPORT_MAX = 2_000_000
+
+#: EPC size to use with workloads generated here: the top ~5 % of packages
+#: exceed it, mirroring the paper's Fig. 8/12 annotation.  (The real EPC is
+#: 128 MB against 3 GB of packages; both are scaled together.)
+SUGGESTED_EPC_BYTES = 1_500_000
+
+
+@dataclass
+class WorkloadExpectation:
+    """What the generated population should contain (scaled census)."""
+
+    packages: int
+    no_scripts: int
+    safe_scripts: int
+    unsafe_scripts: int
+    unsupported: int
+    insecure: int
+
+
+@dataclass
+class GeneratedWorkload:
+    """A generated package population plus its ground truth."""
+
+    packages: list[ApkPackage]
+    #: package name -> primary category key from _CATEGORY_COUNTS, or None.
+    category: dict[str, str | None]
+    expectation: WorkloadExpectation
+    seed: int
+    scale: float
+    suggested_epc_bytes: int = SUGGESTED_EPC_BYTES
+
+    def names(self) -> list[str]:
+        return [package.name for package in self.packages]
+
+    def total_content_bytes(self) -> int:
+        return sum(
+            sum(len(f.content) for f in package.files)
+            for package in self.packages
+        )
+
+
+def _scaled(count: int, scale: float, minimum: int = 1) -> int:
+    if count == 0:
+        return 0
+    return max(minimum, round(count * scale))
+
+
+def _lognormal(rng: random.Random, median: float, sigma: float,
+               low: float, high: float) -> float:
+    value = median * math.exp(rng.gauss(0.0, sigma))
+    return min(high, max(low, value))
+
+
+def generate_workload(scale: float = 0.04, seed: int = 2020,
+                      with_content: bool = True) -> GeneratedWorkload:
+    """Sample a package population.
+
+    ``scale`` shrinks every census count proportionally (minimum one
+    package per category so small test workloads still exercise every code
+    path).  ``with_content=False`` produces metadata-only packages (tiny
+    placeholder contents) for censuses that do not need realistic sizes.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale out of range: {scale}")
+    rng = random.Random(f"workload:{seed}:{scale}")
+    counts = {key: _scaled(value, scale)
+              for key, value in _CATEGORY_COUNTS.items()}
+    total = _scaled(PAPER_TOTALS["packages"], scale, minimum=10)
+    scripted = sum(counts.values())
+    plain = max(0, total - scripted)
+    insecure_target = _scaled(_INSECURE_COUNT, scale)
+
+    packages: list[ApkPackage] = []
+    category: dict[str, str | None] = {}
+    fs_mixins = _scaled(_USER_GROUP_FS_MIXIN, scale, minimum=0)
+    text_mixins = _scaled(_USER_GROUP_TEXT_MIXIN, scale, minimum=0)
+
+    assignments: list[str | None] = []
+    assignments.extend([None] * plain)
+    for key, count in counts.items():
+        assignments.extend([key] * count)
+    rng.shuffle(assignments)
+
+    user_group_seen = 0
+    insecure_made = 0
+    for index, kind in enumerate(assignments):
+        name = f"pkg-{index:05d}"
+        version = f"{rng.randint(0, 5)}.{rng.randint(0, 20)}.{rng.randint(0, 9)}-r{rng.randint(0, 5)}"
+        scripts: dict[str, str] = {}
+        if kind == "fs_only":
+            scripts = {".post-install": _fs_script(name)}
+        elif kind == "empty":
+            scripts = {".post-install": _empty_script(name)}
+        elif kind == "text_only":
+            scripts = {".post-install": _text_script()}
+        elif kind == "user_group":
+            user_group_seen += 1
+            mix_fs = user_group_seen <= fs_mixins
+            mix_text = fs_mixins < user_group_seen <= fs_mixins + text_mixins
+            insecure = insecure_made < insecure_target
+            if insecure:
+                insecure_made += 1
+            scripts = {".pre-install": _user_group_script(
+                name, index, rng, mix_fs=mix_fs, mix_text=mix_text,
+                insecure=insecure,
+            )}
+        elif kind == "user_group_config":
+            scripts = {".pre-install": _user_group_script(name, index, rng),
+                       ".post-install": _config_change_script(name)}
+        elif kind == "config_only":
+            scripts = {".post-install": _config_change_script(name)}
+        elif kind == "shell":
+            scripts = {".post-install": f"add-shell /bin/{name}-sh\n"}
+        elif kind == "empty_file":
+            scripts = {".post-install": f"touch /var/run/{name}.lock\n"}
+        files = _generate_files(name, rng, with_content)
+        depends = _pick_depends(rng, packages)
+        packages.append(ApkPackage(
+            name=name,
+            version=version,
+            description=f"synthetic package {name}",
+            depends=depends,
+            scripts=scripts,
+            files=files,
+        ))
+        category[name] = kind
+
+    expectation = WorkloadExpectation(
+        packages=len(packages),
+        no_scripts=plain,
+        safe_scripts=counts["fs_only"] + counts["empty"] + counts["text_only"],
+        unsafe_scripts=(counts["user_group"] + counts["user_group_config"]
+                        + counts["config_only"] + counts["shell"]
+                        + counts["empty_file"]),
+        unsupported=(counts["user_group_config"] + counts["config_only"]
+                     + counts["shell"]),
+        insecure=insecure_made,
+    )
+    return GeneratedWorkload(
+        packages=packages, category=category, expectation=expectation,
+        seed=seed, scale=scale,
+    )
+
+
+def generate_update_batch(workload: GeneratedWorkload, fraction: float = 0.05,
+                          seed: int = 7) -> list[ApkPackage]:
+    """New releases for a random subset: bumped version, changed payload."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction out of range: {fraction}")
+    rng = random.Random(f"updates:{seed}")
+    chosen = rng.sample(workload.packages,
+                        max(1, int(len(workload.packages) * fraction)))
+    updated = []
+    for package in chosen:
+        files = [PackageFile(
+            path=f.path,
+            content=_mutate(f.content, rng),
+            mode=f.mode,
+        ) for f in package.files]
+        core, _, release = package.version.rpartition("-r")
+        updated.append(ApkPackage(
+            name=package.name,
+            version=f"{core}-r{int(release) + 1}",
+            description=package.description,
+            depends=list(package.depends),
+            scripts=dict(package.scripts),
+            files=files,
+        ))
+    return updated
+
+
+def _mutate(content: bytes, rng: random.Random) -> bytes:
+    if not content:
+        return b"\x01"
+    position = rng.randrange(len(content))
+    patch = bytes([content[position] ^ 0xA5])
+    return content[:position] + patch + content[position + 1:]
+
+
+# -- pieces -------------------------------------------------------------------
+
+def _generate_files(name: str, rng: random.Random,
+                    with_content: bool) -> list[PackageFile]:
+    file_count = int(_lognormal(rng, _FILES_MEDIAN, _FILES_SIGMA, 1, _FILES_MAX))
+    if not with_content:
+        return [
+            PackageFile(path=f"/usr/lib/{name}/file{i}", content=b"x")
+            for i in range(min(file_count, 3))
+        ]
+    # One main payload (binary/library) plus small supporting files
+    # (headers, docs, locale data) — the mix real packages ship.
+    sizes = [int(_lognormal(rng, _PAYLOAD_MEDIAN, _PAYLOAD_SIGMA,
+                            _PAYLOAD_MIN, _PAYLOAD_MAX))]
+    sizes.extend(
+        int(_lognormal(rng, _SUPPORT_MEDIAN, _SUPPORT_SIGMA,
+                       _SUPPORT_MIN, _SUPPORT_MAX))
+        for _ in range(file_count - 1)
+    )
+    files = []
+    for i, size in enumerate(sizes):
+        directory = "/usr/bin" if i == 0 else f"/usr/lib/{name}"
+        files.append(PackageFile(
+            path=f"{directory}/{name}-f{i}",
+            content=rng.randbytes(size),
+            mode=0o755 if i == 0 else 0o644,
+        ))
+    return files
+
+
+def _pick_depends(rng: random.Random, existing: list[ApkPackage]) -> list[str]:
+    if not existing or rng.random() < 0.55:
+        return []
+    count = min(len(existing), rng.choice((1, 1, 1, 2, 2, 3)))
+    return sorted({pkg.name for pkg in rng.sample(existing, count)})
+
+
+def _fs_script(name: str) -> str:
+    return (
+        "#!/bin/sh\n"
+        f"mkdir -p /var/lib/{name}\n"
+        f"chmod 755 /var/lib/{name}\n"
+        f"ln -sf /usr/bin/{name}-f0 /usr/bin/{name}\n"
+        f"rm -f /tmp/{name}.stage\n"
+    )
+
+
+def _empty_script(name: str) -> str:
+    return (
+        "#!/bin/sh\n"
+        f"if [ -f /etc/{name}.conf ]; then\n"
+        "  echo configuration present\n"
+        "fi\n"
+        "exit 0\n"
+    )
+
+
+def _text_script() -> str:
+    return (
+        "#!/bin/sh\n"
+        "grep -q root /etc/passwd\n"
+        "cat /etc/hostname | head -n 1\n"
+    )
+
+
+def _user_group_script(name: str, index: int, rng: random.Random,
+                       mix_fs: bool = False, mix_text: bool = False,
+                       insecure: bool = False) -> str:
+    user = f"svc{index:05d}"
+    group = f"grp{index:05d}"
+    lines = ["#!/bin/sh", f"addgroup -S {group}"]
+    if insecure:
+        # The CVE-2019-5021 pattern: usable shell + deleted password.
+        lines.append(f"adduser -S -D -H -s /bin/ash -G {group} {user}")
+        lines.append(f"passwd -d {user}")
+    else:
+        lines.append(f"adduser -S -D -H -s /sbin/nologin -G {group} {user}")
+    if mix_fs:
+        lines.append(f"mkdir -p /var/lib/{name}")
+        lines.append(f"chmod 750 /var/lib/{name}")
+    if mix_text:
+        lines.append("grep -q root /etc/passwd")
+    return "\n".join(lines) + "\n"
+
+
+def _config_change_script(name: str) -> str:
+    # Appending to an existing config file is exactly the unpredictable
+    # modification TSR cannot sanitize (the roundcubemail case).
+    return f"echo session_key={name} >> /etc/{name}.conf\n"

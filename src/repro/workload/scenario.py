@@ -1,0 +1,170 @@
+"""End-to-end scenario builder: repository, mirrors, TSR, nodes, monitor.
+
+One call assembles the whole Figure-6 deployment so examples, integration
+tests, and benches share identical wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attest.monitor import MonitoringSystem, baseline_whitelist
+from repro.core.client import TsrRepositoryClient
+from repro.core.policy import SecurityPolicy, MirrorPolicyEntry
+from repro.core.service import RefreshReport, TrustedSoftwareRepository
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.ima.subsystem import AppraisalMode
+from repro.mirrors.builder import MirrorSpec, build_mirror_network, sync_all
+from repro.mirrors.mirror import Mirror
+from repro.mirrors.repository import OriginalRepository
+from repro.osim.os import IntegrityEnforcedOS
+from repro.osim.pkgmgr import PackageManager
+from repro.sgx.enclave import Enclave
+from repro.sgx.epc import EpcModel
+from repro.sgx.platform import AttestationService, SgxCpu
+from repro.simnet.latency import Continent
+from repro.simnet.network import Host, Network
+from repro.tpm.device import Tpm
+from repro.workload.generator import GeneratedWorkload
+
+DEFAULT_MIRROR_SPECS = (
+    MirrorSpec("mirror-eu-1.example", Continent.EUROPE),
+    MirrorSpec("mirror-eu-2.example", Continent.EUROPE),
+    MirrorSpec("mirror-na-1.example", Continent.NORTH_AMERICA),
+)
+
+
+@dataclass
+class Scenario:
+    """A fully wired deployment."""
+
+    network: Network
+    origin: OriginalRepository
+    mirrors: dict[str, Mirror]
+    tsr: TrustedSoftwareRepository
+    attestation_service: AttestationService
+    distro_key: RsaPrivateKey
+    policy: SecurityPolicy
+    repo_id: str
+    tsr_public_key: RsaPublicKey
+    refresh_report: RefreshReport | None = None
+    monitor: MonitoringSystem | None = None
+    nodes: dict[str, IntegrityEnforcedOS] = field(default_factory=dict)
+    _node_count: int = 0
+
+    @property
+    def clock(self):
+        return self.network.clock
+
+    # -- node management -----------------------------------------------------
+
+    def new_node(self, name: str | None = None,
+                 continent: Continent = Continent.EUROPE,
+                 appraisal: AppraisalMode = AppraisalMode.OFF,
+                 use_tsr: bool = True) -> tuple[IntegrityEnforcedOS, PackageManager]:
+        """Boot a node and attach a package manager (TSR or mirror-direct)."""
+        self._node_count += 1
+        name = name or f"node-{self._node_count:03d}"
+        node = IntegrityEnforcedOS(
+            name, appraisal=appraisal,
+            vendor_key=self.distro_key,
+            init_config_files=self.policy.init_config_files,
+        )
+        node.boot()
+        self.network.add_host(Host(name=name, continent=continent))
+        if use_tsr:
+            client = TsrRepositoryClient(self.network, name,
+                                         self.tsr.hostname, self.repo_id)
+            trusted = [self.tsr_public_key]
+            node.ima.trust_key(self.tsr_public_key)
+        else:
+            from repro.core.client import MirrorRepositoryClient
+            first_mirror = next(iter(self.mirrors))
+            client = MirrorRepositoryClient(self.network, name, first_mirror)
+            trusted = [self.distro_key.public_key]
+        manager = PackageManager(node, client, trusted_keys=trusted)
+        self.nodes[name] = node
+        if self.monitor is not None:
+            self.monitor.enroll_node(name, node.tpm.attestation_public_key)
+        return node, manager
+
+    def sync_mirrors(self):
+        sync_all(self.mirrors)
+
+    def refresh(self) -> RefreshReport:
+        self.refresh_report = self.tsr.refresh(self.repo_id)
+        return self.refresh_report
+
+
+def default_policy(mirror_specs, distro_public: RsaPublicKey) -> SecurityPolicy:
+    return SecurityPolicy(
+        mirrors=[
+            MirrorPolicyEntry(hostname=spec.name, continent=spec.continent)
+            for spec in mirror_specs
+        ],
+        signers_keys=[distro_public],
+    )
+
+
+def build_scenario(workload: GeneratedWorkload | None = None,
+                   packages: list | None = None,
+                   mirror_specs=DEFAULT_MIRROR_SPECS,
+                   key_bits: int = 1024,
+                   tsr_key_bits: int | None = None,
+                   sgx_enabled: bool = True,
+                   epc_bytes: int | None = None,
+                   refresh: bool = True,
+                   with_monitor: bool = True,
+                   seed: int = 99) -> Scenario:
+    """Assemble origin + mirrors + TSR (+ monitor), deploy the default
+    policy, and optionally run the first refresh."""
+    network = Network()
+    distro_key = generate_keypair(key_bits, seed=seed)
+    origin = OriginalRepository(distro_key)
+    to_publish = list(packages or (workload.packages if workload else []))
+    if to_publish:
+        origin.publish_many([(package, None) for package in to_publish])
+    mirrors = build_mirror_network(origin, list(mirror_specs), network)
+    sync_all(mirrors)
+
+    attestation_service = AttestationService()
+    cpu = SgxCpu("tsr-cpu-01", attestation_service, key_bits=key_bits)
+    tpm = Tpm("tpm-tsr-host", key_bits=key_bits)
+    if epc_bytes is None and workload is not None:
+        epc_bytes = workload.suggested_epc_bytes
+    tsr = TrustedSoftwareRepository(
+        "tsr.example", network, cpu, tpm,
+        key_bits=tsr_key_bits or key_bits, sgx_enabled=sgx_enabled,
+        epc_model=EpcModel(epc_bytes=epc_bytes) if epc_bytes else None,
+    )
+    policy = default_policy(mirror_specs, distro_key.public_key)
+    deployed = tsr.deploy_policy(policy.to_yaml())
+    deployed["quote"].verify(attestation_service,
+                             expected_mrenclave=tsr._enclave.mrenclave)
+    repo_id = deployed["repo_id"]
+    tsr_public_key = RsaPublicKey.from_pem(deployed["public_key_pem"])
+
+    monitor = None
+    if with_monitor:
+        monitor = MonitoringSystem(
+            whitelist=baseline_whitelist(
+                init_config_files=policy.init_config_files
+            ),
+            trusted_signing_keys=[tsr_public_key, distro_key.public_key],
+        )
+
+    scenario = Scenario(
+        network=network,
+        origin=origin,
+        mirrors=mirrors,
+        tsr=tsr,
+        attestation_service=attestation_service,
+        distro_key=distro_key,
+        policy=policy,
+        repo_id=repo_id,
+        tsr_public_key=tsr_public_key,
+        monitor=monitor,
+    )
+    if refresh and to_publish:
+        scenario.refresh()
+    return scenario

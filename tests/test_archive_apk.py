@@ -1,0 +1,212 @@
+"""Tests for gzip segments, the apk container, and the repository index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive.apk import ApkPackage, PackageFile, package_content_hash
+from repro.archive.gz import gzip_compress, gzip_decompress, split_gzip_streams
+from repro.archive.index import IndexEntry, RepositoryIndex
+from repro.util.errors import IntegrityError, PackagingError, SignatureError
+
+
+class TestGzip:
+    def test_roundtrip(self):
+        data = b"alpine linux" * 100
+        assert gzip_decompress(gzip_compress(data)) == data
+
+    def test_deterministic(self):
+        data = b"same input, same bytes"
+        assert gzip_compress(data) == gzip_compress(data)
+
+    def test_split_three_streams(self):
+        parts = [gzip_compress(b"sig"), gzip_compress(b"ctrl"), gzip_compress(b"data")]
+        streams = split_gzip_streams(b"".join(parts), expected=3)
+        assert streams == parts
+        assert [gzip_decompress(s) for s in streams] == [b"sig", b"ctrl", b"data"]
+
+    def test_split_rejects_wrong_count(self):
+        blob = gzip_compress(b"only one")
+        with pytest.raises(PackagingError):
+            split_gzip_streams(blob, expected=3)
+
+    def test_split_rejects_garbage(self):
+        with pytest.raises(PackagingError):
+            split_gzip_streams(b"not gzip at all")
+
+    def test_split_rejects_truncation(self):
+        blob = gzip_compress(b"x" * 1000)
+        with pytest.raises(PackagingError):
+            split_gzip_streams(blob[:-5])
+
+    def test_decompress_rejects_trailing_garbage(self):
+        with pytest.raises(PackagingError):
+            gzip_decompress(gzip_compress(b"a") + b"trailing")
+
+    @given(st.binary(max_size=5000))
+    @settings(max_examples=30)
+    def test_any_payload_roundtrips(self, data):
+        assert gzip_decompress(gzip_compress(data)) == data
+
+
+def _sample_package() -> ApkPackage:
+    return ApkPackage(
+        name="openssl",
+        version="1.1.1g-r0",
+        description="toolkit for TLS",
+        depends=["musl", "zlib"],
+        scripts={".post-install": "#!/bin/sh\nexit 0\n"},
+        files=[
+            PackageFile(path="/usr/lib/libssl.so.1.1", content=b"\x7fELF" + b"s" * 500),
+            PackageFile(path="/etc/ssl/openssl.cnf", content=b"[req]\n", mode=0o600),
+        ],
+    )
+
+
+class TestApk:
+    def test_build_parse_roundtrip(self, rsa_key):
+        blob = _sample_package().build(rsa_key)
+        parsed = ApkPackage.parse(blob)
+        pkg = parsed.package
+        assert pkg.name == "openssl"
+        assert pkg.version == "1.1.1g-r0"
+        assert pkg.depends == ["musl", "zlib"]
+        assert pkg.scripts[".post-install"].startswith("#!/bin/sh")
+        assert pkg.file_map()["/etc/ssl/openssl.cnf"].mode == 0o600
+
+    def test_verify_good_signature(self, rsa_key):
+        blob = _sample_package().build(rsa_key)
+        parsed = ApkPackage.parse(blob)
+        signer = parsed.verify([rsa_key.public_key])
+        assert signer == rsa_key.public_key
+
+    def test_verify_rejects_untrusted_key(self, rsa_key, rsa_key_alt):
+        blob = _sample_package().build(rsa_key)
+        parsed = ApkPackage.parse(blob)
+        with pytest.raises(SignatureError):
+            parsed.verify([rsa_key_alt.public_key])
+
+    def test_verify_detects_tampered_data_segment(self, rsa_key):
+        pkg = _sample_package()
+        blob = pkg.build(rsa_key)
+        streams = split_gzip_streams(blob, expected=3)
+        # Replace the data segment with different (validly compressed) bytes.
+        evil = ApkPackage(name=pkg.name, version=pkg.version,
+                          files=[PackageFile(path="/bin/backdoor", content=b"evil")])
+        evil_blob = evil.build(rsa_key)
+        evil_data = split_gzip_streams(evil_blob, expected=3)[2]
+        tampered = streams[0] + streams[1] + evil_data
+        parsed = ApkPackage.parse(tampered)
+        with pytest.raises(IntegrityError):
+            parsed.verify([rsa_key.public_key])
+
+    def test_verify_detects_tampered_control_segment(self, rsa_key):
+        blob = _sample_package().build(rsa_key)
+        streams = split_gzip_streams(blob, expected=3)
+        other = _sample_package()
+        other.version = "9.9.9-r9"
+        other_streams = split_gzip_streams(other.build(rsa_key), expected=3)
+        # Old signature + new control: signature check must fail.
+        tampered = streams[0] + other_streams[1] + other_streams[2]
+        parsed = ApkPackage.parse(tampered)
+        with pytest.raises(SignatureError):
+            parsed.verify([rsa_key.public_key])
+
+    def test_ima_signatures_survive_roundtrip(self, rsa_key):
+        pkg = _sample_package()
+        pkg.files[0].ima_signature = b"\x03" + bytes(64)
+        parsed = ApkPackage.parse(pkg.build(rsa_key))
+        restored = parsed.package.file_map()["/usr/lib/libssl.so.1.1"]
+        assert restored.ima_signature == b"\x03" + bytes(64)
+
+    def test_config_signatures_roundtrip(self, rsa_key):
+        pkg = _sample_package()
+        pkg.config_signatures["/etc/passwd"] = b"cfg-sig-bytes"
+        parsed = ApkPackage.parse(pkg.build(rsa_key))
+        assert parsed.package.config_signatures == {"/etc/passwd": b"cfg-sig-bytes"}
+
+    def test_unknown_script_hook_rejected(self):
+        with pytest.raises(PackagingError):
+            ApkPackage(name="x", version="1", scripts={".mid-install": "#!"})
+
+    def test_deterministic_build(self, rsa_key):
+        assert _sample_package().build(rsa_key) == _sample_package().build(rsa_key)
+
+    def test_content_hash_changes_with_content(self, rsa_key):
+        a = _sample_package().build(rsa_key)
+        pkg = _sample_package()
+        pkg.files[0].content = b"different"
+        b = pkg.build(rsa_key)
+        assert package_content_hash(a) != package_content_hash(b)
+
+    def test_parse_rejects_two_segments(self, rsa_key):
+        blob = _sample_package().build(rsa_key)
+        streams = split_gzip_streams(blob, expected=3)
+        with pytest.raises(PackagingError):
+            ApkPackage.parse(streams[0] + streams[1])
+
+
+def _sample_index() -> RepositoryIndex:
+    index = RepositoryIndex(serial=7)
+    index.add(IndexEntry(name="musl", version="1.1.24-r2", size=383152,
+                         sha256="ab" * 32))
+    index.add(IndexEntry(name="openssl", version="1.1.1g-r0", size=1024,
+                         sha256="cd" * 32, depends=("musl",)))
+    return index
+
+
+class TestRepositoryIndex:
+    def test_sign_and_verify(self, rsa_key):
+        index = _sample_index()
+        index.sign(rsa_key)
+        assert index.verify(rsa_key.public_key)
+
+    def test_unsigned_never_verifies(self, rsa_key):
+        assert not _sample_index().verify(rsa_key.public_key)
+
+    def test_adding_entry_invalidates_signature(self, rsa_key):
+        index = _sample_index()
+        index.sign(rsa_key)
+        index.add(IndexEntry(name="zlib", version="1", size=1, sha256="ee" * 32))
+        assert not index.verify(rsa_key.public_key)
+
+    def test_wire_roundtrip(self, rsa_key):
+        index = _sample_index()
+        index.sign(rsa_key)
+        restored = RepositoryIndex.from_bytes(index.to_bytes())
+        assert restored.serial == 7
+        assert restored.entries == index.entries
+        assert restored.verify(rsa_key.public_key)
+
+    def test_serialize_unsigned_rejected(self):
+        with pytest.raises(SignatureError):
+            _sample_index().to_bytes()
+
+    def test_tampered_body_fails_verification(self, rsa_key):
+        index = _sample_index()
+        index.sign(rsa_key)
+        blob = index.to_bytes().replace(b"1.1.24-r2", b"0.0.1-r00")
+        restored = RepositoryIndex.from_bytes(blob)
+        assert not restored.verify(rsa_key.public_key)
+
+    def test_diff_updated(self):
+        old = _sample_index()
+        new = _sample_index()
+        new.add(IndexEntry(name="zlib", version="1.2.11-r3", size=10,
+                           sha256="11" * 32))
+        new.add(IndexEntry(name="openssl", version="1.1.1h-r0", size=2048,
+                           sha256="ef" * 32, depends=("musl",)))
+        changed = {e.name for e in new.diff_updated(old)}
+        assert changed == {"zlib", "openssl"}
+
+    def test_diff_identical_is_empty(self):
+        assert _sample_index().diff_updated(_sample_index()) == []
+
+    def test_total_size(self):
+        assert _sample_index().total_size() == 383152 + 1024
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(PackagingError):
+            RepositoryIndex.from_bytes(b"garbage")
+        with pytest.raises(PackagingError):
+            RepositoryIndex.from_bytes(b"sig:00\nnot-serial\n")

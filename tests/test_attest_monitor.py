@@ -1,0 +1,132 @@
+"""Tests for the integrity monitoring system."""
+
+import pytest
+
+from repro.attest.monitor import MonitoringSystem, baseline_whitelist
+from repro.crypto.hashes import sha256_bytes
+from repro.ima.subsystem import ima_signature_for
+from repro.osim.os import IntegrityEnforcedOS
+
+
+@pytest.fixture(scope="module")
+def whitelist():
+    return baseline_whitelist()
+
+
+def _enrolled(monitor: MonitoringSystem, name="node") -> IntegrityEnforcedOS:
+    node = IntegrityEnforcedOS(name)
+    node.boot()
+    monitor.enroll_node(name, node.tpm.attestation_public_key)
+    return node
+
+
+class TestHappyPath:
+    def test_pristine_node_trusted(self, whitelist):
+        monitor = MonitoringSystem(whitelist=whitelist)
+        node = _enrolled(monitor)
+        report = monitor.verify_node(node)
+        assert report.trusted
+        assert report.quote_valid and report.log_matches_pcr
+
+    def test_signed_new_file_accepted(self, whitelist, rsa_key):
+        monitor = MonitoringSystem(whitelist=whitelist,
+                                   trusted_signing_keys=[rsa_key.public_key])
+        node = _enrolled(monitor)
+        content = b"\x7fELF new tool"
+        node.fs.write_file("/usr/bin/tool", content)
+        node.fs.set_xattr("/usr/bin/tool", "security.ima",
+                          ima_signature_for(content, rsa_key))
+        node.load_file("/usr/bin/tool")
+        assert monitor.verify_node(node).trusted
+
+    def test_trust_key_after_onboarding(self, whitelist, rsa_key):
+        monitor = MonitoringSystem(whitelist=whitelist)
+        node = _enrolled(monitor)
+        content = b"\x7fELF tsr-signed"
+        node.fs.write_file("/usr/bin/t", content)
+        node.fs.set_xattr("/usr/bin/t", "security.ima",
+                          ima_signature_for(content, rsa_key))
+        node.load_file("/usr/bin/t")
+        assert not monitor.verify_node(node).trusted
+        monitor.trust_key(rsa_key.public_key)  # Figure-7 key distribution
+        assert monitor.verify_node(node).trusted
+
+
+class TestViolations:
+    def test_unsigned_new_file_flagged(self, whitelist):
+        """The paper's false-positive problem in one test: a legitimate
+        but unsigned change is indistinguishable from an attack."""
+        monitor = MonitoringSystem(whitelist=whitelist)
+        node = _enrolled(monitor)
+        node.fs.write_file("/usr/bin/updated", b"\x7fELF updated binary")
+        node.load_file("/usr/bin/updated")
+        report = monitor.verify_node(node)
+        assert not report.trusted
+        assert any(v.path == "/usr/bin/updated" for v in report.violations)
+
+    def test_wrong_signer_flagged(self, whitelist, rsa_key, rsa_key_alt):
+        monitor = MonitoringSystem(whitelist=whitelist,
+                                   trusted_signing_keys=[rsa_key.public_key])
+        node = _enrolled(monitor)
+        content = b"\x7fELF adversary-signed"
+        node.fs.write_file("/usr/bin/evil", content)
+        node.fs.set_xattr("/usr/bin/evil", "security.ima",
+                          ima_signature_for(content, rsa_key_alt))
+        node.load_file("/usr/bin/evil")
+        report = monitor.verify_node(node)
+        assert any("not issued by any trusted key" in v.reason
+                   for v in report.violations)
+
+    def test_unenrolled_node_rejected(self, whitelist):
+        monitor = MonitoringSystem(whitelist=whitelist)
+        node = IntegrityEnforcedOS("stranger")
+        node.boot()
+        report = monitor.verify_node(node)
+        assert not report.trusted
+        assert any("not enrolled" in v.reason for v in report.violations)
+
+    def test_wrong_attestation_key_rejected(self, whitelist):
+        monitor = MonitoringSystem(whitelist=whitelist)
+        node = _enrolled(monitor, "node-a")
+        impostor = IntegrityEnforcedOS("node-a")  # same name, other TPM...
+        impostor.tpm = IntegrityEnforcedOS("node-b").tpm  # ...swapped chip
+        impostor.boot()
+        report = monitor.verify_node(impostor)
+        assert not report.trusted
+
+    def test_forged_log_detected(self, whitelist):
+        """An adversary who strips entries from the IMA log cannot match
+        the quoted PCR-10 value."""
+        monitor = MonitoringSystem(whitelist=whitelist)
+        node = _enrolled(monitor)
+        node.fs.write_file("/usr/bin/malware", b"evil")
+        node.load_file("/usr/bin/malware")
+        nonce = monitor.fresh_nonce()
+        evidence = node.attest(nonce)
+        evidence.ima_log.pop()  # hide the malware measurement
+        report = monitor.verify_evidence(evidence, nonce)
+        assert not report.log_matches_pcr
+        assert not report.trusted
+
+    def test_replayed_quote_rejected(self, whitelist):
+        monitor = MonitoringSystem(whitelist=whitelist)
+        node = _enrolled(monitor)
+        old_evidence = node.attest(b"old-nonce")
+        report = monitor.verify_evidence(old_evidence, b"fresh-nonce")
+        assert not report.quote_valid
+
+
+class TestFleetStatistics:
+    def test_false_positive_rate(self, whitelist):
+        monitor = MonitoringSystem(whitelist=whitelist)
+        clean = _enrolled(monitor, "clean")
+        drifted = _enrolled(monitor, "drifted")
+        drifted.fs.write_file("/usr/bin/x", b"unsigned update")
+        drifted.load_file("/usr/bin/x")
+        monitor.verify_node(clean)
+        monitor.verify_node(drifted)
+        assert monitor.false_positive_rate() == pytest.approx(0.5)
+        assert len(monitor.verification_history()) == 2
+
+    def test_empty_history_rate_zero(self):
+        assert MonitoringSystem().false_positive_rate() == 0.0

@@ -1,0 +1,143 @@
+"""Tests for repository clients, attested onboarding, and bench helpers."""
+
+import pytest
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.archive.index import RepositoryIndex
+from repro.bench.costs import InstallCostModel
+from repro.bench.report import PaperTable, record_table, recorded_tables, reset_tables
+from repro.core.client import (
+    MirrorRepositoryClient,
+    TsrRepositoryClient,
+    deploy_policy_with_attestation,
+)
+from repro.osim.pkgmgr import InstallStats
+from repro.sgx.platform import AttestationService
+from repro.simnet.latency import Continent
+from repro.simnet.network import Host
+from repro.util.errors import AttestationError
+from repro.workload.scenario import build_scenario
+
+
+def _packages():
+    return [ApkPackage(name="musl", version="1.1.24-r2",
+                       files=[PackageFile("/lib/ld-musl.so", b"\x7fELF")])]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(packages=_packages(), key_bits=1024,
+                          with_monitor=False)
+
+
+class TestClients:
+    def test_tsr_client_fetches_index_and_package(self, scenario):
+        scenario.network.add_host(Host("client-host", Continent.EUROPE))
+        client = TsrRepositoryClient(scenario.network, "client-host",
+                                     scenario.tsr.hostname, scenario.repo_id)
+        index = RepositoryIndex.from_bytes(client.fetch_index())
+        assert index.verify(scenario.tsr_public_key)
+        blob = client.fetch_package("musl")
+        assert ApkPackage.parse(blob).verify([scenario.tsr_public_key])
+
+    def test_mirror_client_fetches_upstream(self, scenario):
+        scenario.network.add_host(Host("client-host-2", Continent.EUROPE))
+        mirror = next(iter(scenario.mirrors))
+        client = MirrorRepositoryClient(scenario.network, "client-host-2",
+                                        mirror)
+        index = RepositoryIndex.from_bytes(client.fetch_index())
+        assert index.verify(scenario.distro_key.public_key)
+
+    def test_clients_advance_clock(self, scenario):
+        scenario.network.add_host(Host("client-host-3", Continent.EUROPE))
+        client = TsrRepositoryClient(scenario.network, "client-host-3",
+                                     scenario.tsr.hostname, scenario.repo_id)
+        before = scenario.clock.now()
+        client.fetch_index()
+        assert scenario.clock.now() > before
+
+
+class TestAttestedOnboarding:
+    def test_happy_path(self, scenario):
+        scenario.network.add_host(Host("owner", Continent.EUROPE))
+        repo_id, key = deploy_policy_with_attestation(
+            scenario.network, "owner", scenario.tsr.hostname,
+            scenario.policy.to_yaml(), scenario.attestation_service,
+            expected_mrenclave=scenario.tsr._enclave.mrenclave,
+        )
+        assert repo_id.startswith("repo-")
+        assert key.fingerprint()
+
+    def test_wrong_mrenclave_rejected(self, scenario):
+        scenario.network.add_host(Host("owner-2", Continent.EUROPE))
+        with pytest.raises(AttestationError):
+            deploy_policy_with_attestation(
+                scenario.network, "owner-2", scenario.tsr.hostname,
+                scenario.policy.to_yaml(), scenario.attestation_service,
+                expected_mrenclave=b"\x00" * 32,
+            )
+
+    def test_unknown_attestation_service_rejected(self, scenario):
+        scenario.network.add_host(Host("owner-3", Continent.EUROPE))
+        with pytest.raises(AttestationError):
+            deploy_policy_with_attestation(
+                scenario.network, "owner-3", scenario.tsr.hostname,
+                scenario.policy.to_yaml(), AttestationService(),
+            )
+
+
+class TestInstallCostModel:
+    def test_monotone_in_every_dimension(self):
+        model = InstallCostModel()
+        base = InstallStats(packages=1, files_written=2, bytes_written=1000,
+                            xattrs_written=0, scripts_run=0)
+        bigger = InstallStats(packages=1, files_written=20,
+                              bytes_written=10_000, xattrs_written=20,
+                              scripts_run=2)
+        assert model.install_seconds(bigger) > model.install_seconds(base)
+
+    def test_xattrs_add_cost(self):
+        """The Fig.-11 delta driver: signature installation costs time."""
+        model = InstallCostModel()
+        plain = InstallStats(packages=1, files_written=10, bytes_written=10_000)
+        signed = InstallStats(packages=1, files_written=10,
+                              bytes_written=10_000, xattrs_written=10)
+        assert model.install_seconds(signed) > model.install_seconds(plain)
+
+    def test_typical_regime_matches_paper_order(self):
+        model = InstallCostModel()
+        typical = InstallStats(packages=1, files_written=15,
+                               bytes_written=150_000, xattrs_written=15,
+                               scripts_run=1)
+        seconds = model.install_seconds(typical)
+        assert 0.03 < seconds < 0.3  # the paper's ~100-200 ms regime
+
+
+class TestPaperTable:
+    def test_render_and_record(self):
+        reset_tables()
+        table = PaperTable(experiment="Table X", title="demo",
+                           columns=["a", "b"])
+        table.add_row(1, "two")
+        table.note("a note")
+        record_table(table)
+        rendered = recorded_tables()[0].render()
+        assert "Table X" in rendered
+        assert "a note" in rendered
+        reset_tables()
+        assert recorded_tables() == []
+
+    def test_row_arity_checked(self):
+        table = PaperTable(experiment="T", title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_alignment(self):
+        table = PaperTable(experiment="T", title="t",
+                           columns=["name", "value"])
+        table.add_row("a-very-long-cell", 1)
+        table.add_row("b", 22222)
+        lines = table.render().splitlines()
+        # Header and rows share the same separator column position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1

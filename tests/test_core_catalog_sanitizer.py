@@ -1,0 +1,283 @@
+"""Tests for the account catalog and the package sanitizer."""
+
+import pytest
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.core.catalog import RepositoryCatalog
+from repro.core.policy import DEFAULT_INIT_CONFIG
+from repro.core.sanitizer import SanitizationRejected, Sanitizer
+from repro.crypto.hashes import sha256_bytes
+from repro.ima.subsystem import verify_ima_signature
+from repro.osim.fs import SimFileSystem
+from repro.scripts.classify import OperationType
+from repro.scripts.interpreter import Interpreter
+
+
+def _pkg(name="demo", scripts=None, files=None, version="1.0-r0"):
+    return ApkPackage(
+        name=name, version=version,
+        scripts=scripts or {},
+        files=files if files is not None else [
+            PackageFile(f"/usr/lib/{name}/lib.so", b"\x7fELF " + name.encode())
+        ],
+    )
+
+
+class TestCatalog:
+    def test_scan_collects_users_and_groups(self):
+        catalog = RepositoryCatalog()
+        catalog.scan_package(_pkg(scripts={
+            ".pre-install": "addgroup -S www\nadduser -S -G www nginx\n",
+        }))
+        catalog.scan_package(_pkg(name="db", scripts={
+            ".pre-install": "adduser -S -s /sbin/nologin postgres\n",
+        }))
+        assert set(catalog.users) == {"nginx", "postgres"}
+        assert "www" in catalog.groups
+        assert catalog.user_primary_group["nginx"] == "www"
+
+    def test_creation_order_is_sorted(self):
+        catalog = RepositoryCatalog()
+        catalog.scan_package(_pkg(scripts={
+            ".pre-install": "adduser -S zeta\nadduser -S alpha\n",
+        }))
+        groups, users = catalog.creation_order()
+        assert [u.name for u in users] == ["alpha", "zeta"]
+
+    def test_predict_matches_prelude_execution(self):
+        """The core determinism property: the predicted files equal what
+        actually executing the prelude produces."""
+        catalog = RepositoryCatalog()
+        catalog.scan_package(_pkg(scripts={
+            ".pre-install": (
+                "addgroup -S media\n"
+                "adduser -S -D -H -s /sbin/nologin -G media mediasvc\n"
+                "adduser -S -h /var/lib/pg postgres\n"
+                "addgroup postgres media\n"
+            ),
+        }))
+        predicted = catalog.predict_config(dict(DEFAULT_INIT_CONFIG))
+        fs = SimFileSystem()
+        for path, content in DEFAULT_INIT_CONFIG.items():
+            fs.write_file(path, content.encode())
+        script = "\n".join(catalog.prelude_script_lines()) + "\n"
+        Interpreter(fs).run(script)
+        for path in ("/etc/passwd", "/etc/shadow", "/etc/group"):
+            assert fs.read_file(path).decode() == predicted[path], path
+
+    def test_predict_independent_of_scan_order(self):
+        def build(order):
+            catalog = RepositoryCatalog()
+            for name in order:
+                catalog.scan_package(_pkg(name=name, scripts={
+                    ".pre-install": f"adduser -S svc-{name}\n",
+                }))
+            return catalog.predict_config(dict(DEFAULT_INIT_CONFIG))
+
+        assert build(["a", "b", "c"]) == build(["c", "a", "b"])
+
+    def test_insecure_pattern_detected(self):
+        catalog = RepositoryCatalog()
+        catalog.scan_package(_pkg(name="cve-pkg", scripts={
+            ".pre-install": "adduser -S -s /bin/ash ftp\npasswd -d ftp\n",
+        }))
+        assert ("cve-pkg", "ftp") in catalog.insecure_findings
+
+    def test_nologin_password_delete_not_flagged(self):
+        catalog = RepositoryCatalog()
+        catalog.scan_package(_pkg(scripts={
+            ".pre-install": "adduser -S -s /sbin/nologin svc\npasswd -d svc\n",
+        }))
+        assert catalog.insecure_findings == []
+
+
+@pytest.fixture(scope="module")
+def sanitizer(rsa_key, rsa_key_alt):
+    """TSR signing key = rsa_key_alt; upstream builder = rsa_key."""
+    catalog = RepositoryCatalog()
+    catalog.scan_package(_pkg(scripts={
+        ".pre-install": "addgroup -S www\nadduser -S -G www nginx\n",
+    }))
+    return Sanitizer(
+        signing_key=rsa_key_alt,
+        trusted_signers=[rsa_key.public_key],
+        catalog=catalog,
+        init_config=dict(DEFAULT_INIT_CONFIG),
+    )
+
+
+class TestSanitizerHappyPaths:
+    def test_scriptless_package_passes(self, sanitizer, rsa_key, rsa_key_alt):
+        blob = _pkg().build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        assert result.file_count == 1
+        parsed = ApkPackage.parse(result.blob)
+        assert parsed.verify([rsa_key_alt.public_key])  # re-signed by TSR
+
+    def test_files_get_ima_signatures(self, sanitizer, rsa_key, rsa_key_alt):
+        content = b"\x7fELF library"
+        blob = _pkg(files=[PackageFile("/usr/lib/x.so", content)]).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        signature = result.package.files[0].ima_signature
+        assert signature is not None
+        assert verify_ima_signature(sha256_bytes(content), signature,
+                                    [rsa_key_alt.public_key])
+
+    def test_safe_script_kept_verbatim(self, sanitizer, rsa_key):
+        script = "#!/bin/sh\nmkdir -p /var/lib/demo\n"
+        blob = _pkg(scripts={".post-install": script}).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        assert result.package.scripts[".post-install"] == script
+
+    def test_user_group_script_rewritten_with_prelude(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".pre-install": "adduser -S -G www nginx\nmkdir -p /var/www\n",
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        rewritten = result.package.scripts[".pre-install"]
+        assert "adduser" in rewritten          # prelude creates all users
+        assert "nginx" in rewritten
+        assert "mkdir -p /var/www" in rewritten  # safe command preserved
+        assert "setfattr -n security.ima" in rewritten
+        assert "/etc/passwd" in rewritten
+
+    def test_config_signatures_cover_predicted_content(self, sanitizer,
+                                                       rsa_key, rsa_key_alt):
+        blob = _pkg(scripts={
+            ".pre-install": "adduser -S -G www nginx\n",
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        predicted = sanitizer.predicted_config
+        for path, signature in result.package.config_signatures.items():
+            assert verify_ima_signature(
+                sha256_bytes(predicted[path].encode()), signature,
+                [rsa_key_alt.public_key],
+            ), path
+
+    def test_passwd_d_dropped(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".pre-install": "adduser -S -s /bin/ash ftp\npasswd -d ftp\n",
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        assert "passwd -d" not in result.package.scripts[".pre-install"]
+
+    def test_touch_gets_empty_file_signature(self, sanitizer, rsa_key,
+                                             rsa_key_alt):
+        blob = _pkg(scripts={
+            ".post-install": "touch /var/run/demo.lock\n",
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        script = result.package.scripts[".post-install"]
+        assert "touch /var/run/demo.lock" in script
+        assert "setfattr -n security.ima" in script
+        assert "/var/run/demo.lock" in script
+
+    def test_conditional_account_commands_filtered(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".pre-install": (
+                "if grep -q nginx /etc/passwd; then\n"
+                "  true\n"
+                "else\n"
+                "  adduser -S nginx\n"
+                "fi\n"
+                "mkdir -p /var/www\n"
+            ),
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        rewritten = result.package.scripts[".pre-install"]
+        # The conditional adduser is gone; the prelude handles creation.
+        assert "mkdir -p /var/www" in rewritten
+
+    def test_dropped_connector_preserves_following_command(self, sanitizer,
+                                                           rsa_key):
+        blob = _pkg(scripts={
+            ".pre-install": "adduser -S svc && mkdir -p /var/lib/svc\n",
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        assert "mkdir -p /var/lib/svc" in result.package.scripts[".pre-install"]
+
+    def test_size_overhead_positive(self, sanitizer, rsa_key):
+        blob = _pkg(files=[
+            PackageFile(f"/usr/lib/f{i}", bytes(200)) for i in range(20)
+        ]).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        assert result.sanitized_size > result.original_size
+        assert result.size_overhead > 0
+
+    def test_phase_timings_populated(self, sanitizer, rsa_key):
+        result = sanitizer.sanitize_blob(_pkg().build(rsa_key))
+        assert result.timings.total > 0
+        assert result.timings.sign > 0
+        assert result.timings.archive > 0
+
+
+class TestSanitizerRejections:
+    def test_config_change_rejected(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".post-install": "echo key=1 >> /etc/app.conf\n",
+        }).build(rsa_key)
+        with pytest.raises(SanitizationRejected) as excinfo:
+            sanitizer.sanitize_blob(blob)
+        assert "Configuration change" in excinfo.value.reason
+
+    def test_shell_activation_rejected(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".post-install": "add-shell /bin/bash\n",
+        }).build(rsa_key)
+        with pytest.raises(SanitizationRejected) as excinfo:
+            sanitizer.sanitize_blob(blob)
+        assert "Shell activation" in excinfo.value.reason
+
+    def test_sed_in_place_rejected(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".post-upgrade": "sed -i s/80/8080/ /etc/app.conf\n",
+        }).build(rsa_key)
+        with pytest.raises(SanitizationRejected):
+            sanitizer.sanitize_blob(blob)
+
+    def test_unparseable_script_rejected(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={".post-install": "if true then oops\n"}).build(rsa_key)
+        with pytest.raises(SanitizationRejected):
+            sanitizer.sanitize_blob(blob)
+
+    def test_untrusted_builder_rejected(self, sanitizer, rsa_key_alt):
+        # Signed with a key the policy does not trust (the TSR key itself).
+        from repro.util.errors import SignatureError
+        blob = _pkg().build(rsa_key_alt)
+        with pytest.raises(SignatureError):
+            sanitizer.sanitize_blob(blob)
+
+
+class TestSanitizedExecution:
+    """Running a sanitized script on a node must produce the predicted
+    configuration — the end-to-end determinism property."""
+
+    def test_execution_matches_prediction(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".pre-install": "adduser -S -G www nginx\n",
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        fs = SimFileSystem()
+        for path, content in DEFAULT_INIT_CONFIG.items():
+            fs.write_file(path, content.encode())
+        outcome = Interpreter(fs).run(result.package.scripts[".pre-install"])
+        assert outcome.exit_code == 0
+        predicted = sanitizer.predicted_config
+        for path in ("/etc/passwd", "/etc/shadow", "/etc/group"):
+            assert fs.read_file(path).decode() == predicted[path], path
+        # And the signature xattr was installed over exactly that content.
+        assert fs.get_xattr("/etc/passwd", "security.ima") is not None
+
+    def test_execution_idempotent(self, sanitizer, rsa_key):
+        blob = _pkg(scripts={
+            ".pre-install": "adduser -S -G www nginx\n",
+        }).build(rsa_key)
+        result = sanitizer.sanitize_blob(blob)
+        fs = SimFileSystem()
+        for path, content in DEFAULT_INIT_CONFIG.items():
+            fs.write_file(path, content.encode())
+        script = result.package.scripts[".pre-install"]
+        Interpreter(fs).run(script)
+        first = fs.read_file("/etc/passwd")
+        Interpreter(fs).run(script)
+        assert fs.read_file("/etc/passwd") == first

@@ -1,0 +1,120 @@
+"""Tests for security policy parsing and validation."""
+
+import pytest
+
+from repro.core.policy import DEFAULT_INIT_CONFIG, MirrorPolicyEntry, SecurityPolicy
+from repro.simnet.latency import Continent
+from repro.util.errors import PolicyError
+
+
+def _policy_yaml(rsa_key, mirrors=3) -> str:
+    hosts = "\n".join(
+        f"  - hostname: mirror-{i}.example\n    continent: europe"
+        for i in range(mirrors)
+    )
+    pem = "\n".join("    " + line
+                    for line in rsa_key.public_key.to_pem().splitlines())
+    return (
+        f"mirrors:\n{hosts}\n"
+        f"signers_keys:\n  - |-\n{pem}\n"
+    )
+
+
+class TestParsing:
+    def test_minimal_policy(self, rsa_key):
+        policy = SecurityPolicy.from_yaml(_policy_yaml(rsa_key))
+        assert len(policy.mirrors) == 3
+        assert policy.signers_keys == [rsa_key.public_key]
+        assert policy.init_config_files == DEFAULT_INIT_CONFIG
+
+    def test_listing1_shape_with_init_config(self, rsa_key):
+        pem = "\n".join("    " + line
+                        for line in rsa_key.public_key.to_pem().splitlines())
+        text = (
+            "mirrors:\n"
+            "  - hostname: https://alpinelinux/v3.10/\n"
+            "    continent: europe\n"
+            "  - hostname: https://yandex.ru/alpine/v3.10/\n"
+            "    continent: europe\n"
+            "  - hostname: https://ustc.edu.cn/alpine/v3.10/\n"
+            "    continent: asia\n"
+            f"signers_keys:\n  - |-\n{pem}\n"
+            "init_config_files:\n"
+            "  - path: /etc/passwd\n"
+            "    content: |-\n"
+            "      root:x:0:0:root:/root:/bin/ash\n"
+        )
+        policy = SecurityPolicy.from_yaml(text)
+        assert policy.mirrors[2].continent is Continent.ASIA
+        assert policy.init_config_files["/etc/passwd"] == (
+            "root:x:0:0:root:/root:/bin/ash\n"
+        )
+        # Unspecified files fall back to defaults.
+        assert "/etc/shadow" in policy.init_config_files
+
+    def test_round_trip(self, rsa_key):
+        policy = SecurityPolicy.from_yaml(_policy_yaml(rsa_key))
+        assert SecurityPolicy.from_yaml(policy.to_yaml()).mirrors == policy.mirrors
+
+    def test_whitelist_blacklist(self, rsa_key):
+        text = _policy_yaml(rsa_key) + (
+            "package_whitelist:\n  - openssl\n  - musl\n"
+            "package_blacklist:\n  - telnetd\n"
+        )
+        policy = SecurityPolicy.from_yaml(text)
+        assert policy.allows_package("openssl")
+        assert not policy.allows_package("nginx")
+        assert not policy.allows_package("telnetd")
+
+    def test_blacklist_only(self, rsa_key):
+        text = _policy_yaml(rsa_key) + "package_blacklist:\n  - telnetd\n"
+        policy = SecurityPolicy.from_yaml(text)
+        assert policy.allows_package("anything")
+        assert not policy.allows_package("telnetd")
+
+
+class TestValidation:
+    def test_no_mirrors_rejected(self, rsa_key):
+        with pytest.raises(PolicyError):
+            SecurityPolicy(mirrors=[], signers_keys=[rsa_key.public_key])
+
+    def test_no_signers_rejected(self):
+        with pytest.raises(PolicyError):
+            SecurityPolicy(
+                mirrors=[MirrorPolicyEntry(hostname="m")], signers_keys=[]
+            )
+
+    def test_duplicate_mirrors_rejected(self, rsa_key):
+        with pytest.raises(PolicyError):
+            SecurityPolicy(
+                mirrors=[MirrorPolicyEntry(hostname="m"),
+                         MirrorPolicyEntry(hostname="m")],
+                signers_keys=[rsa_key.public_key],
+            )
+
+    def test_missing_config_file_rejected(self, rsa_key):
+        with pytest.raises(PolicyError):
+            SecurityPolicy(
+                mirrors=[MirrorPolicyEntry(hostname="m")],
+                signers_keys=[rsa_key.public_key],
+                init_config_files={"/etc/passwd": "root:x:0:0::/:/bin/ash\n"},
+            )
+
+    def test_bad_yaml_rejected(self):
+        with pytest.raises(PolicyError):
+            SecurityPolicy.from_yaml("mirrors: [")
+        with pytest.raises(PolicyError):
+            SecurityPolicy.from_yaml("just_a_key: 1\n")
+
+    def test_bad_continent_rejected(self, rsa_key):
+        text = _policy_yaml(rsa_key).replace("europe", "atlantis", 1)
+        with pytest.raises(PolicyError):
+            SecurityPolicy.from_yaml(text)
+
+
+class TestFaultTolerance:
+    @pytest.mark.parametrize("mirrors,f", [(1, 0), (2, 0), (3, 1), (5, 2), (9, 4), (10, 4)])
+    def test_f_from_mirror_count(self, rsa_key, mirrors, f):
+        policy = SecurityPolicy.from_yaml(_policy_yaml(rsa_key, mirrors=mirrors))
+        assert policy.fault_tolerance == f
+        assert policy.quorum_size() == f + 1

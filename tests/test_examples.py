@@ -1,0 +1,35 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "trusted=True" in result.stdout
+        assert "quickstart complete." in result.stdout
+
+    def test_byzantine_mirrors(self):
+        result = _run("byzantine_mirrors.py")
+        assert result.returncode == 0, result.stderr
+        assert "outvoted" in result.stdout
+
+    def test_multitenant_policies(self):
+        result = _run("multitenant_policies.py")
+        assert result.returncode == 0, result.stderr
+        assert "multi-tenant demo complete" in result.stdout

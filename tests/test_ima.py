@@ -1,0 +1,194 @@
+"""Tests for the IMA measurement and appraisal engine."""
+
+import pytest
+
+from repro.crypto.hashes import sha256_bytes
+from repro.ima.subsystem import (
+    AppraisalMode,
+    ImaMeasurement,
+    ImaSubsystem,
+    ima_signature_for,
+    replay_measurement_list,
+    verify_ima_signature,
+)
+from repro.osim.fs import SimFileSystem
+from repro.tpm.device import IMA_PCR_INDEX, Tpm
+from repro.util.errors import FileSystemError
+
+
+@pytest.fixture()
+def rig():
+    fs = SimFileSystem()
+    tpm = Tpm("tpm-ima", key_bits=512)
+    ima = ImaSubsystem(fs, tpm)
+    return fs, tpm, ima
+
+
+class TestMeasurement:
+    def test_open_measures_file(self, rig):
+        fs, tpm, ima = rig
+        fs.write_file("/bin/app", b"binary")
+        fs.read_file("/bin/app")
+        assert len(ima.measurements) == 1
+        entry = ima.measurements[0]
+        assert entry.path == "/bin/app"
+        assert entry.filedata_hash == sha256_bytes(b"binary")
+
+    def test_same_content_measured_once(self, rig):
+        fs, _, ima = rig
+        fs.write_file("/f", b"stable")
+        fs.read_file("/f")
+        fs.read_file("/f")
+        assert len(ima.measurements) == 1
+
+    def test_changed_content_remeasured(self, rig):
+        fs, _, ima = rig
+        fs.write_file("/f", b"v1")
+        fs.read_file("/f")
+        fs.write_file("/f", b"v2")
+        fs.read_file("/f")
+        assert len(ima.measurements) == 2
+
+    def test_pcr10_extended(self, rig):
+        fs, tpm, ima = rig
+        assert tpm.pcr_bank.read(IMA_PCR_INDEX) == bytes(32)
+        fs.write_file("/f", b"x")
+        fs.read_file("/f")
+        assert tpm.pcr_bank.read(IMA_PCR_INDEX) != bytes(32)
+
+    def test_signature_included_in_entry(self, rig, rsa_key):
+        fs, _, ima = rig
+        content = b"signed content"
+        fs.write_file("/bin/tool", content)
+        fs.set_xattr("/bin/tool", "security.ima", ima_signature_for(content, rsa_key))
+        fs.read_file("/bin/tool")
+        assert ima.measurements[0].signature is not None
+
+    def test_replay_matches_pcr(self, rig):
+        fs, tpm, ima = rig
+        ima.record_boot_aggregate()
+        for i in range(5):
+            fs.write_file(f"/f{i}", bytes([i]))
+            fs.read_file(f"/f{i}")
+        assert replay_measurement_list(ima.measurements) == tpm.pcr_bank.read(
+            IMA_PCR_INDEX
+        )
+
+    def test_tampered_log_breaks_replay(self, rig):
+        fs, tpm, ima = rig
+        fs.write_file("/f", b"real")
+        fs.read_file("/f")
+        forged = [ImaMeasurement(IMA_PCR_INDEX, "/f", sha256_bytes(b"fake"), None)]
+        assert replay_measurement_list(forged) != tpm.pcr_bank.read(IMA_PCR_INDEX)
+
+    def test_boot_aggregate_covers_boot_pcrs(self):
+        fs = SimFileSystem()
+        tpm = Tpm("tpm-ba", key_bits=512)
+        tpm.measure(0, b"firmware")
+        ima = ImaSubsystem(fs, tpm)
+        ima.record_boot_aggregate()
+        expected = sha256_bytes(b"".join(tpm.pcr_bank.read(i) for i in range(8)))
+        assert ima.measurements[0].filedata_hash == expected
+        assert ima.measurements[0].path == "boot_aggregate"
+
+    def test_entry_serialization_roundtrip(self, rig, rsa_key):
+        entry = ImaMeasurement(10, "/f", sha256_bytes(b"c"), b"\x03sig")
+        assert ImaMeasurement.from_dict(entry.to_dict()) == entry
+        no_sig = ImaMeasurement(10, "/f", sha256_bytes(b"c"), None)
+        assert ImaMeasurement.from_dict(no_sig.to_dict()) == no_sig
+
+
+class TestSignatures:
+    def test_signature_verifies(self, rsa_key):
+        content = b"library bytes"
+        sig = ima_signature_for(content, rsa_key)
+        assert verify_ima_signature(sha256_bytes(content), sig, [rsa_key.public_key])
+
+    def test_wrong_key_rejected(self, rsa_key, rsa_key_alt):
+        sig = ima_signature_for(b"c", rsa_key)
+        assert not verify_ima_signature(sha256_bytes(b"c"), sig,
+                                        [rsa_key_alt.public_key])
+
+    def test_wrong_content_rejected(self, rsa_key):
+        sig = ima_signature_for(b"original", rsa_key)
+        assert not verify_ima_signature(sha256_bytes(b"other"), sig,
+                                        [rsa_key.public_key])
+
+    def test_missing_prefix_rejected(self, rsa_key):
+        sig = rsa_key.sign(sha256_bytes(b"c"))  # no EVM type byte
+        assert not verify_ima_signature(sha256_bytes(b"c"), sig,
+                                        [rsa_key.public_key])
+
+
+class TestAppraisal:
+    def _rig(self, mode, keys):
+        fs = SimFileSystem()
+        tpm = Tpm("tpm-appraise", key_bits=512)
+        ima = ImaSubsystem(fs, tpm, appraisal=mode, keyring=keys)
+        return fs, ima
+
+    def test_enforce_denies_unsigned(self, rsa_key):
+        fs, ima = self._rig(AppraisalMode.ENFORCE, [rsa_key.public_key])
+        fs.write_file("/bin/rogue", b"malware")
+        with pytest.raises(FileSystemError):
+            fs.read_file("/bin/rogue")
+        assert ima.appraisal_failures == ["/bin/rogue"]
+
+    def test_enforce_allows_signed(self, rsa_key):
+        fs, ima = self._rig(AppraisalMode.ENFORCE, [rsa_key.public_key])
+        content = b"legit"
+        fs.write_file("/bin/ok", content)
+        fs.set_xattr("/bin/ok", "security.ima", ima_signature_for(content, rsa_key))
+        assert fs.read_file("/bin/ok") == content
+        assert ima.appraisal_failures == []
+
+    def test_enforce_denies_wrong_signer(self, rsa_key, rsa_key_alt):
+        fs, ima = self._rig(AppraisalMode.ENFORCE, [rsa_key.public_key])
+        content = b"other-signer"
+        fs.write_file("/bin/x", content)
+        fs.set_xattr("/bin/x", "security.ima", ima_signature_for(content, rsa_key_alt))
+        with pytest.raises(FileSystemError):
+            fs.read_file("/bin/x")
+
+    def test_modified_file_fails_appraisal(self, rsa_key):
+        """Writes clear security.ima, so the next open is denied — the
+        exact mechanism that makes un-sanitized updates break the OS."""
+        fs, ima = self._rig(AppraisalMode.ENFORCE, [rsa_key.public_key])
+        content = b"v1"
+        fs.write_file("/usr/lib/app.conf", content)
+        fs.set_xattr("/usr/lib/app.conf", "security.ima",
+                     ima_signature_for(content, rsa_key))
+        fs.read_file("/usr/lib/app.conf")
+        fs.append_file("/usr/lib/app.conf", b" tampered")
+        with pytest.raises(FileSystemError):
+            fs.read_file("/usr/lib/app.conf")
+
+    def test_scope_excludes_etc_and_pkgdb(self, rsa_key):
+        """Local enforcement covers code paths; /etc is measured but only
+        remotely verified; mutable state (/lib/apk) is not even measured
+        (dont_measure policy rule)."""
+        fs, ima = self._rig(AppraisalMode.ENFORCE, [rsa_key.public_key])
+        fs.write_file("/etc/passwd", b"root:x:0:0::/:/bin/ash\n")
+        fs.write_file("/lib/apk/db/installed", b"")
+        assert fs.read_file("/etc/passwd")  # allowed despite no signature
+        fs.read_file("/lib/apk/db/installed")
+        assert ima.appraisal_failures == []
+        measured_paths = {m.path for m in ima.measurements}
+        assert "/etc/passwd" in measured_paths
+        assert "/lib/apk/db/installed" not in measured_paths
+
+    def test_log_mode_records_but_allows(self, rsa_key):
+        fs, ima = self._rig(AppraisalMode.LOG, [rsa_key.public_key])
+        fs.write_file("/bin/unsigned", b"x")
+        assert fs.read_file("/bin/unsigned") == b"x"
+        assert ima.appraisal_failures == ["/bin/unsigned"]
+
+    def test_trust_key_extends_keyring(self, rsa_key, rsa_key_alt):
+        fs, ima = self._rig(AppraisalMode.ENFORCE, [rsa_key.public_key])
+        content = b"tsr signed"
+        fs.write_file("/bin/pkg", content)
+        fs.set_xattr("/bin/pkg", "security.ima", ima_signature_for(content, rsa_key_alt))
+        with pytest.raises(FileSystemError):
+            fs.read_file("/bin/pkg")
+        ima.trust_key(rsa_key_alt.public_key)
+        assert fs.read_file("/bin/pkg") == content

@@ -1,0 +1,155 @@
+"""Tests for the OS: measured boot, versions, the package database."""
+
+import pytest
+
+from repro.ima.subsystem import AppraisalMode, replay_measurement_list
+from repro.osim.fs import SimFileSystem
+from repro.osim.os import BASELINE_FILES, IntegrityEnforcedOS
+from repro.osim.pkgdb import InstalledPackage, PackageDatabase
+from repro.osim.version import Version, is_newer
+from repro.tpm.device import IMA_PCR_INDEX, verify_quote
+from repro.util.errors import PackageManagerError, ReproError
+
+
+class TestVersion:
+    @pytest.mark.parametrize("older,newer", [
+        ("1.0.0-r0", "1.0.0-r1"),
+        ("1.0.0-r5", "1.0.1-r0"),
+        ("1.2-r0", "1.2.1-r0"),
+        ("1.9-r0", "1.10-r0"),
+        ("2.0-r0", "2.0a-r0"),
+        ("1.1.1f-r0", "1.1.1g-r0"),
+    ])
+    def test_ordering(self, older, newer):
+        assert Version(older) < Version(newer)
+        assert is_newer(newer, older)
+        assert not is_newer(older, newer)
+
+    def test_equality(self):
+        assert Version("1.2.3-r1") == Version("1.2.3-r1")
+        assert not is_newer("1.2.3-r1", "1.2.3-r1")
+
+    def test_unparseable_rejected(self):
+        with pytest.raises(PackageManagerError):
+            Version("not-a-version")
+
+    def test_hashable(self):
+        assert len({Version("1.0-r0"), Version("1.0-r0")}) == 1
+
+
+class TestBoot:
+    def test_boot_populates_baseline(self):
+        node = IntegrityEnforcedOS("node-a")
+        node.boot()
+        for path in BASELINE_FILES:
+            assert node.fs.isfile(path)
+        assert node.booted
+
+    def test_boot_measures_chain(self):
+        node = IntegrityEnforcedOS("node-b")
+        node.boot()
+        assert node.tpm.pcr_bank.read(0) != bytes(32)
+        assert node.tpm.pcr_bank.read(4) != bytes(32)
+        assert node.tpm.pcr_bank.read(IMA_PCR_INDEX) != bytes(32)
+
+    def test_boot_aggregate_first_entry(self):
+        node = IntegrityEnforcedOS("node-c")
+        node.boot()
+        assert node.ima.measurements[0].path == "boot_aggregate"
+
+    def test_double_boot_rejected(self):
+        node = IntegrityEnforcedOS("node-d")
+        node.boot()
+        with pytest.raises(ReproError):
+            node.boot()
+
+    def test_identical_nodes_identical_pcrs(self):
+        a = IntegrityEnforcedOS("twin-1")
+        b = IntegrityEnforcedOS("twin-2")
+        a.boot()
+        b.boot()
+        assert a.tpm.pcr_bank.read(IMA_PCR_INDEX) == b.tpm.pcr_bank.read(IMA_PCR_INDEX)
+
+    def test_policy_config_overrides_baseline(self):
+        node = IntegrityEnforcedOS(
+            "node-e", init_config_files={"/etc/passwd": "root:x:0:0::/root:/bin/ash\n"}
+        )
+        node.boot()
+        assert node.fs.read_file("/etc/passwd") == b"root:x:0:0::/root:/bin/ash\n"
+
+    def test_vendor_key_signs_baseline(self, rsa_key):
+        node = IntegrityEnforcedOS("node-f", appraisal=AppraisalMode.ENFORCE,
+                                   vendor_key=rsa_key)
+        node.boot()  # would raise if baseline files failed appraisal
+        assert node.ima.appraisal_failures == []
+
+
+class TestAttestation:
+    def test_evidence_verifies(self):
+        node = IntegrityEnforcedOS("node-att")
+        node.boot()
+        evidence = node.attest(nonce=b"verifier-nonce")
+        pcrs = verify_quote(evidence.quote, evidence.attestation_key,
+                            b"verifier-nonce")
+        assert pcrs[IMA_PCR_INDEX] == replay_measurement_list(evidence.ima_log)
+
+    def test_new_measurement_changes_quote(self):
+        node = IntegrityEnforcedOS("node-att2")
+        node.boot()
+        before = node.attest(b"n").quote.pcr_values[IMA_PCR_INDEX]
+        node.fs.write_file("/bin/new-tool", b"new binary")
+        node.load_file("/bin/new-tool")
+        after = node.attest(b"n").quote.pcr_values[IMA_PCR_INDEX]
+        assert before != after
+
+
+class TestPackageDatabase:
+    @pytest.fixture()
+    def db(self):
+        return PackageDatabase(SimFileSystem())
+
+    def _pkg(self, name="musl", version="1.1.24-r2"):
+        return InstalledPackage(name=name, version=version,
+                                content_hash="ab" * 32,
+                                files=("/lib/libc.so", "/lib/ld.so"))
+
+    def test_add_get_roundtrip(self, db):
+        db.add(self._pkg())
+        record = db.get("musl")
+        assert record is not None
+        assert record.version == "1.1.24-r2"
+        assert record.files == ("/lib/libc.so", "/lib/ld.so")
+
+    def test_persisted_in_filesystem(self):
+        fs = SimFileSystem()
+        db = PackageDatabase(fs)
+        db.add(self._pkg())
+        # A second database instance over the same fs sees the record.
+        assert PackageDatabase(fs).get("musl") is not None
+        assert b"musl" in fs.read_file("/lib/apk/db/installed")
+
+    def test_remove(self, db):
+        db.add(self._pkg())
+        db.remove("musl")
+        assert db.get("musl") is None
+
+    def test_remove_missing_rejected(self, db):
+        with pytest.raises(PackageManagerError):
+            db.remove("ghost")
+
+    def test_all_sorted(self, db):
+        db.add(self._pkg("zlib"))
+        db.add(self._pkg("musl"))
+        assert [p.name for p in db.all()] == ["musl", "zlib"]
+
+    def test_mark_outdated_tampers_version(self, db):
+        db.add(self._pkg())
+        db.mark_outdated("musl")
+        record = db.get("musl")
+        assert record.version == "0.0.0-r0"
+        assert record.content_hash == "0" * 64
+        assert record.files  # files list preserved
+
+    def test_mark_outdated_missing_rejected(self, db):
+        with pytest.raises(PackageManagerError):
+            db.mark_outdated("ghost")

@@ -1,0 +1,232 @@
+"""Property-based tests on the system's core invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.archive.gz import gzip_compress
+from repro.archive.index import IndexEntry, RepositoryIndex
+from repro.core.catalog import RepositoryCatalog
+from repro.core.policy import DEFAULT_INIT_CONFIG
+from repro.core.sanitizer import SanitizationRejected, Sanitizer
+from repro.crypto.rsa import generate_keypair
+from repro.osim.fs import SimFileSystem
+from repro.scripts.interpreter import Interpreter
+from repro.util.errors import PackagingError, ReproError
+
+_BUILDER_KEY = generate_keypair(1024, seed=0xF00D)
+_TSR_KEY = generate_keypair(1024, seed=0xBEEF)
+
+_NAMES = st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                 min_size=2, max_size=8)
+
+
+class TestApkRobustness:
+    """Malformed input must raise a library error, never crash oddly."""
+
+    @given(st.binary(min_size=0, max_size=2000))
+    @settings(max_examples=60)
+    def test_random_bytes_never_crash_parser(self, blob):
+        try:
+            ApkPackage.parse(blob)
+        except ReproError:
+            pass  # expected: PackagingError and friends
+
+    @given(st.binary(min_size=1, max_size=500))
+    @settings(max_examples=40)
+    def test_gzip_wrapped_garbage_rejected(self, payload):
+        blob = gzip_compress(payload) * 3
+        try:
+            ApkPackage.parse(blob)
+        except ReproError:
+            pass
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=25)
+    def test_truncated_real_package_rejected(self, cut):
+        package = ApkPackage(
+            name="t", version="1-r0",
+            files=[PackageFile("/usr/lib/t/x", bytes(100))],
+        )
+        blob = package.build(_BUILDER_KEY)
+        truncated = blob[:min(cut, len(blob) - 1)]
+        with pytest.raises(ReproError):
+            parsed = ApkPackage.parse(truncated)
+            parsed.verify([_BUILDER_KEY.public_key])
+
+
+class TestIndexProperties:
+    @given(st.lists(
+        st.tuples(_NAMES, st.integers(1, 10**9)), min_size=1, max_size=20,
+        unique_by=lambda t: t[0],
+    ))
+    @settings(max_examples=30)
+    def test_index_roundtrip_any_entries(self, entries):
+        index = RepositoryIndex(serial=3)
+        for name, size in entries:
+            index.add(IndexEntry(name=name, version="1.0-r0", size=size,
+                                 sha256="ab" * 32))
+        index.sign(_BUILDER_KEY)
+        restored = RepositoryIndex.from_bytes(index.to_bytes())
+        assert restored.entries == index.entries
+        assert restored.verify(_BUILDER_KEY.public_key)
+
+    @given(st.sets(_NAMES, min_size=1, max_size=10))
+    @settings(max_examples=25)
+    def test_diff_is_exactly_the_changed_set(self, changed_names):
+        base = RepositoryIndex(serial=1)
+        for i in range(5):
+            base.add(IndexEntry(name=f"stable{i}", version="1-r0", size=10,
+                                sha256="aa" * 32))
+        newer = base.copy()
+        newer.serial = 2
+        for name in changed_names:
+            newer.add(IndexEntry(name=f"chg-{name}", version="2-r0", size=11,
+                                 sha256="bb" * 32))
+        diff = {e.name for e in newer.diff_updated(base)}
+        assert diff == {f"chg-{name}" for name in changed_names}
+
+
+def _sanitizer_for(catalog: RepositoryCatalog) -> Sanitizer:
+    return Sanitizer(
+        signing_key=_TSR_KEY,
+        trusted_signers=[_BUILDER_KEY.public_key],
+        catalog=catalog,
+        init_config=dict(DEFAULT_INIT_CONFIG),
+    )
+
+
+class TestDeterminismProperty:
+    """The paper's core invariant, as a property: for ANY set of services
+    and ANY execution order, sanitized scripts converge /etc files to the
+    predicted contents."""
+
+    @given(st.lists(_NAMES, min_size=1, max_size=6, unique=True),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_any_service_set_any_order_converges(self, services, rng):
+        catalog = RepositoryCatalog()
+        packages = []
+        for name in services:
+            package = ApkPackage(
+                name=f"pkg-{name}", version="1-r0",
+                scripts={".pre-install": f"adduser -S svc-{name}\n"},
+                files=[PackageFile(f"/usr/lib/{name}.so", b"x")],
+            )
+            catalog.scan_package(package)
+            packages.append(package)
+        sanitizer = _sanitizer_for(catalog)
+        predicted = sanitizer.predicted_config
+
+        results = []
+        for package in packages:
+            blob = package.build(_BUILDER_KEY)
+            results.append(sanitizer.sanitize_blob(blob))
+
+        # Execute a random subset in a random order.
+        subset = [r for r in results if rng.random() < 0.7] or results
+        rng.shuffle(subset)
+        fs = SimFileSystem()
+        for path, content in DEFAULT_INIT_CONFIG.items():
+            fs.write_file(path, content.encode())
+        interpreter = Interpreter(fs)
+        for result in subset:
+            interpreter.run(result.package.scripts[".pre-install"])
+        for path in ("/etc/passwd", "/etc/shadow", "/etc/group"):
+            assert fs.read_file(path).decode() == predicted[path]
+
+    @given(_NAMES)
+    @settings(max_examples=20, deadline=None)
+    def test_sanitized_output_deterministic(self, name):
+        catalog = RepositoryCatalog()
+        package = ApkPackage(
+            name=name, version="1-r0",
+            scripts={".post-install": f"mkdir -p /var/lib/{name}\n"},
+            files=[PackageFile(f"/usr/lib/{name}.so", name.encode() * 10)],
+        )
+        catalog.scan_package(package)
+        sanitizer = _sanitizer_for(catalog)
+        blob = package.build(_BUILDER_KEY)
+        assert sanitizer.sanitize_blob(blob).blob == \
+            sanitizer.sanitize_blob(blob).blob
+
+
+class TestSanitizerTotality:
+    """Every package is either sanitized or explicitly rejected — no third
+    outcome, and rejection happens only for genuinely unsafe scripts."""
+
+    @given(st.sampled_from([
+        "mkdir -p /var/lib/x\n",
+        "true\n",
+        "grep -q root /etc/passwd\n",
+        "adduser -S someone\n",
+        "touch /var/run/x.pid\n",
+        "add-shell /bin/x\n",
+        "echo conf >> /etc/x.conf\n",
+        "sed -i s/a/b/ /etc/x.conf\n",
+    ]))
+    @settings(max_examples=30, deadline=None)
+    def test_sanitize_or_reject(self, script):
+        catalog = RepositoryCatalog()
+        package = ApkPackage(name="p", version="1-r0",
+                             scripts={".post-install": script},
+                             files=[PackageFile("/usr/lib/p.so", b"x")])
+        catalog.scan_package(package)
+        sanitizer = _sanitizer_for(catalog)
+        blob = package.build(_BUILDER_KEY)
+        unsafe_unsupported = ("add-shell" in script or ">>" in script
+                              or "sed -i" in script)
+        if unsafe_unsupported:
+            with pytest.raises(SanitizationRejected):
+                sanitizer.sanitize_blob(blob)
+        else:
+            result = sanitizer.sanitize_blob(blob)
+            assert result.package.files[0].ima_signature is not None
+
+
+class TestQuorumSafetyProperty:
+    """For any adversary subset of size <= f among 2f+1 mirrors, the quorum
+    accepts the honest (latest) index."""
+
+    @given(st.integers(0, 2), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_f_bounded_adversary_never_wins(self, bad_count, seed):
+        from repro.archive.apk import ApkPackage as Pkg
+        from repro.core.policy import MirrorPolicyEntry
+        from repro.core.quorum import QuorumReader
+        from repro.mirrors.builder import MirrorSpec, build_mirror_network
+        from repro.mirrors.mirror import MirrorBehavior
+        from repro.mirrors.repository import OriginalRepository
+        from repro.simnet.latency import Continent
+        from repro.simnet.network import Host, Network
+
+        origin = OriginalRepository(_BUILDER_KEY)
+        origin.publish(Pkg(name="a", version="1-r0"))
+        stale = origin.serial
+        origin.publish(Pkg(name="a", version="2-r0"))
+
+        rng = random.Random(seed)
+        behaviors = ([MirrorBehavior.FREEZE] * bad_count
+                     + [MirrorBehavior.HONEST] * (5 - bad_count))
+        rng.shuffle(behaviors)
+        network = Network()
+        network.add_host(Host("tsr", Continent.EUROPE))
+        specs = [
+            MirrorSpec(
+                f"m{i}", Continent.EUROPE, behavior=behavior,
+                pinned_serial=stale if behavior is MirrorBehavior.FREEZE
+                else None,
+            )
+            for i, behavior in enumerate(behaviors)
+        ]
+        build_mirror_network(origin, specs, network)
+        reader = QuorumReader(
+            network, "tsr",
+            [MirrorPolicyEntry(hostname=s.name) for s in specs],
+            [_BUILDER_KEY.public_key],
+        )
+        result = reader.read_index()
+        assert result.index.serial == origin.serial

@@ -1,0 +1,162 @@
+"""Unit tests for the /etc account-file format helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scripts.accounts import (
+    GroupSpec,
+    UserSpec,
+    add_group,
+    add_user,
+    insecure_accounts,
+    next_free_id,
+    parse_adduser_args,
+    parse_addgroup_args,
+    parse_group,
+    parse_passwd,
+    parse_shadow,
+    set_password,
+)
+from repro.util.errors import ScriptError
+
+PASSWD = "root:x:0:0:root:/root:/bin/ash\n"
+SHADOW = "root:!:0:0:99999:7:::\n"
+GROUP = "root:x:0:\n"
+
+_name = st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=12)
+
+
+class TestParsers:
+    def test_parse_passwd(self):
+        entries = parse_passwd(PASSWD)
+        assert entries["root"][6] == "/bin/ash"
+
+    def test_parse_shadow(self):
+        assert parse_shadow(SHADOW)["root"][1] == "!"
+
+    def test_parse_group(self):
+        assert parse_group("www:x:82:nginx,root\n")["www"][3] == "nginx,root"
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ScriptError):
+            parse_passwd("broken:line\n")
+        with pytest.raises(ScriptError):
+            parse_shadow("a:b\n")
+
+    def test_blank_lines_ignored(self):
+        assert len(parse_group(GROUP + "\n\n")) == 1
+
+
+class TestMutation:
+    def test_add_group_assigns_free_gid(self):
+        text = add_group(GROUP, GroupSpec(name="www"))
+        assert int(parse_group(text)["www"][2]) >= 101
+
+    def test_add_group_idempotent(self):
+        once = add_group(GROUP, GroupSpec(name="www"))
+        assert add_group(once, GroupSpec(name="www")) == once
+
+    def test_add_user_creates_matching_group(self):
+        passwd, shadow, group = add_user(PASSWD, SHADOW, GROUP,
+                                         UserSpec(name="svc"))
+        assert "svc" in parse_passwd(passwd)
+        assert "svc" in parse_shadow(shadow)
+        assert "svc" in parse_group(group)
+        # uid matches the user's own group gid by construction here.
+        assert parse_passwd(passwd)["svc"][3] == parse_group(group)["svc"][2]
+
+    def test_add_user_with_explicit_ids(self):
+        passwd, _, _ = add_user(PASSWD, SHADOW, GROUP,
+                                UserSpec(name="svc", uid=501, gid=502))
+        fields = parse_passwd(passwd)["svc"]
+        assert fields[2] == "501"
+        assert fields[3] == "502"
+
+    def test_set_password_empty(self):
+        shadow = set_password(SHADOW, "root", "")
+        assert parse_shadow(shadow)["root"][1] == ""
+
+    def test_set_password_unknown_user_rejected(self):
+        with pytest.raises(ScriptError):
+            set_password(SHADOW, "ghost", "")
+
+    def test_next_free_id_skips_used(self):
+        assert next_free_id({100, 101, 103}, 100) == 102
+
+    @given(st.lists(_name, min_size=1, max_size=8, unique=True))
+    @settings(max_examples=30)
+    def test_user_creation_deterministic_for_fixed_order(self, names):
+        def build():
+            passwd, shadow, group = PASSWD, SHADOW, GROUP
+            for name in names:
+                passwd, shadow, group = add_user(passwd, shadow, group,
+                                                 UserSpec(name=name))
+            return passwd, shadow, group
+
+        assert build() == build()
+
+    @given(st.lists(_name, min_size=2, max_size=6, unique=True))
+    @settings(max_examples=30)
+    def test_all_users_present_after_any_prefix_replay(self, names):
+        """Idempotence: re-adding an existing prefix never changes files."""
+        passwd, shadow, group = PASSWD, SHADOW, GROUP
+        for name in names:
+            passwd, shadow, group = add_user(passwd, shadow, group,
+                                             UserSpec(name=name))
+        replayed = (passwd, shadow, group)
+        for name in names[:3]:
+            replayed = add_user(*replayed, UserSpec(name=name))
+        assert replayed == (passwd, shadow, group)
+
+
+class TestInsecureDetection:
+    def test_empty_password_usable_shell_flagged(self):
+        passwd, shadow, _ = add_user(PASSWD, SHADOW, GROUP,
+                                     UserSpec(name="ftp", shell="/bin/ash"))
+        shadow = set_password(shadow, "ftp", "")
+        assert insecure_accounts(passwd, shadow) == ["ftp"]
+
+    def test_locked_password_not_flagged(self):
+        passwd, shadow, _ = add_user(PASSWD, SHADOW, GROUP,
+                                     UserSpec(name="svc", shell="/bin/ash"))
+        assert insecure_accounts(passwd, shadow) == []
+
+    def test_nologin_shell_not_flagged(self):
+        passwd, shadow, _ = add_user(PASSWD, SHADOW, GROUP,
+                                     UserSpec(name="svc"))
+        shadow = set_password(shadow, "svc", "")
+        assert insecure_accounts(passwd, shadow) == []
+
+
+class TestArgParsers:
+    def test_adduser_full_flag_set(self):
+        kwargs, primary = parse_adduser_args(
+            ["-S", "-D", "-H", "-h", "/var/lib/pg", "-s", "/bin/sh",
+             "-G", "postgres", "-u", "70", "postgres"]
+        )
+        assert kwargs == {"home": "/var/lib/pg", "shell": "/bin/sh",
+                          "uid": 70, "name": "postgres"}
+        assert primary == "postgres"
+
+    def test_adduser_requires_exactly_one_name(self):
+        with pytest.raises(ScriptError):
+            parse_adduser_args(["-S"])
+        with pytest.raises(ScriptError):
+            parse_adduser_args(["a", "b"])
+
+    def test_adduser_unknown_flag_rejected(self):
+        with pytest.raises(ScriptError):
+            parse_adduser_args(["--create-home", "x"])
+
+    def test_addgroup_forms(self):
+        assert parse_addgroup_args(["-S", "www"]) == (None, ["www"])
+        assert parse_addgroup_args(["-g", "82", "www"]) == (82, ["www"])
+        assert parse_addgroup_args(["nginx", "www"]) == (None, ["nginx", "www"])
+
+    def test_addgroup_arity_checked(self):
+        with pytest.raises(ScriptError):
+            parse_addgroup_args(["-S"])
+        with pytest.raises(ScriptError):
+            parse_addgroup_args(["a", "b", "c"])

@@ -1,0 +1,132 @@
+"""Tests for the Table-2 operation classifier."""
+
+import pytest
+
+from repro.scripts.classify import (
+    OperationType,
+    classify_package_scripts,
+    classify_script,
+)
+from repro.util.errors import ScriptError
+
+
+class TestCommandCategories:
+    def test_filesystem_changes_safe(self):
+        profile = classify_script(
+            "mkdir -p /var/lib\nln -s /a /b\nchmod 755 /var/lib\nrm -f /tmp/x\n"
+        )
+        assert profile.operations == {OperationType.FILESYSTEM_CHANGE}
+        assert profile.safe
+
+    def test_empty_script(self):
+        profile = classify_script("#!/bin/sh\n# nothing\ntrue\nexit 0\n")
+        assert profile.is_empty
+        assert profile.safe
+
+    def test_script_with_no_commands_is_empty(self):
+        profile = classify_script("#!/bin/sh\n")
+        assert profile.is_empty
+        assert profile.primary_category() is OperationType.EMPTY
+
+    def test_conditional_checks_are_empty_category(self):
+        profile = classify_script("if [ -f /etc/conf ]; then\n  echo found\nfi\n")
+        assert profile.is_empty
+
+    def test_text_processing_safe(self):
+        profile = classify_script("grep -q root /etc/passwd\nsed s/a/b/ /etc/f\n")
+        assert profile.operations == {OperationType.TEXT_PROCESSING}
+        assert profile.safe
+
+    def test_sed_in_place_is_config_change(self):
+        profile = classify_script("sed -i s/80/8080/ /etc/app.conf\n")
+        assert OperationType.CONFIG_CHANGE in profile.operations
+        assert not profile.safe
+        assert not profile.sanitizable
+
+    def test_redirect_is_config_change(self):
+        profile = classify_script("echo setting=1 >> /etc/app.conf\n")
+        assert OperationType.CONFIG_CHANGE in profile.operations
+        assert not profile.sanitizable
+
+    def test_touch_is_empty_file_creation(self):
+        profile = classify_script("touch /var/run/app.lock\n")
+        assert profile.operations == {OperationType.EMPTY_FILE_CREATION}
+        assert not profile.safe
+        assert profile.sanitizable
+
+    def test_adduser_is_user_group_creation(self):
+        profile = classify_script("adduser -S -D -H postgres\naddgroup -S www\n")
+        assert profile.operations == {OperationType.USER_GROUP_CREATION}
+        assert not profile.safe
+        assert profile.sanitizable
+
+    def test_add_shell_is_shell_activation(self):
+        profile = classify_script("add-shell /bin/bash\n")
+        assert profile.operations == {OperationType.SHELL_ACTIVATION}
+        assert not profile.safe
+        assert not profile.sanitizable
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ScriptError):
+            classify_script("wget http://example\n")
+
+
+class TestSafetyMatrix:
+    """The Table 2 safe / safe-after-TSR matrix, row by row."""
+
+    @pytest.mark.parametrize("op,safe,after_tsr", [
+        (OperationType.FILESYSTEM_CHANGE, True, True),
+        (OperationType.EMPTY, True, True),
+        (OperationType.TEXT_PROCESSING, True, True),
+        (OperationType.CONFIG_CHANGE, False, False),
+        (OperationType.EMPTY_FILE_CREATION, False, True),
+        (OperationType.USER_GROUP_CREATION, False, True),
+        (OperationType.SHELL_ACTIVATION, False, False),
+    ])
+    def test_row(self, op, safe, after_tsr):
+        assert op.safe is safe
+        assert (op.safe or op.sanitizable) is after_tsr
+
+    def test_labels_match_paper(self):
+        assert OperationType.USER_GROUP_CREATION.label == "User/Group creation"
+        assert OperationType.SHELL_ACTIVATION.label == "Shell activation"
+
+
+class TestAggregation:
+    def test_mixed_script_takes_worst_category(self):
+        profile = classify_script(
+            "mkdir /var/lib/pg\nadduser -S postgres\nadd-shell /bin/pgsh\n"
+        )
+        assert profile.primary_category() is OperationType.SHELL_ACTIVATION
+        assert not profile.sanitizable
+
+    def test_user_creation_with_filesystem_ops_sanitizable(self):
+        profile = classify_script("mkdir -p /var/lib/redis\nadduser -S redis\n")
+        assert profile.primary_category() is OperationType.USER_GROUP_CREATION
+        assert profile.sanitizable
+
+    def test_package_scripts_merged(self):
+        profile = classify_package_scripts({
+            ".pre-install": "adduser -S svc\n",
+            ".post-install": "mkdir -p /var/lib/svc\n",
+            ".post-upgrade": "true\n",
+        })
+        assert profile.operations == {
+            OperationType.USER_GROUP_CREATION,
+            OperationType.FILESYSTEM_CHANGE,
+            OperationType.EMPTY,
+        }
+        assert profile.sanitizable
+        assert profile.commands == 3
+
+    def test_no_scripts_is_empty_profile(self):
+        profile = classify_package_scripts({})
+        assert profile.is_empty
+        assert profile.safe
+
+    def test_unsafe_operations_reported(self):
+        profile = classify_script("touch /f\nsed -i s/a/b/ /etc/c\n")
+        assert profile.unsafe_operations == {
+            OperationType.EMPTY_FILE_CREATION,
+            OperationType.CONFIG_CHANGE,
+        }

@@ -1,0 +1,194 @@
+"""Tests for the simulated clock, latency model, and transport."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.clock import SimClock
+from repro.simnet.latency import Continent, LatencyModel
+from repro.simnet.network import Host, Network, Request
+from repro.util.errors import NetworkError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_to_is_monotone(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)  # no-op, already past
+        assert clock.now() == 10.0
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    @given(st.lists(st.floats(0, 100), max_size=20))
+    def test_monotonic_under_any_advances(self, steps):
+        clock = SimClock()
+        last = 0.0
+        for step in steps:
+            clock.advance(step)
+            assert clock.now() >= last
+            last = clock.now()
+
+
+class TestLatencyModel:
+    def test_same_continent_anchor(self):
+        # Paper: average same-continent (EU) mirror latency is 26.4 ms.
+        model = LatencyModel(jitter=0)
+        assert model.rtt(Continent.EUROPE, Continent.EUROPE) == pytest.approx(0.0264)
+
+    def test_cross_continent_slower(self):
+        model = LatencyModel(jitter=0)
+        eu = model.rtt(Continent.EUROPE, Continent.EUROPE)
+        asia = model.rtt(Continent.EUROPE, Continent.ASIA)
+        assert asia > 3 * eu
+
+    def test_rtt_symmetric(self):
+        model = LatencyModel(jitter=0)
+        assert model.rtt(Continent.EUROPE, Continent.ASIA) == model.rtt(
+            Continent.ASIA, Continent.EUROPE
+        )
+
+    def test_jitter_deterministic_per_seed(self):
+        a = LatencyModel(seed=1)
+        b = LatencyModel(seed=1)
+        series_a = [a.rtt(Continent.EUROPE, Continent.EUROPE) for _ in range(5)]
+        series_b = [b.rtt(Continent.EUROPE, Continent.EUROPE) for _ in range(5)]
+        assert series_a == series_b
+
+    def test_jitter_bounded(self):
+        model = LatencyModel(jitter=0.15, seed=3)
+        base = model.base_rtt(Continent.EUROPE, Continent.EUROPE)
+        for _ in range(100):
+            value = model.rtt(Continent.EUROPE, Continent.EUROPE)
+            assert base * 0.85 <= value <= base * 1.15
+
+    def test_transfer_time_table3_anchor(self):
+        # ~3 GB at the default bandwidth should take on the order of 17 min.
+        model = LatencyModel()
+        seconds = model.transfer_time(3 * 1024**3)
+        assert 14 * 60 < seconds < 21 * 60
+
+    def test_transfer_rejects_bad_args(self):
+        model = LatencyModel()
+        with pytest.raises(ValueError):
+            model.transfer_time(-1)
+        with pytest.raises(ValueError):
+            model.transfer_time(10, bandwidth=0)
+
+    def test_continent_parse(self):
+        assert Continent.parse("Europe") is Continent.EUROPE
+        assert Continent.parse("north-america") is Continent.NORTH_AMERICA
+        assert Continent.parse("AS") is Continent.ASIA
+        with pytest.raises(ValueError):
+            Continent.parse("atlantis")
+
+
+def _echo_handler(operation, payload):
+    return (operation, payload), 128
+
+
+def _build_network() -> Network:
+    net = Network()
+    net.add_host(Host("tsr.eu", Continent.EUROPE, handler=_echo_handler))
+    net.add_host(Host("mirror.eu", Continent.EUROPE, handler=_echo_handler))
+    net.add_host(Host("mirror.asia", Continent.ASIA, handler=_echo_handler))
+    return net
+
+
+class TestNetwork:
+    def test_call_advances_clock(self):
+        net = _build_network()
+        response = net.call("tsr.eu", Request("mirror.eu", "ping"))
+        assert response.payload == ("ping", None)
+        assert net.clock.now() == pytest.approx(response.elapsed)
+        assert response.elapsed > 0.02  # at least the EU RTT
+
+    def test_cross_continent_call_slower(self):
+        net = _build_network()
+        eu = net.call("tsr.eu", Request("mirror.eu", "ping")).elapsed
+        asia = net.call("tsr.eu", Request("mirror.asia", "ping")).elapsed
+        assert asia > eu
+
+    def test_duplicate_host_rejected(self):
+        net = _build_network()
+        with pytest.raises(NetworkError):
+            net.add_host(Host("tsr.eu", Continent.EUROPE))
+
+    def test_unknown_host_rejected(self):
+        net = _build_network()
+        with pytest.raises(NetworkError):
+            net.call("tsr.eu", Request("nope", "ping"))
+
+    def test_down_host_times_out(self):
+        net = _build_network()
+        net.set_down("mirror.eu")
+        with pytest.raises(NetworkError):
+            net.call("tsr.eu", Request("mirror.eu", "ping"))
+
+    def test_partition_blocks_and_heals(self):
+        net = _build_network()
+        net.partition("tsr.eu", "mirror.eu")
+        with pytest.raises(NetworkError):
+            net.call("tsr.eu", Request("mirror.eu", "ping"))
+        net.heal("tsr.eu", "mirror.eu")
+        assert net.call("tsr.eu", Request("mirror.eu", "ping")).payload[0] == "ping"
+
+    def test_large_payload_takes_longer(self):
+        net = _build_network()
+        small = net.call("tsr.eu", Request("mirror.eu", "get", size_bytes=100)).elapsed
+        net2 = _build_network()
+        big = net2.call("tsr.eu", Request("mirror.eu", "get", size_bytes=10_000_000)).elapsed
+        assert big > small + 1.0  # 10 MB at ~3 MB/s
+
+    def test_gather_advances_to_slowest_success(self):
+        net = _build_network()
+        requests = [Request("mirror.eu", "ping"), Request("mirror.asia", "ping")]
+        responses = net.gather("tsr.eu", requests)
+        elapsed = [r.elapsed for r in responses if not isinstance(r, NetworkError)]
+        assert len(elapsed) == 2
+        assert net.clock.now() == pytest.approx(max(elapsed))
+
+    def test_gather_mixes_failures_and_successes(self):
+        net = _build_network()
+        net.set_down("mirror.asia")
+        responses = net.gather(
+            "tsr.eu", [Request("mirror.eu", "ping"), Request("mirror.asia", "ping")]
+        )
+        assert not isinstance(responses[0], NetworkError)
+        assert isinstance(responses[1], NetworkError)
+
+    def test_gather_all_failed_advances_by_timeout(self):
+        net = _build_network()
+        net.set_down("mirror.eu")
+        net.set_down("mirror.asia")
+        responses = net.gather(
+            "tsr.eu", [Request("mirror.eu", "ping"), Request("mirror.asia", "ping")]
+        )
+        assert all(isinstance(r, NetworkError) for r in responses)
+        assert net.clock.now() == pytest.approx(net.timeout)
+
+    def test_timeout_enforced_on_slow_transfer(self):
+        net = _build_network()
+        with pytest.raises(NetworkError):
+            # 100 MB at 3 MB/s far exceeds the 5 s default timeout.
+            net.call("tsr.eu", Request("mirror.eu", "get", size_bytes=100_000_000))
+
+    def test_extra_delay_models_throttled_mirror(self):
+        net = _build_network()
+        baseline = net.call("tsr.eu", Request("mirror.eu", "ping")).elapsed
+        net.host("mirror.eu").extra_delay = 0.2
+        slowed = net.call("tsr.eu", Request("mirror.eu", "ping")).elapsed
+        assert slowed > baseline + 0.15

@@ -1,0 +1,135 @@
+"""Tests for the software TPM."""
+
+import pytest
+
+from repro.crypto.hashes import sha256_bytes
+from repro.tpm.device import (
+    IMA_PCR_INDEX,
+    PcrBank,
+    Tpm,
+    TpmError,
+    verify_quote,
+)
+from repro.util.errors import AttestationError
+
+
+@pytest.fixture(scope="module")
+def tpm():
+    return Tpm("tpm-test", key_bits=512)
+
+
+class TestPcrBank:
+    def test_initial_zero(self):
+        bank = PcrBank()
+        assert bank.read(0) == bytes(32)
+
+    def test_extend_is_hash_chain(self):
+        bank = PcrBank()
+        digest = sha256_bytes(b"event")
+        value = bank.extend(7, digest)
+        assert value == sha256_bytes(bytes(32) + digest)
+
+    def test_extend_order_matters(self):
+        a, b = PcrBank(), PcrBank()
+        d1, d2 = sha256_bytes(b"1"), sha256_bytes(b"2")
+        a.extend(0, d1)
+        a.extend(0, d2)
+        b.extend(0, d2)
+        b.extend(0, d1)
+        assert a.read(0) != b.read(0)
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(TpmError):
+            PcrBank().read(24)
+        with pytest.raises(TpmError):
+            PcrBank().extend(-1, bytes(32))
+
+    def test_bad_digest_size_rejected(self):
+        with pytest.raises(TpmError):
+            PcrBank().extend(0, b"short")
+
+
+class TestEventLog:
+    def test_measure_appends_log(self):
+        tpm = Tpm("tpm-log", key_bits=512)
+        tpm.measure(0, b"firmware", "firmware")
+        tpm.measure(4, b"kernel", "kernel")
+        assert [e.description for e in tpm.event_log] == ["firmware", "kernel"]
+        assert tpm.event_log[0].digest == sha256_bytes(b"firmware")
+
+    def test_log_replays_to_pcr(self):
+        tpm = Tpm("tpm-replay", key_bits=512)
+        for blob in (b"a", b"b", b"c"):
+            tpm.measure(IMA_PCR_INDEX, blob)
+        replayed = bytes(32)
+        for entry in tpm.event_log:
+            replayed = sha256_bytes(replayed + entry.digest)
+        assert replayed == tpm.pcr_bank.read(IMA_PCR_INDEX)
+
+
+class TestQuote:
+    def test_quote_verifies(self, tpm):
+        tpm.measure(0, b"component")
+        quote = tpm.quote([0, 10], nonce=b"fresh-nonce")
+        values = verify_quote(quote, tpm.attestation_public_key, b"fresh-nonce")
+        assert values[0] == tpm.pcr_bank.read(0)
+
+    def test_wrong_nonce_rejected(self, tpm):
+        quote = tpm.quote([0], nonce=b"nonce-a")
+        with pytest.raises(AttestationError):
+            verify_quote(quote, tpm.attestation_public_key, b"nonce-b")
+
+    def test_wrong_key_rejected(self, tpm):
+        other = Tpm("tpm-other", key_bits=512)
+        quote = tpm.quote([0], nonce=b"n")
+        with pytest.raises(AttestationError):
+            verify_quote(quote, other.attestation_public_key, b"n")
+
+    def test_tampered_pcr_value_rejected(self, tpm):
+        quote = tpm.quote([0], nonce=b"n2")
+        quote.pcr_values[0] = bytes(32)  # claim a clean PCR
+        with pytest.raises(AttestationError):
+            verify_quote(quote, tpm.attestation_public_key, b"n2")
+
+    def test_deterministic_ak_per_serial(self):
+        assert (
+            Tpm("same", key_bits=512).attestation_public_key
+            == Tpm("same", key_bits=512).attestation_public_key
+        )
+        assert (
+            Tpm("one", key_bits=512).attestation_public_key
+            != Tpm("two", key_bits=512).attestation_public_key
+        )
+
+
+class TestCounters:
+    def test_counter_lifecycle(self):
+        tpm = Tpm("tpm-ctr", key_bits=512)
+        assert tpm.create_counter("tsr") == 0
+        assert tpm.increment_counter("tsr") == 1
+        assert tpm.increment_counter("tsr") == 2
+        assert tpm.read_counter("tsr") == 2
+
+    def test_duplicate_create_rejected(self):
+        tpm = Tpm("tpm-ctr2", key_bits=512)
+        tpm.create_counter("c")
+        with pytest.raises(TpmError):
+            tpm.create_counter("c")
+
+    def test_unknown_counter_rejected(self):
+        tpm = Tpm("tpm-ctr3", key_bits=512)
+        with pytest.raises(TpmError):
+            tpm.increment_counter("nope")
+        with pytest.raises(TpmError):
+            tpm.read_counter("nope")
+
+
+class TestNvStorage:
+    def test_write_read(self):
+        tpm = Tpm("tpm-nv", key_bits=512)
+        tpm.nv_write("sealed", b"\x01\x02")
+        assert tpm.nv_read("sealed") == b"\x01\x02"
+
+    def test_missing_read_rejected(self):
+        with pytest.raises(TpmError):
+            Tpm("tpm-nv2", key_bits=512).nv_read("nothing")

@@ -1,0 +1,135 @@
+"""Tests for the mini-YAML policy parser."""
+
+import pytest
+
+from repro.util.miniyaml import MiniYamlError, dump_yaml, parse_yaml
+
+
+class TestScalars:
+    def test_string(self):
+        assert parse_yaml("name: alpine") == {"name": "alpine"}
+
+    def test_quoted_string_keeps_specials(self):
+        assert parse_yaml('name: "a: b # c"') == {"name": "a: b # c"}
+
+    def test_int_and_float(self):
+        doc = parse_yaml("a: 3\nb: 2.5")
+        assert doc == {"a": 3, "b": 2.5}
+
+    def test_bool_and_null(self):
+        doc = parse_yaml("a: true\nb: false\nc: null\nd: ~")
+        assert doc == {"a": True, "b": False, "c": None, "d": None}
+
+    def test_inline_comment_stripped(self):
+        assert parse_yaml("a: hello # trailing") == {"a": "hello"}
+
+    def test_empty_document(self):
+        assert parse_yaml("") == {}
+        assert parse_yaml("# only a comment\n") == {}
+
+
+class TestStructures:
+    def test_nested_mapping(self):
+        doc = parse_yaml("outer:\n  inner: 1\n  other: two")
+        assert doc == {"outer": {"inner": 1, "other": "two"}}
+
+    def test_sequence_of_scalars(self):
+        doc = parse_yaml("items:\n  - one\n  - two")
+        assert doc == {"items": ["one", "two"]}
+
+    def test_sequence_of_mappings(self):
+        text = "mirrors:\n  - hostname: a\n    region: eu\n  - hostname: b\n    region: us\n"
+        doc = parse_yaml(text)
+        assert doc["mirrors"] == [
+            {"hostname": "a", "region": "eu"},
+            {"hostname": "b", "region": "us"},
+        ]
+
+    def test_top_level_sequence(self):
+        assert parse_yaml("- 1\n- 2\n") == [1, 2]
+
+    def test_deeply_nested(self):
+        text = "a:\n  b:\n    c:\n      - d: 1\n"
+        assert parse_yaml(text) == {"a": {"b": {"c": [{"d": 1}]}}}
+
+
+class TestBlockScalars:
+    def test_literal_block_strip(self):
+        text = "key: |-\n  line one\n  line two\n"
+        assert parse_yaml(text) == {"key": "line one\nline two"}
+
+    def test_literal_block_keeps_inner_blank_lines(self):
+        text = "key: |-\n  a\n\n  b\n"
+        assert parse_yaml(text) == {"key": "a\n\nb"}
+
+    def test_literal_block_inside_sequence(self):
+        text = "keys:\n  - |-\n    -----BEGIN KEY-----\n    abc\n    -----END KEY-----\n"
+        doc = parse_yaml(text)
+        assert doc["keys"][0] == "-----BEGIN KEY-----\nabc\n-----END KEY-----"
+
+    def test_block_marker_with_comment(self):
+        text = "key: |- # pem blob\n  data\n"
+        assert parse_yaml(text) == {"key": "data"}
+
+    def test_policy_listing_shape(self):
+        """The Listing-1 policy shape from the paper parses cleanly."""
+        text = (
+            "mirrors:\n"
+            "  - hostname: https://alpinelinux/v3.10/\n"
+            "    certificate_chain: |-\n"
+            "      -----BEGIN CERTIFICATE-----\n"
+            "      AAA\n"
+            "      -----END CERTIFICATE-----\n"
+            "signers_keys:\n"
+            "  - |-\n"
+            "    -----BEGIN PUBLIC KEY-----\n"
+            "    BBB\n"
+            "    -----END PUBLIC KEY-----\n"
+            "init_config_files:\n"
+            "  - path: /etc/passwd\n"
+            "    content: |-\n"
+            "      root:x:0:0:root:/root:/bin/ash\n"
+        )
+        doc = parse_yaml(text)
+        assert doc["mirrors"][0]["hostname"] == "https://alpinelinux/v3.10/"
+        assert "BEGIN CERTIFICATE" in doc["mirrors"][0]["certificate_chain"]
+        assert doc["signers_keys"][0].startswith("-----BEGIN PUBLIC KEY-----")
+        assert doc["init_config_files"][0]["path"] == "/etc/passwd"
+        assert doc["init_config_files"][0]["content"].startswith("root:x:0:0")
+
+
+class TestErrors:
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(MiniYamlError):
+            parse_yaml("a:\n\tb: 1")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(MiniYamlError):
+            parse_yaml("a: 1\na: 2")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(MiniYamlError):
+            parse_yaml("just a bare line")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(MiniYamlError) as excinfo:
+            parse_yaml("ok: 1\nbroken line")
+        assert excinfo.value.line == 2
+
+
+class TestRoundTrip:
+    def test_round_trip_mapping(self):
+        doc = {"a": 1, "b": "text", "c": [1, 2], "d": {"e": None}}
+        assert parse_yaml(dump_yaml(doc)) == doc
+
+    def test_round_trip_multiline(self):
+        doc = {"pem": "-----BEGIN X-----\nabc\n-----END X-----"}
+        assert parse_yaml(dump_yaml(doc)) == doc
+
+    def test_round_trip_sequence_of_mappings(self):
+        doc = {"mirrors": [{"hostname": "a", "lat": 12.5}, {"hostname": "b", "lat": 3}]}
+        assert parse_yaml(dump_yaml(doc)) == doc
+
+    def test_round_trip_quoting(self):
+        doc = {"tricky": "- leading dash", "numish": "12.5", "boolish": "true"}
+        assert parse_yaml(dump_yaml(doc)) == doc

@@ -1,0 +1,104 @@
+"""Tests for statistics helpers used by the bench harness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    human_bytes,
+    human_duration,
+    percentile,
+    summarize_latencies,
+    trimmed_mean,
+)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_median_of_even_series(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50), st.floats(0, 100))
+    def test_bounded_by_min_max(self, data, q):
+        value = percentile(data, q)
+        assert min(data) <= value <= max(data)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=50))
+    def test_monotone_in_q(self, data):
+        qs = [0, 25, 50, 75, 100]
+        values = [percentile(data, q) for q in qs]
+        assert values == sorted(values)
+
+
+class TestTrimmedMean:
+    def test_no_trim_is_mean(self):
+        assert trimmed_mean([1, 2, 3], trim=0.0) == 2.0
+
+    def test_paper_style_20_percent(self):
+        # 10 values, 20% trim drops 2 from each tail.
+        data = [1000, 0, 5, 5, 5, 5, 5, 5, 0, 1000]
+        assert trimmed_mean(data, trim=0.2) == 5.0
+
+    def test_outliers_suppressed(self):
+        data = [1.0] * 8 + [100.0, 200.0]
+        assert trimmed_mean(data, trim=0.2) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+    def test_rejects_bad_trim(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1], trim=0.5)
+
+    @given(st.lists(st.floats(0, 1e3), min_size=1, max_size=40))
+    def test_within_data_range(self, data):
+        value = trimmed_mean(data, trim=0.2)
+        assert min(data) - 1e-9 <= value <= max(data) + 1e-9
+
+
+class TestSummary:
+    def test_five_number_ordering(self):
+        summary = summarize_latencies(range(100))
+        assert summary.p5 <= summary.p25 <= summary.p50 <= summary.p75 <= summary.p95
+        assert summary.count == 100
+
+    def test_row_keys(self):
+        row = summarize_latencies([1.0, 2.0]).row()
+        assert set(row) == {"count", "mean", "p5", "p25", "p50", "p75", "p95"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+
+class TestHumanFormat:
+    def test_bytes_units(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.0 KB"
+        assert human_bytes(3 * 1024**3) == "3.0 GB"
+
+    def test_duration_units(self):
+        assert human_duration(0.000002).endswith("us")
+        assert human_duration(0.036) == "36.0 ms"
+        assert human_duration(2.2) == "2.20 s"
+        assert human_duration(13 * 60) == "13.0 min"
+
+    def test_duration_rejects_negative(self):
+        with pytest.raises(ValueError):
+            human_duration(-1)
