@@ -10,14 +10,16 @@ A shielded proxy between package managers and community repositories:
   cache with sealed, monotonic-counter-protected freshness (section 5.5),
 * :mod:`repro.core.program` — the code that runs *inside* the enclave,
 * :mod:`repro.core.service` — the host-side service + network endpoint,
+* :mod:`repro.core.pipeline` — the overlapped (pipelined) refresh engine,
 * :mod:`repro.core.client` — the package-manager-facing repository client.
 """
 
 from repro.core.policy import SecurityPolicy, MirrorPolicyEntry
 from repro.core.quorum import QuorumReader, QuorumResult
 from repro.core.catalog import RepositoryCatalog
+from repro.core.pipeline import PipelineOutcome, RefreshPipeline
 from repro.core.sanitizer import Sanitizer, SanitizationResult, SanitizationRejected
-from repro.core.service import TrustedSoftwareRepository
+from repro.core.service import RefreshReport, TrustedSoftwareRepository
 from repro.core.client import TsrRepositoryClient, MirrorRepositoryClient
 
 __all__ = [
@@ -26,9 +28,12 @@ __all__ = [
     "QuorumReader",
     "QuorumResult",
     "RepositoryCatalog",
+    "PipelineOutcome",
+    "RefreshPipeline",
     "Sanitizer",
     "SanitizationResult",
     "SanitizationRejected",
+    "RefreshReport",
     "TrustedSoftwareRepository",
     "TsrRepositoryClient",
     "MirrorRepositoryClient",

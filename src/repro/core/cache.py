@@ -9,22 +9,67 @@ in-enclave sanitized index (see :mod:`repro.core.program`).
 Both the original upstream blob and the sanitized blob are cached: the
 former avoids re-downloading on re-sanitization, the latter turns a
 download request into a disk read (Fig. 10's 129x).
+
+Sharding: package blobs are spread over ``shards`` independent stores
+(hash of ``repo_id/name``), so the pipelined refresh engine can account
+concurrent reads and writes on different shards as overlapping — a lookup
+no longer serializes behind an insert hitting another shard.  Shard 0's
+filesystem doubles as the root ``disk`` holding non-package state (the
+sealed freshness file), which keeps the single-disk layout of the paper's
+deployment observable to tests.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from repro.crypto.hashes import sha256_bytes
 from repro.osim.fs import SimFileSystem
 from repro.util.errors import FileSystemError
 
 ORIGINAL_PREFIX = "/var/cache/tsr/original"
 SANITIZED_PREFIX = "/var/cache/tsr/sanitized"
 
+DEFAULT_SHARDS = 8
+
+
+@dataclass
+class ShardStats:
+    """Per-shard operation counters (reads include misses)."""
+
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    misses: int = 0
+
 
 class PackageCache:
     """Name-addressed blob store over the untrusted host filesystem."""
 
-    def __init__(self, disk: SimFileSystem | None = None):
+    def __init__(self, disk: SimFileSystem | None = None,
+                 shards: int = DEFAULT_SHARDS):
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1: {shards}")
         self.disk = disk or SimFileSystem()
+        self._shards: list[SimFileSystem] = [self.disk]
+        self._shards.extend(SimFileSystem() for _ in range(shards - 1))
+        self._stats = [ShardStats() for _ in range(shards)]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_index(self, repo_id: str, name: str) -> int:
+        """Stable shard assignment for one package's blobs."""
+        digest = sha256_bytes(f"{repo_id}/{name}".encode())
+        return int.from_bytes(digest[:4], "big") % len(self._shards)
+
+    def shard_stats(self) -> list[ShardStats]:
+        return list(self._stats)
+
+    def _shard(self, repo_id: str, name: str) -> tuple[SimFileSystem, ShardStats]:
+        index = self.shard_index(repo_id, name)
+        return self._shards[index], self._stats[index]
 
     @staticmethod
     def _path(prefix: str, repo_id: str, name: str) -> str:
@@ -33,40 +78,53 @@ class PackageCache:
     # -- originals ----------------------------------------------------------
 
     def put_original(self, repo_id: str, name: str, blob: bytes):
-        self.disk.write_file(self._path(ORIGINAL_PREFIX, repo_id, name), blob)
+        shard, stats = self._shard(repo_id, name)
+        stats.writes += 1
+        shard.write_file(self._path(ORIGINAL_PREFIX, repo_id, name), blob)
 
     def get_original(self, repo_id: str, name: str) -> bytes | None:
-        return self._read(self._path(ORIGINAL_PREFIX, repo_id, name))
+        return self._read(repo_id, name, ORIGINAL_PREFIX)
 
     def has_original(self, repo_id: str, name: str) -> bool:
-        return self.disk.isfile(self._path(ORIGINAL_PREFIX, repo_id, name))
+        shard, _ = self._shard(repo_id, name)
+        return shard.isfile(self._path(ORIGINAL_PREFIX, repo_id, name))
 
     # -- sanitized ------------------------------------------------------------
 
     def put_sanitized(self, repo_id: str, name: str, blob: bytes):
-        self.disk.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
+        shard, stats = self._shard(repo_id, name)
+        stats.writes += 1
+        shard.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
 
     def get_sanitized(self, repo_id: str, name: str) -> bytes | None:
-        return self._read(self._path(SANITIZED_PREFIX, repo_id, name))
+        return self._read(repo_id, name, SANITIZED_PREFIX)
 
     def has_sanitized(self, repo_id: str, name: str) -> bool:
-        return self.disk.isfile(self._path(SANITIZED_PREFIX, repo_id, name))
+        shard, _ = self._shard(repo_id, name)
+        return shard.isfile(self._path(SANITIZED_PREFIX, repo_id, name))
 
     def invalidate(self, repo_id: str, name: str):
+        shard, _ = self._shard(repo_id, name)
         for prefix in (ORIGINAL_PREFIX, SANITIZED_PREFIX):
             path = self._path(prefix, repo_id, name)
-            if self.disk.isfile(path):
-                self.disk.remove(path)
+            if shard.isfile(path):
+                shard.remove(path)
 
     # -- adversary surface -------------------------------------------------------
 
     def tamper_sanitized(self, repo_id: str, name: str, blob: bytes):
         """Root-adversary helper used by tests/benches: replace a cached
         sanitized package (e.g. with an outdated version) behind TSR's back."""
-        self.disk.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
+        shard, _ = self._shard(repo_id, name)
+        shard.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
 
-    def _read(self, path: str) -> bytes | None:
+    def _read(self, repo_id: str, name: str, prefix: str) -> bytes | None:
+        shard, stats = self._shard(repo_id, name)
+        stats.reads += 1
         try:
-            return self.disk.read_file(path)
+            blob = shard.read_file(self._path(prefix, repo_id, name))
         except FileSystemError:
+            stats.misses += 1
             return None
+        stats.hits += 1
+        return blob

@@ -40,14 +40,19 @@ class _RepositoryState:
         self.sanitized_index = RepositoryIndex(serial=0)
         self.catalog = RepositoryCatalog()
         self.sanitizer: Sanitizer | None = None
+        #: Provisional sanitizer for the pipelined refresh: usable before
+        #: the catalog is frozen, but only on packages whose rewrite does
+        #: not read the catalog (no account-creation commands).
+        self.early_sanitizer: Sanitizer | None = None
 
-    def build_sanitizer(self):
-        self.sanitizer = Sanitizer(
+    def build_sanitizer(self) -> Sanitizer:
+        sanitizer = Sanitizer(
             signing_key=self.signing_key,
             trusted_signers=self.policy.signers_keys,
             catalog=self.catalog,
             init_config=self.policy.init_config_files,
         )
+        return sanitizer
 
 
 class TsrProgram:
@@ -169,10 +174,38 @@ class TsrProgram:
         self._check_upstream_blob(state, blob)
         state.catalog.scan_package(ApkPackage.parse(bytes(blob)).package)
 
+    def scan_package(self, repo_id: str, blob: bytes) -> dict:
+        """Account-scan one package and report its catalog dependency.
+
+        ``needs_catalog`` is True when the package's scripts contain
+        account-creation commands: sanitizing it splices in the
+        repository-wide deterministic prelude, so it must wait for
+        :meth:`finish_catalog`.  Everything else can be sanitized the
+        moment its blob arrives — the pipelined refresh engine uses this to
+        overlap sanitization with ongoing downloads.
+        """
+        from repro.archive.apk import ApkPackage
+        from repro.scripts.classify import OperationType, classify_package_scripts
+        from repro.util.errors import ScriptError
+
+        state = self._repo(repo_id)
+        entry = self._check_upstream_blob(state, blob)
+        package = ApkPackage.parse(bytes(blob)).package
+        state.catalog.scan_package(package)
+        try:
+            profile = classify_package_scripts(package.scripts)
+            needs_catalog = OperationType.USER_GROUP_CREATION in profile.operations
+        except ScriptError:
+            # Unparseable/unsupported scripts are rejected during
+            # sanitization regardless of catalog state.
+            needs_catalog = False
+        return {"name": entry.name, "needs_catalog": needs_catalog}
+
     def finish_catalog(self, repo_id: str) -> dict:
         """Freeze the catalog and build the sanitizer."""
         state = self._repo(repo_id)
-        state.build_sanitizer()
+        state.sanitizer = state.build_sanitizer()
+        state.early_sanitizer = None
         return {
             "users": len(state.catalog.users),
             "groups": len(state.catalog.groups),
@@ -184,8 +217,38 @@ class TsrProgram:
         state = self._repo(repo_id)
         if state.sanitizer is None:
             raise PolicyError("catalog not finalized: call finish_catalog first")
+        return self._sanitize_with(state, state.sanitizer, blob)
+
+    def sanitize_package_precatalog(self, repo_id: str,
+                                    blob: bytes) -> SanitizationResult:
+        """Sanitize a catalog-independent package before ``finish_catalog``.
+
+        Legal only for packages :meth:`scan_package` reported as
+        ``needs_catalog=False``: their rewrite never reads the account
+        catalog, so the output is byte-identical whether the catalog is
+        empty, partial, or frozen.  A package that turns out to splice the
+        account prelude is refused — the host scheduler made an illegal
+        overlap.
+        """
+        from repro.scripts.classify import OperationType
+
+        state = self._repo(repo_id)
+        if state.early_sanitizer is None:
+            state.early_sanitizer = state.build_sanitizer()
+        return self._sanitize_with(
+            state, state.early_sanitizer, blob,
+            forbid=OperationType.USER_GROUP_CREATION,
+        )
+
+    def _sanitize_with(self, state: _RepositoryState, sanitizer: Sanitizer,
+                       blob: bytes, forbid=None) -> SanitizationResult:
         entry = self._check_upstream_blob(state, blob)
-        result = state.sanitizer.sanitize_blob(bytes(blob))
+        result = sanitizer.sanitize_blob(bytes(blob))
+        if forbid is not None and forbid in result.profile.operations:
+            raise PolicyError(
+                "catalog-dependent package sanitized before finish_catalog "
+                "(pipeline scheduling bug)"
+            )
         state.sanitized_index.add(IndexEntry(
             name=entry.name,
             version=entry.version,
@@ -289,7 +352,7 @@ class TsrProgram:
                     bytes.fromhex(raw["sanitized_index"])
                 )
             state.catalog = _catalog_from_dict(raw.get("catalog", {}))
-            state.build_sanitizer()
+            state.sanitizer = state.build_sanitizer()
             self._repos[repo_id] = state
 
     def repository_ids(self) -> list[str]:

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.mirrors.mirror import Mirror, MirrorBehavior
 from repro.mirrors.repository import OriginalRepository
-from repro.simnet.latency import Continent
+from repro.simnet.latency import Continent, DEFAULT_BANDWIDTH_BYTES_PER_S
 from repro.simnet.network import Host, Network
 
 
@@ -18,6 +18,7 @@ class MirrorSpec:
     continent: Continent
     behavior: MirrorBehavior = MirrorBehavior.HONEST
     pinned_serial: int | None = None
+    bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_S
 
 
 def build_mirror_network(origin: OriginalRepository, specs: list[MirrorSpec],
@@ -26,12 +27,14 @@ def build_mirror_network(origin: OriginalRepository, specs: list[MirrorSpec],
     mirrors: dict[str, Mirror] = {}
     for spec in specs:
         mirror = Mirror(spec.name, origin, behavior=spec.behavior,
-                        pinned_serial=spec.pinned_serial)
+                        pinned_serial=spec.pinned_serial,
+                        bandwidth=spec.bandwidth)
         mirrors[spec.name] = mirror
         network.add_host(Host(
             name=spec.name,
             continent=spec.continent,
             handler=mirror.handle,
+            bandwidth=spec.bandwidth,
         ))
     return mirrors
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 
 from repro.mirrors.repository import OriginalRepository, Snapshot
+from repro.simnet.latency import DEFAULT_BANDWIDTH_BYTES_PER_S
 from repro.util.errors import NetworkError, PackagingError
 
 
@@ -27,14 +28,22 @@ class Mirror:
 
     def __init__(self, name: str, origin: OriginalRepository,
                  behavior: MirrorBehavior = MirrorBehavior.HONEST,
-                 pinned_serial: int | None = None):
+                 pinned_serial: int | None = None,
+                 bandwidth: float = DEFAULT_BANDWIDTH_BYTES_PER_S):
+        if bandwidth <= 0:
+            raise ValueError(f"mirror bandwidth must be positive: {bandwidth}")
         self.name = name
         self._origin = origin
         self.behavior = behavior
+        #: Sustained serving bandwidth (bytes/s) this replica offers one
+        #: stream; the simnet Host is wired with the same value, so parallel
+        #: refresh spreads load across fast and slow mirrors differently.
+        self.bandwidth = bandwidth
         self._snapshot: Snapshot = origin.snapshot()
         if pinned_serial is not None:
             self._snapshot = origin.snapshot_at(pinned_serial)
         self.requests_served = 0
+        self.bytes_served = 0
 
     # -- sync -------------------------------------------------------------------
 
@@ -62,6 +71,7 @@ class Mirror:
         self.requests_served += 1
         if operation == "get_index":
             blob = self._snapshot.index_bytes
+            self.bytes_served += len(blob)
             return blob, len(blob)
         if operation == "get_package":
             name = str(payload)
@@ -70,6 +80,7 @@ class Mirror:
             blob = self._snapshot.blobs[name]
             if self.behavior is MirrorBehavior.CORRUPT:
                 blob = self._corrupt(blob)
+            self.bytes_served += len(blob)
             return blob, len(blob)
         raise NetworkError(f"mirror {self.name}: unknown operation {operation!r}")
 

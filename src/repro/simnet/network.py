@@ -6,6 +6,13 @@ Hosts register a handler; callers issue requests that advance the shared
 mirrors at once): the clock advances to the *slowest completed* request, but
 each response records its individual completion offset.
 
+Parallel-transfer accounting: :meth:`Network.probe` resolves a request
+without touching the clock, and :class:`ParallelTransferSchedule` computes
+per-transfer completion offsets for many concurrent streams — each peer
+serves one stream at a time at its own bandwidth, and all active streams
+share the receiver's downlink max-min fairly.  The pipelined refresh engine
+(:mod:`repro.core.pipeline`) is built on these two primitives.
+
 Failure injection: hosts can be taken down (requests fail after a timeout)
 and pairs of hosts can be partitioned — the paper's adversary "prevents
 network connection to the original repository and arbitrary mirrors".
@@ -44,6 +51,152 @@ class Response:
     payload: object
     size_bytes: int
     elapsed: float  # seconds from issue to completion (simulated)
+
+
+@dataclass
+class TransferProbe:
+    """A resolved request with raw transfer parameters, clock untouched.
+
+    ``setup`` covers RTT, request upload, server processing and throttling;
+    the payload phase is *not* pre-computed — callers schedule it against
+    ``size_bytes`` and ``bandwidth`` so concurrent streams can share links.
+    """
+
+    payload: object
+    size_bytes: int
+    setup: float
+    bandwidth: float
+
+    @property
+    def solo_duration(self) -> float:
+        """Completion time when the stream runs with no contention."""
+        return self.setup + self.size_bytes / self.bandwidth
+
+
+@dataclass
+class TransferTiming:
+    """When one scheduled transfer started and finished (clock offsets)."""
+
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class _StreamItem:
+    key: object
+    setup: float
+    size_bytes: int
+    bandwidth: float
+
+
+def max_min_rates(caps: dict, capacity: float | None) -> dict:
+    """Max-min fair allocation of a shared capacity among capped streams.
+
+    Each stream receives at most its own cap (the peer's serving
+    bandwidth); slack left by streams capped below the fair share is
+    redistributed to the rest (progressive filling).  ``capacity=None``
+    means the shared link is not the bottleneck.
+    """
+    if capacity is None or capacity >= sum(caps.values()):
+        return dict(caps)
+    rates: dict = {}
+    remaining = capacity
+    pending = sorted(caps.items(), key=lambda item: (item[1], str(item[0])))
+    while pending:
+        share = remaining / len(pending)
+        key, cap = pending[0]
+        if cap <= share:
+            rates[key] = cap
+            remaining -= cap
+            pending.pop(0)
+            continue
+        for key, cap in pending:
+            rates[key] = share
+        break
+    return rates
+
+
+class ParallelTransferSchedule:
+    """Fluid-flow accounting for concurrent downloads over serial channels.
+
+    Each *channel* (one mirror connection) processes its queue in order: a
+    per-item setup phase (RTT + upload + processing, no downlink use)
+    followed by a payload phase at up to the peer's bandwidth.  All payload
+    phases active at the same instant share ``downlink_bandwidth`` max-min
+    fairly — the NIC bottleneck that makes many parallel streams saturate.
+
+    ``solve`` runs the event simulation and returns per-item
+    :class:`TransferTiming` offsets; it does not advance any clock, so the
+    caller decides how the makespan maps onto simulated time.
+    """
+
+    def __init__(self, downlink_bandwidth: float | None = None):
+        self._downlink = downlink_bandwidth
+        self._queues: dict[object, list[_StreamItem]] = {}
+
+    def enqueue(self, channel: object, key: object, setup: float,
+                size_bytes: int, bandwidth: float):
+        if setup < 0 or size_bytes < 0:
+            raise ValueError("negative transfer parameters")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._queues.setdefault(channel, []).append(
+            _StreamItem(key=key, setup=setup, size_bytes=size_bytes,
+                        bandwidth=bandwidth)
+        )
+
+    def solve(self, start_time: float = 0.0) -> dict[object, TransferTiming]:
+        timings: dict[object, TransferTiming] = {}
+        # Per-channel cursor state: (queue index, phase, phase datum).
+        # phase "setup" -> datum is the absolute end of the setup phase;
+        # phase "transfer" -> datum is the remaining payload bytes.
+        state: dict[object, list] = {}
+        started: dict[object, float] = {}
+        for channel, queue in self._queues.items():
+            if queue:
+                state[channel] = [0, "setup", start_time + queue[0].setup]
+                started[(channel, 0)] = start_time
+        now = start_time
+        while state:
+            active = {
+                channel: self._queues[channel][cursor[0]].bandwidth
+                for channel, cursor in state.items()
+                if cursor[1] == "transfer"
+            }
+            rates = max_min_rates(active, self._downlink)
+            horizon = []
+            for channel, cursor in state.items():
+                if cursor[1] == "setup":
+                    horizon.append(cursor[2])
+                else:
+                    rate = rates[channel]
+                    horizon.append(now + cursor[2] / rate if rate > 0
+                                   else float("inf"))
+            step_end = min(horizon)
+            for channel, cursor in list(state.items()):
+                if cursor[1] == "transfer":
+                    cursor[2] -= rates[channel] * (step_end - now)
+            now = step_end
+            for channel, cursor in list(state.items()):
+                index, phase, datum = cursor
+                item = self._queues[channel][index]
+                if phase == "setup" and datum <= now + 1e-15:
+                    state[channel] = [index, "transfer", float(item.size_bytes)]
+                elif phase == "transfer" and datum <= 1e-9:
+                    timings[item.key] = TransferTiming(
+                        start=started[(channel, index)], finish=now
+                    )
+                    if index + 1 < len(self._queues[channel]):
+                        nxt = self._queues[channel][index + 1]
+                        state[channel] = [index + 1, "setup", now + nxt.setup]
+                        started[(channel, index + 1)] = now
+                    else:
+                        del state[channel]
+        return timings
 
 
 @dataclass
@@ -109,14 +262,14 @@ class Network:
     def _reachable(self, src: str, dst: str) -> bool:
         return frozenset([src, dst]) not in self._partitions
 
-    def _completion_parts(self, src: Host,
-                          request: Request) -> tuple[object, int, float, float]:
-        """Compute (payload, response size, pre-download offset, download).
+    def probe(self, src_name: str, request: Request) -> TransferProbe:
+        """Resolve a request without advancing the clock.
 
-        The pre-download offset covers RTT, request upload, server
-        processing and throttling; the download part is reported separately
-        so ``gather`` can model a shared receiver downlink.
+        Executes the target's handler and returns the payload plus the raw
+        transfer parameters (setup latency, response size, peer bandwidth)
+        so schedulers can account the payload phase under contention.
         """
+        src = self.host(src_name)
         dst = self.host(request.target)
         if not dst.up or not self._reachable(src.name, dst.name):
             # A dead or partitioned peer manifests as a timeout.
@@ -127,14 +280,27 @@ class Network:
         rtt = self.latency.rtt(src.continent, dst.continent)
         payload_up = self.latency.transfer_time(request.size_bytes, dst.bandwidth)
         result, response_size = dst.handle(request.operation, request.payload)
+        setup = rtt + payload_up + dst.processing_time + dst.extra_delay
         payload_down = self.latency.transfer_time(response_size, dst.bandwidth)
-        pre = rtt + payload_up + dst.processing_time + dst.extra_delay
-        if pre + payload_down > self.timeout:
+        if setup + payload_down > self.timeout:
             raise NetworkError(
                 f"request from {src.name} to {request.target} exceeded "
-                f"timeout ({pre + payload_down:.3f}s > {self.timeout}s)"
+                f"timeout ({setup + payload_down:.3f}s > {self.timeout}s)"
             )
-        return result, response_size, pre, payload_down
+        return TransferProbe(payload=result, size_bytes=response_size,
+                             setup=setup, bandwidth=dst.bandwidth)
+
+    def _completion_parts(self, src: Host,
+                          request: Request) -> tuple[object, int, float, float]:
+        """Compute (payload, response size, pre-download offset, download).
+
+        The pre-download offset covers RTT, request upload, server
+        processing and throttling; the download part is reported separately
+        so ``gather`` can model a shared receiver downlink.
+        """
+        probe = self.probe(src.name, request)
+        download = self.latency.transfer_time(probe.size_bytes, probe.bandwidth)
+        return probe.payload, probe.size_bytes, probe.setup, download
 
     def _completion_offset(self, src: Host, request: Request) -> tuple[object, int, float]:
         """Compute (response payload, response size, completion offset)."""

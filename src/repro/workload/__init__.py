@@ -14,7 +14,12 @@ from repro.workload.generator import (
     generate_update_batch,
     PAPER_TOTALS,
 )
-from repro.workload.scenario import Scenario, build_scenario
+from repro.workload.scenario import (
+    FleetRefreshReport,
+    Scenario,
+    build_scenario,
+    fleet_refresh,
+)
 
 __all__ = [
     "GeneratedWorkload",
@@ -22,6 +27,8 @@ __all__ = [
     "generate_workload",
     "generate_update_batch",
     "PAPER_TOTALS",
+    "FleetRefreshReport",
     "Scenario",
     "build_scenario",
+    "fleet_refresh",
 ]

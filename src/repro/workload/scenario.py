@@ -25,6 +25,7 @@ from repro.sgx.platform import AttestationService, SgxCpu
 from repro.simnet.latency import Continent
 from repro.simnet.network import Host, Network
 from repro.tpm.device import Tpm
+from repro.util.errors import PackageManagerError
 from repro.workload.generator import GeneratedWorkload
 
 DEFAULT_MIRROR_SPECS = (
@@ -50,6 +51,7 @@ class Scenario:
     refresh_report: RefreshReport | None = None
     monitor: MonitoringSystem | None = None
     nodes: dict[str, IntegrityEnforcedOS] = field(default_factory=dict)
+    workload: GeneratedWorkload | None = None
     _node_count: int = 0
 
     @property
@@ -91,8 +93,13 @@ class Scenario:
     def sync_mirrors(self):
         sync_all(self.mirrors)
 
-    def refresh(self) -> RefreshReport:
-        self.refresh_report = self.tsr.refresh(self.repo_id)
+    def refresh(self, pipelined: bool = False,
+                max_streams: int | None = None,
+                parallel_downloads: int = 1) -> RefreshReport:
+        self.refresh_report = self.tsr.refresh(
+            self.repo_id, parallel_downloads=parallel_downloads,
+            pipelined=pipelined, max_streams=max_streams,
+        )
         return self.refresh_report
 
 
@@ -164,7 +171,94 @@ def build_scenario(workload: GeneratedWorkload | None = None,
         repo_id=repo_id,
         tsr_public_key=tsr_public_key,
         monitor=monitor,
+        workload=workload,
     )
     if refresh and to_publish:
         scenario.refresh()
     return scenario
+
+
+@dataclass
+class FleetRefreshReport:
+    """One fleet-refresh round: a repository refresh plus N client updates."""
+
+    refresh: RefreshReport
+    clients: int
+    installs: int
+    updated_packages: list[str]
+    #: Simulated seconds from the start of the refresh until the last
+    #: client finished installing.
+    wall_elapsed: float
+    #: Per-client simulated install durations (same order as the nodes).
+    client_elapsed: list[float] = field(default_factory=list)
+
+    @property
+    def slowest_client(self) -> float:
+        return max(self.client_elapsed, default=0.0)
+
+
+def fleet_refresh(scenario: Scenario, clients: int = 8,
+                  installs_per_client: int = 2,
+                  update_fraction: float = 0.05,
+                  pipelined: bool = True,
+                  seed: int = 11) -> FleetRefreshReport:
+    """Publish an update batch, refresh TSR, and drive a client fleet.
+
+    The flow the north star cares about: upstream releases land, the
+    (pipelined) refresh engine re-sanitizes them, and ``clients`` nodes
+    update their indexes and install from the refreshed repository.  The
+    report separates refresh latency from fan-out latency so benches can
+    show where pipelining moves the needle.
+    """
+    import random
+
+    from repro.workload.generator import generate_update_batch
+
+    if clients < 1:
+        raise ValueError("fleet needs at least one client")
+    workload = getattr(scenario, "workload", None)
+    updated: list[str] = []
+    if workload is not None:
+        batch = generate_update_batch(workload, fraction=update_fraction,
+                                      seed=seed)
+        scenario.origin.publish_many([(package, None) for package in batch])
+        updated = [package.name for package in batch]
+        scenario.sync_mirrors()
+
+    start = scenario.clock.now()
+    report = scenario.refresh(pipelined=pipelined)
+
+    rng = random.Random(f"fleet:{seed}")
+    installable = [
+        name for name in report.changed_packages
+        if scenario.tsr.cache.has_sanitized(scenario.repo_id, name)
+    ]
+    installs = 0
+    client_elapsed: list[float] = []
+    for i in range(clients):
+        node, manager = scenario.new_node(f"fleet-{seed}-{i:03d}")
+        client_start = scenario.clock.now()
+        manager.update()
+        choices = list(installable or manager.index.package_names())
+        rng.shuffle(choices)
+        done = 0
+        for name in choices:
+            if done >= installs_per_client:
+                break
+            try:
+                manager.install(name)
+            except PackageManagerError:
+                # Closure includes a package TSR rejected — not installable
+                # through the sanitized repository; pick another.
+                continue
+            done += 1
+            installs += 1
+        client_elapsed.append(scenario.clock.now() - client_start)
+    return FleetRefreshReport(
+        refresh=report,
+        clients=clients,
+        installs=installs,
+        updated_packages=updated,
+        wall_elapsed=scenario.clock.now() - start,
+        client_elapsed=client_elapsed,
+    )
