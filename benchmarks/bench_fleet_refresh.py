@@ -1,0 +1,79 @@
+"""Fleet refresh — one update round fanned out to a client fleet.
+
+The end-to-end flow the north star cares about (publish → refresh →
+fleet pull) at two scales:
+
+* *serial vs scheduled* — the same small fleet driven once with clients
+  serializing on the clock (the pre-refactor behaviour, kept as
+  ``scheduled=False``) and once as concurrent channels on the shared
+  transfer schedule, to quantify what the single-engine refactor buys;
+* *fleet scale* — a >= 256-client fan-out (``REPRO_FLEET_CLIENTS``
+  overrides), feasible only on the scheduled path: all clients resolve in
+  one event-driven ``solve`` and their per-client timings reflect
+  shared-uplink contention rather than per-client serialization.
+"""
+
+import os
+
+from repro.bench.report import PaperTable, record_table
+from repro.util.stats import human_duration
+from repro.workload.generator import generate_workload
+from repro.workload.scenario import build_scenario, fleet_refresh
+
+FLEET_CLIENTS = int(os.environ.get("REPRO_FLEET_CLIENTS", "256"))
+
+
+def _scenario():
+    workload = generate_workload(scale=0.004, seed=5, with_content=True)
+    return build_scenario(workload=workload, key_bits=1024,
+                          with_monitor=False)
+
+
+def test_fleet_refresh_scaling(benchmark):
+    def sweep():
+        results = {}
+        results["serial-16"] = fleet_refresh(
+            _scenario(), clients=16, installs_per_client=1, scheduled=False)
+        results["scheduled-16"] = fleet_refresh(
+            _scenario(), clients=16, installs_per_client=1, scheduled=True)
+        results[f"scheduled-{FLEET_CLIENTS}"] = fleet_refresh(
+            _scenario(), clients=FLEET_CLIENTS, installs_per_client=1,
+            scheduled=True)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = PaperTable(
+        experiment="Fleet refresh",
+        title="Update fan-out: serial clients vs shared transfer schedule",
+        columns=["configuration", "fan-out wall", "slowest client",
+                 "mean client", "client-seconds", "installs"],
+    )
+    for label, fleet in results.items():
+        mean = sum(fleet.client_elapsed) / len(fleet.client_elapsed)
+        table.add_row(
+            label,
+            human_duration(fleet.fanout_elapsed),
+            human_duration(fleet.slowest_client),
+            human_duration(mean),
+            human_duration(sum(fleet.client_elapsed)),
+            fleet.installs,
+        )
+    table.note("scheduled clients share the TSR uplink max-min fairly: "
+               "client-seconds exceed the fan-out wall-clock (overlap), "
+               "and per-client latency grows with fleet size (contention); "
+               "serial mode adds the clients' slices back to back")
+    record_table(table)
+
+    serial, scheduled = results["serial-16"], results["scheduled-16"]
+    large = results[f"scheduled-{FLEET_CLIENTS}"]
+    # The schedule overlaps the fan-out that serial mode adds up.
+    assert scheduled.fanout_elapsed < serial.fanout_elapsed
+    # Contention, not serialization: resource-seconds exceed the makespan,
+    # and every client stays in flight until near the end.
+    assert sum(large.client_elapsed) > 2 * large.fanout_elapsed
+    assert large.clients >= 256 or FLEET_CLIENTS < 256
+    assert len(large.client_elapsed) == large.clients
+    # Shared-uplink contention: the large fleet's slowest client waits
+    # longer than the small fleet's.
+    assert large.slowest_client > scheduled.slowest_client

@@ -3,6 +3,14 @@
 ``TsrRepositoryClient`` talks to a TSR instance; ``MirrorRepositoryClient``
 talks directly to a mirror (the baseline setup) — package managers cannot
 tell them apart, which is the paper's transparency claim (section 4.3).
+
+Both clients run their transfers on the shared event-driven engine: single
+fetches go through :meth:`Network.call`, batch fetches
+(:meth:`fetch_packages`, :meth:`fetch_index_and_packages`) fan out over a
+``ParallelTransferSchedule`` via :meth:`Network.gather_scheduled`, and a
+:class:`~repro.simnet.network.ScheduledFetchSession` — when attached —
+routes every fetch onto a fleet-wide schedule so thousands of clients
+share the repository's uplink instead of serializing on the clock.
 """
 
 from __future__ import annotations
@@ -10,52 +18,161 @@ from __future__ import annotations
 from repro.crypto.rsa import RsaPublicKey
 from repro.sgx.enclave import EnclaveQuote
 from repro.sgx.platform import AttestationService
-from repro.simnet.network import Network, Request
-from repro.util.errors import AttestationError
+from repro.simnet.network import (
+    Network,
+    Request,
+    Response,
+    ScheduledFetchSession,
+)
+from repro.util.errors import AttestationError, NetworkError
 
 
-class TsrRepositoryClient:
+class _ScheduledClientBase:
+    """Shared client surface: session routing + scheduled batch fetches.
+
+    Subclasses only define how requests are built (``_index_request`` /
+    ``_package_request``); every fetch path lives here so the TSR and
+    mirror clients cannot diverge.
+    """
+
+    _network: Network
+    _src: str
+
+    def __init__(self, network: Network, src_host: str,
+                 session: ScheduledFetchSession | None = None):
+        self._network = network
+        self._src = src_host
+        self._session = session
+
+    def _index_request(self) -> Request:
+        raise NotImplementedError
+
+    def _package_request(self, name: str) -> Request:
+        raise NotImplementedError
+
+    def use_session(self, session: ScheduledFetchSession | None):
+        """Attach (or detach) a fleet-wide scheduled fetch session."""
+        self._session = session
+
+    def _fetch(self, request: Request) -> bytes:
+        if self._session is not None:
+            return self._session.fetch(self._src, request, channel=self._src)
+        return self._network.call(self._src, request).payload
+
+    def _gather(self, requests: list[Request],
+                channels: list) -> list[object]:
+        """Batch the requests over the given schedule channels.
+
+        Returns one entry per request: the response payload, or the
+        :class:`NetworkError` it failed with — callers decide which
+        failures are fatal.  Advances the clock by the schedule makespan.
+        With a session attached, requests instead serialize on the
+        client's single fleet channel (``channels`` is ignored — a fleet
+        client models one connection) and the session accounts the time.
+        """
+        if self._session is not None:
+            results: list[object] = []
+            for request in requests:
+                try:
+                    results.append(self._session.fetch(self._src, request,
+                                                       channel=self._src))
+                except NetworkError as exc:
+                    results.append(exc)
+            return results
+        responses = self._network.gather_scheduled(
+            self._src, requests, channels=channels, advance="max"
+        )
+        return [response.payload if isinstance(response, Response)
+                else response for response in responses]
+
+    @staticmethod
+    def _check_connections(connections: int):
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+
+    def fetch_index(self) -> bytes:
+        return self._fetch(self._index_request())
+
+    def fetch_package(self, name: str) -> bytes:
+        return self._fetch(self._package_request(name))
+
+    def fetch_packages(self, names: list[str],
+                       connections: int = 1) -> dict[str, bytes]:
+        """Fetch many packages over one schedule (concurrent connections).
+
+        Raises the first :class:`NetworkError` if any fetch failed.  With
+        a fleet session attached the fetches serialize on the client's
+        one connection instead (``connections`` has no effect).
+        """
+        self._check_connections(connections)
+        payloads = self._gather(
+            [self._package_request(name) for name in names],
+            [i % connections for i in range(len(names))],
+        )
+        for payload in payloads:
+            if isinstance(payload, NetworkError):
+                raise payload
+        return dict(zip(names, payloads))
+
+    def fetch_index_and_packages(self, names: list[str],
+                                 connections: int = 1,
+                                 ) -> tuple[bytes, dict[str, bytes]]:
+        """Overlapped mode: the index downloads on its own channel,
+        concurrently with *optimistic* fetches of the named packages
+        (callers verify the blobs against the fresh index once it lands —
+        sizes and hashes are pinned there, so optimism is safe).
+
+        A failed index fetch raises; a failed package fetch (e.g. a name
+        the repository rejected, unknowable before the index arrives) is
+        simply omitted from the returned dict and left to the caller to
+        resolve against the fresh index.  With a fleet session attached
+        everything serializes on the client's one connection instead
+        (``connections`` has no effect, and the index is not overlapped).
+        """
+        self._check_connections(connections)
+        requests = [self._index_request()]
+        requests += [self._package_request(name) for name in names]
+        channels = ["index"] + [i % connections for i in range(len(names))]
+        payloads = self._gather(requests, channels)
+        if isinstance(payloads[0], NetworkError):
+            raise payloads[0]
+        blobs = {name: payload
+                 for name, payload in zip(names, payloads[1:])
+                 if not isinstance(payload, NetworkError)}
+        return payloads[0], blobs
+
+
+class TsrRepositoryClient(_ScheduledClientBase):
     """A package manager's view of one TSR tenant repository."""
 
     def __init__(self, network: Network, src_host: str, tsr_host: str,
-                 repo_id: str):
-        self._network = network
-        self._src = src_host
+                 repo_id: str,
+                 session: ScheduledFetchSession | None = None):
+        super().__init__(network, src_host, session=session)
         self._tsr = tsr_host
         self.repo_id = repo_id
 
-    def fetch_index(self) -> bytes:
-        response = self._network.call(
-            self._src, Request(self._tsr, "get_index", payload=self.repo_id)
-        )
-        return response.payload
+    def _index_request(self) -> Request:
+        return Request(self._tsr, "get_index", payload=self.repo_id)
 
-    def fetch_package(self, name: str) -> bytes:
-        response = self._network.call(
-            self._src,
-            Request(self._tsr, "get_package",
-                    payload={"repo": self.repo_id, "name": name}),
-        )
-        return response.payload
+    def _package_request(self, name: str) -> Request:
+        return Request(self._tsr, "get_package",
+                       payload={"repo": self.repo_id, "name": name})
 
 
-class MirrorRepositoryClient:
+class MirrorRepositoryClient(_ScheduledClientBase):
     """Direct-to-mirror client: the conventional (baseline) configuration."""
 
-    def __init__(self, network: Network, src_host: str, mirror_host: str):
-        self._network = network
-        self._src = src_host
+    def __init__(self, network: Network, src_host: str, mirror_host: str,
+                 session: ScheduledFetchSession | None = None):
+        super().__init__(network, src_host, session=session)
         self._mirror = mirror_host
 
-    def fetch_index(self) -> bytes:
-        return self._network.call(
-            self._src, Request(self._mirror, "get_index")
-        ).payload
+    def _index_request(self) -> Request:
+        return Request(self._mirror, "get_index")
 
-    def fetch_package(self, name: str) -> bytes:
-        return self._network.call(
-            self._src, Request(self._mirror, "get_package", payload=name)
-        ).payload
+    def _package_request(self, name: str) -> Request:
+        return Request(self._mirror, "get_package", payload=name)
 
 
 def deploy_policy_with_attestation(network: Network, src_host: str,

@@ -200,26 +200,33 @@ class RefreshPipeline:
         Assignment is longest-processing-time-first onto the channel with
         the least estimated backlog (sizes come from the quorum-validated
         index, so the estimate needs no extra round trips).  Failed or
-        corrupt transfers retry on the remaining mirrors after the parallel
-        phase, exactly like the sequential verified path.
+        corrupt transfers are reinserted into the live schedule on the
+        earliest-free not-yet-tried channel — starting no earlier than the
+        moment the failure was detected — and the schedule re-solved, so
+        retries overlap with still-running downloads instead of running in
+        a serial pass after the parallel phase.  Retry start gaps are
+        pinned against the schedule state at decision time; the re-solve
+        may still shift concurrent streams through downlink contention.
         """
         src = self._network.host(self._service.hostname)
         schedule = ParallelTransferSchedule(
             downlink_bandwidth=src.downlink_bandwidth
         )
-        estimates = {channel["hostname"]: 0.0 for channel in self._channels}
-        hosts = {channel["hostname"]: self._network.host(channel["hostname"])
-                 for channel in self._channels}
+        # Retries may open channels beyond the fan-out cap: any policy
+        # mirror not yet tried for a package is fair game, as in the old
+        # sequential fallback.
+        hosts = {mirror["hostname"]: self._network.host(mirror["hostname"])
+                 for mirror in self._ordered_mirrors}
         setup_est = {}
-        for channel in self._channels:
-            host = hosts[channel["hostname"]]
-            setup_est[channel["hostname"]] = (
+        for hostname, host in hosts.items():
+            setup_est[hostname] = (
                 self._network.latency.base_rtt(src.continent, host.continent)
                 + self._network.latency.transfer_time(_REQUEST_BYTES,
                                                       host.bandwidth)
                 + host.processing_time + host.extra_delay
             )
 
+        estimates = {channel["hostname"]: 0.0 for channel in self._channels}
         queues: dict[str, list[str]] = {h: [] for h in estimates}
         for name in sorted(names, key=lambda n: -self._expected[n]["size"]):
             hostname = min(estimates, key=lambda h: (estimates[h], h))
@@ -230,94 +237,107 @@ class RefreshPipeline:
             )
 
         fetched: dict[str, bytes] = {}
-        retry: list[str] = []
+        candidate: dict[str, bytes] = {}          # this round, unverified
+        attempt_keys: dict[str, list] = {name: [] for name in names}
+        channel_items: dict[str, list] = {h: [] for h in hosts}
         tried: dict[str, set[str]] = {name: set() for name in names}
-        for hostname, queue in queues.items():
-            for name in queue:
-                tried[name].add(hostname)
-                try:
-                    probe = self._network.probe(
-                        self._service.hostname,
-                        Request(hostname, "get_package", payload=name),
-                    )
-                except NetworkError:
-                    # A dead mirror stalls its channel for the timeout.
-                    schedule.enqueue(hostname, ("stall", name),
-                                     self._network.timeout, 0,
-                                     hosts[hostname].bandwidth)
-                    retry.append(name)
-                    continue
-                fetched[name] = probe.payload
-                schedule.enqueue(hostname, name, probe.setup,
-                                 probe.size_bytes, probe.bandwidth)
-
-        timings = schedule.solve()
-        durations: dict[str, float] = {}
-        finishes: dict[str, float] = {}
         assignments: dict[str, str] = {}
-        phase_end = max((t.finish for t in timings.values()), default=0.0)
-        for hostname, queue in queues.items():
-            for name in queue:
-                key = name if name in fetched else ("stall", name)
-                timing = timings[key]
-                durations[name] = timing.duration
-                finishes[name] = timing.finish
-                if name in fetched:
-                    assignments[name] = hostname
+        success_key: dict[str, object] = {}
+        last_error: dict[str, object] = {}
+        pending: list[str] = []
 
-        # Verify against the quorum index; corrupt blobs join the retries.
-        for name in list(fetched):
-            want = self._expected[name]
-            blob = fetched[name]
-            if not matches_expected(blob, want):
-                del fetched[name]
-                retry.append(name)
-
-        clock_offset = phase_end
-        for name in sorted(set(retry)):
-            blob, duration, clock_offset, hostname = self._retry_download(
-                name, tried[name], max(clock_offset, finishes.get(name, 0.0))
-            )
-            fetched[name] = blob
-            durations[name] = durations.get(name, 0.0) + duration
-            finishes[name] = clock_offset
-            assignments[name] = hostname
-        return fetched, durations, finishes, assignments
-
-    def _retry_download(self, name: str, tried: set[str],
-                        offset: float) -> tuple[bytes, float, float, str]:
-        """Sequential verified fallback over the not-yet-tried mirrors."""
-        want = self._expected[name]
-        spent = 0.0
-        last_error: Exception | str | None = None
-        for mirror in self._ordered_mirrors:
-            hostname = mirror["hostname"]
-            if hostname in tried:
-                continue
-            tried.add(hostname)
+        def issue(name: str, hostname: str, attempt: int, extra_wait: float):
+            """Probe one fetch and enqueue it (or its timeout stall)."""
+            tried[name].add(hostname)
             try:
                 probe = self._network.probe(
                     self._service.hostname,
                     Request(hostname, "get_package", payload=name),
                 )
             except NetworkError as exc:
-                spent += self._network.timeout
-                last_error = exc
-                continue
-            blob = probe.payload
-            if not matches_expected(blob, want):
-                spent += probe.solo_duration
-                last_error = (
-                    f"mirror {hostname} served a blob that does not match "
-                    "the quorum-validated index"
-                )
-                continue
-            spent += probe.solo_duration
-            return blob, spent, offset + spent, hostname
-        raise NetworkError(
-            f"package {name!r} unavailable from every policy mirror: "
-            f"{last_error}"
-        )
+                # A dead mirror stalls its channel for the timeout.
+                last_error[name] = exc
+                key = ("stall", attempt, name)
+                schedule.enqueue(hostname, key,
+                                 extra_wait + self._network.timeout, 0,
+                                 hosts[hostname].bandwidth)
+                attempt_keys[name].append(key)
+                channel_items[hostname].append(key)
+                return None
+            key = (attempt, name)
+            schedule.enqueue(hostname, key, extra_wait + probe.setup,
+                             probe.size_bytes, probe.bandwidth)
+            attempt_keys[name].append(key)
+            channel_items[hostname].append(key)
+            candidate[name] = probe.payload
+            assignments[name] = hostname
+            success_key[name] = key
+            return probe
+
+        for hostname, queue in queues.items():
+            for name in queue:
+                if issue(name, hostname, 0, 0.0) is None:
+                    pending.append(name)
+
+        attempt = 0
+        timings = schedule.solve()
+        while True:
+            # Verify against the quorum index; corrupt blobs join retries.
+            for name in sorted(candidate):
+                if matches_expected(candidate[name], self._expected[name]):
+                    fetched[name] = candidate[name]
+                else:
+                    last_error[name] = (
+                        f"mirror {assignments[name]} served a blob that "
+                        "does not match the quorum-validated index"
+                    )
+                    pending.append(name)
+                    del assignments[name]
+                    del success_key[name]
+            candidate.clear()
+            if not pending:
+                break
+            channel_free = {
+                h: max((timings[k].finish for k in channel_items[h]),
+                       default=0.0)
+                for h in hosts
+            }
+            retry_now = sorted(
+                set(pending),
+                key=lambda n: (timings[attempt_keys[n][-1]].finish, n),
+            )
+            pending = []
+            attempt += 1
+            for name in retry_now:
+                detect = timings[attempt_keys[name][-1]].finish
+                eligible = [h for h in hosts if h not in tried[name]]
+                if not eligible:
+                    raise NetworkError(
+                        f"package {name!r} unavailable from every policy "
+                        f"mirror: {last_error.get(name)}"
+                    )
+                hostname = min(eligible,
+                               key=lambda h: (channel_free[h], h))
+                extra_wait = max(0.0, detect - channel_free[hostname])
+                probe = issue(name, hostname, attempt, extra_wait)
+                if probe is None:
+                    channel_free[hostname] += \
+                        extra_wait + self._network.timeout
+                    pending.append(name)
+                else:
+                    channel_free[hostname] += (
+                        extra_wait + probe.setup
+                        + probe.size_bytes / probe.bandwidth
+                    )
+            timings = schedule.solve()
+
+        durations = {
+            name: sum(timings[key].duration for key in keys)
+            for name, keys in attempt_keys.items()
+        }
+        finishes = {name: timings[key].finish
+                    for name, key in success_key.items()}
+        return fetched, durations, finishes, assignments
 
     # -- per-resource accounting -------------------------------------------
 

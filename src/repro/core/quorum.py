@@ -5,6 +5,13 @@ policy's 2f+1 mirrors; if their (signature-valid) indexes disagree, it
 contacts additional mirrors until some index value is reported by f+1
 mirrors.  Packages themselves may then come from any single mirror because
 the quorum-validated index pins their sizes and hashes.
+
+Transfer accounting runs on the shared event-driven engine
+(:meth:`Network.gather_scheduled` over ``ParallelTransferSchedule``): the
+first wave's concurrent index downloads share the TSR host's downlink with
+exact max-min accounting — the same model pipeline downloads use — and
+extension reads compose onto the same timeline via ``start_at``, so quorum
+and pipeline phases can later interleave on one schedule.
 """
 
 from __future__ import annotations
@@ -66,22 +73,34 @@ class QuorumReader:
         dissenting: list[str] = []
         contacted = 0
         cursor = 0
+        # Offset of the read's frontier on the shared schedule timeline:
+        # each wave starts when the previous one resolved, so extension
+        # reads land after the responses that triggered them.
+        frontier = 0.0
 
         def tally(batch: list[MirrorPolicyEntry]):
-            nonlocal contacted
+            nonlocal contacted, frontier
             requests = [Request(m.hostname, "get_index") for m in batch]
-            responses = self._network.gather(self._src, requests)
+            responses = self._network.gather_scheduled(
+                self._src, requests, start_at=frontier, advance="none"
+            )
             contacted += len(batch)
+            finishes: list[float] = []
             for mirror, response in zip(batch, responses):
                 if isinstance(response, NetworkError):
                     dissenting.append(mirror.hostname)
                     continue
+                finishes.append(response.elapsed)
                 index = self._validate(response.payload)
                 if index is None:
                     dissenting.append(mirror.hostname)
                     continue
                 votes.setdefault(index.body_hash(), []).append(mirror.hostname)
                 indexes.setdefault(index.body_hash(), index)
+            advanced = (max(finishes) if finishes
+                        else frontier + self._network.timeout)
+            self._network.clock.advance(advanced - frontier)
+            frontier = advanced
 
         # First wave: the fastest f+1 mirrors, contacted concurrently.
         first_wave = ordered[:needed]

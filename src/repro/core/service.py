@@ -354,9 +354,10 @@ class TrustedSoftwareRepository:
         """Fetch packages in concurrent waves, round-robining mirrors.
 
         Each wave issues up to ``width`` requests at once via the
-        transport's gather (the clock advances by the slowest transfer of
-        the wave, not the sum).  Failed or corrupt responses fall back to
-        the verified sequential path.
+        transport's schedule-backed gather (the clock advances by the
+        slowest transfer of the wave, not the sum; concurrent payloads
+        share the host's downlink with exact max-min accounting).  Failed
+        or corrupt responses fall back to the verified sequential path.
         """
         ordered = self.mirrors_by_rtt(mirrors)
         fetched: dict[str, bytes] = {}

@@ -12,7 +12,17 @@ Simulated time never mixes with wall-clock time: everything here advances a
 
 from repro.simnet.clock import SimClock
 from repro.simnet.latency import Continent, LatencyModel, DEFAULT_LATENCY_MODEL
-from repro.simnet.network import Host, Network, Request, Response
+from repro.simnet.network import (
+    Host,
+    Network,
+    ParallelTransferSchedule,
+    Request,
+    Response,
+    ScheduledFetchSession,
+    TransferProbe,
+    TransferTiming,
+    max_min_rates,
+)
 
 __all__ = [
     "SimClock",
@@ -21,6 +31,11 @@ __all__ = [
     "DEFAULT_LATENCY_MODEL",
     "Host",
     "Network",
+    "ParallelTransferSchedule",
     "Request",
     "Response",
+    "ScheduledFetchSession",
+    "TransferProbe",
+    "TransferTiming",
+    "max_min_rates",
 ]

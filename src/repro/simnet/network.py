@@ -8,10 +8,14 @@ each response records its individual completion offset.
 
 Parallel-transfer accounting: :meth:`Network.probe` resolves a request
 without touching the clock, and :class:`ParallelTransferSchedule` computes
-per-transfer completion offsets for many concurrent streams — each peer
+per-transfer completion offsets for many concurrent streams — each channel
 serves one stream at a time at its own bandwidth, and all active streams
-share the receiver's downlink max-min fairly.  The pipelined refresh engine
-(:mod:`repro.core.pipeline`) is built on these two primitives.
+share a common link capacity max-min fairly.  The schedule is the *single*
+transfer engine: :meth:`Network.gather` (and its composable form,
+:meth:`Network.gather_scheduled`) is built on it, as are the pipelined
+refresh engine (:mod:`repro.core.pipeline`), the quorum reader
+(:mod:`repro.core.quorum`), and the client fleet
+(:class:`ScheduledFetchSession`).
 
 Failure injection: hosts can be taken down (requests fail after a timeout)
 and pairs of hosts can be partitioned — the paper's adversary "prevents
@@ -135,6 +139,8 @@ class ParallelTransferSchedule:
     """
 
     def __init__(self, downlink_bandwidth: float | None = None):
+        if downlink_bandwidth is not None and downlink_bandwidth <= 0:
+            raise ValueError("downlink bandwidth must be positive")
         self._downlink = downlink_bandwidth
         self._queues: dict[object, list[_StreamItem]] = {}
 
@@ -168,18 +174,25 @@ class ParallelTransferSchedule:
                 if cursor[1] == "transfer"
             }
             rates = max_min_rates(active, self._downlink)
-            horizon = []
+            horizons: dict[object, float] = {}
             for channel, cursor in state.items():
                 if cursor[1] == "setup":
-                    horizon.append(cursor[2])
+                    horizons[channel] = cursor[2]
                 else:
                     rate = rates[channel]
-                    horizon.append(now + cursor[2] / rate if rate > 0
-                                   else float("inf"))
-            step_end = min(horizon)
+                    horizons[channel] = (now + cursor[2] / rate if rate > 0
+                                         else float("inf"))
+            step_end = min(horizons.values())
             for channel, cursor in list(state.items()):
                 if cursor[1] == "transfer":
-                    cursor[2] -= rates[channel] * (step_end - now)
+                    if horizons[channel] <= step_end:
+                        # This stream defines the event: complete it by
+                        # identity, not subtraction — at large clock
+                        # values the per-step drain can round to zero and
+                        # leave a sub-epsilon residue that never clears.
+                        cursor[2] = 0.0
+                    else:
+                        cursor[2] -= rates[channel] * (step_end - now)
             now = step_end
             for channel, cursor in list(state.items()):
                 index, phase, datum = cursor
@@ -290,22 +303,10 @@ class Network:
         return TransferProbe(payload=result, size_bytes=response_size,
                              setup=setup, bandwidth=dst.bandwidth)
 
-    def _completion_parts(self, src: Host,
-                          request: Request) -> tuple[object, int, float, float]:
-        """Compute (payload, response size, pre-download offset, download).
-
-        The pre-download offset covers RTT, request upload, server
-        processing and throttling; the download part is reported separately
-        so ``gather`` can model a shared receiver downlink.
-        """
-        probe = self.probe(src.name, request)
-        download = self.latency.transfer_time(probe.size_bytes, probe.bandwidth)
-        return probe.payload, probe.size_bytes, probe.setup, download
-
     def _completion_offset(self, src: Host, request: Request) -> tuple[object, int, float]:
         """Compute (response payload, response size, completion offset)."""
-        payload, size, pre, download = self._completion_parts(src, request)
-        return payload, size, pre + download
+        probe = self.probe(src.name, request)
+        return probe.payload, probe.size_bytes, probe.solo_duration
 
     def call(self, src_name: str, request: Request) -> Response:
         """Issue a single request; advances the clock by its full latency."""
@@ -314,9 +315,74 @@ class Network:
         self.clock.advance(offset)
         return Response(payload=payload, size_bytes=size, elapsed=offset)
 
+    def gather_scheduled(self, src_name: str, requests: list[Request],
+                         *, start_at: float = 0.0,
+                         channels: list | None = None,
+                         advance: str = "none",
+                         ) -> list[Response | NetworkError]:
+        """Issue requests concurrently over a :class:`ParallelTransferSchedule`.
+
+        Returns one entry per request: a :class:`Response` (its ``elapsed``
+        is the *absolute* completion offset on the schedule timeline, i.e.
+        ``>= start_at``) or the :class:`NetworkError` the request failed
+        with.  Payload phases of all successful requests share the source
+        host's ``downlink_bandwidth`` max-min fairly — the exact fluid-flow
+        accounting the refresh pipeline uses, replacing the old closed-form
+        shared-downlink bound.
+
+        ``channels`` optionally assigns each request to a schedule channel;
+        requests on the same channel serialize (one connection), distinct
+        channels run concurrently.  By default every request gets its own
+        channel (independent connections).  ``start_at`` offsets the whole
+        batch, so successive waves (e.g. quorum extension reads) compose on
+        one timeline.  ``advance="max"`` moves the clock by the slowest
+        successful completion relative to ``start_at`` (or by the timeout if
+        every request failed); ``advance="none"`` leaves the clock to the
+        caller.
+        """
+        if advance not in ("max", "none"):
+            raise ValueError(f"unsupported advance mode: {advance}")
+        src = self.host(src_name)
+        if not requests:
+            # Nothing was asked for: no transfers, no timeout — distinct
+            # from "every request failed", which does burn the timeout.
+            return []
+        if channels is None:
+            channels = list(range(len(requests)))
+        elif len(channels) != len(requests):
+            raise ValueError("channels must parallel requests")
+        schedule = ParallelTransferSchedule(
+            downlink_bandwidth=src.downlink_bandwidth
+        )
+        probes: list[TransferProbe | None] = [None] * len(requests)
+        results: list[Response | NetworkError] = [None] * len(requests)
+        for i, (request, channel) in enumerate(zip(requests, channels)):
+            try:
+                probe = self.probe(src_name, request)
+            except NetworkError as exc:
+                results[i] = exc
+                continue
+            probes[i] = probe
+            schedule.enqueue(channel, i, probe.setup, probe.size_bytes,
+                             probe.bandwidth)
+        timings = schedule.solve(start_time=start_at)
+        finishes: list[float] = []
+        for i, probe in enumerate(probes):
+            if probe is None:
+                continue
+            finish = timings[i].finish
+            results[i] = Response(payload=probe.payload,
+                                  size_bytes=probe.size_bytes,
+                                  elapsed=finish)
+            finishes.append(finish)
+        if advance == "max":
+            self.clock.advance(max(finishes) - start_at if finishes
+                               else self.timeout)
+        return results
+
     def gather(self, src_name: str, requests: list[Request],
                advance: str = "max") -> list[Response | NetworkError]:
-        """Issue requests concurrently.
+        """Issue requests concurrently (thin wrapper over the schedule).
 
         Returns one entry per request: a :class:`Response` or the
         :class:`NetworkError` the request failed with.  The clock advances by
@@ -324,36 +390,68 @@ class Network:
         not stall the caller because the quorum logic proceeds as soon as it
         has enough answers — or by the timeout if every request failed.
         """
-        if advance not in ("max", "none"):
-            raise ValueError(f"unsupported advance mode: {advance}")
-        src = self.host(src_name)
-        results: list[Response | NetworkError] = []
-        pres: list[float] = []
-        downloads: list[float] = []
-        sizes: list[int] = []
-        for request in requests:
-            try:
-                payload, size, pre, download = self._completion_parts(src, request)
-            except NetworkError as exc:
-                results.append(exc)
-            else:
-                results.append(Response(payload=payload, size_bytes=size,
-                                        elapsed=pre + download))
-                pres.append(pre)
-                downloads.append(download)
-                sizes.append(size)
-        if not pres:
-            if advance == "max":
-                self.clock.advance(self.timeout)
-            return results
-        if src.downlink_bandwidth is not None and len(sizes) > 1:
-            # Concurrent responses contend for the receiver's NIC: total
-            # transfer time is bounded by the shared downlink.
-            shared = self.latency.transfer_time(sum(sizes),
-                                                src.downlink_bandwidth)
-            total = max(pres) + max(shared, max(downloads))
-        else:
-            total = max(pre + down for pre, down in zip(pres, downloads))
-        if advance == "max":
-            self.clock.advance(total)
-        return results
+        return self.gather_scheduled(src_name, requests, advance=advance)
+
+
+class ScheduledFetchSession:
+    """Many clients' fetches as concurrent channels on one shared schedule.
+
+    Drives fleet-scale concurrency: each client is a channel (its requests
+    serialize, as over one connection), different clients' payload phases
+    run concurrently and share ``shared_bandwidth`` — typically the serving
+    host's uplink — max-min fairly.  :meth:`fetch` resolves the handler
+    immediately (payloads are exact) and defers all time accounting to one
+    :meth:`solve` call, so a thousands-of-node fleet costs a single event
+    simulation instead of per-client clock serialization.
+
+    Failed fetches charge the network timeout to their channel (the client
+    waited for it) and re-raise.
+    """
+
+    def __init__(self, network: Network,
+                 shared_bandwidth: float | None = None):
+        self._network = network
+        self._schedule = ParallelTransferSchedule(
+            downlink_bandwidth=shared_bandwidth
+        )
+        self._sequence = 0
+        self._channel_items: dict[object, list[object]] = {}
+        self._timings: dict[object, TransferTiming] | None = None
+
+    def fetch(self, src_name: str, request: Request,
+              channel: object = None) -> object:
+        """Resolve one request now; account its transfer at solve time."""
+        if self._timings is not None:
+            raise NetworkError("session already solved")
+        channel = src_name if channel is None else channel
+        key = (channel, self._sequence)
+        self._sequence += 1
+        try:
+            probe = self._network.probe(src_name, request)
+        except NetworkError:
+            # The client burned the timeout waiting before giving up.
+            self._schedule.enqueue(channel, key, self._network.timeout, 0, 1.0)
+            self._channel_items.setdefault(channel, []).append(key)
+            raise
+        self._schedule.enqueue(channel, key, probe.setup, probe.size_bytes,
+                               probe.bandwidth)
+        self._channel_items.setdefault(channel, []).append(key)
+        return probe.payload
+
+    def solve(self, start_time: float = 0.0) -> dict[object, TransferTiming]:
+        """Run the event simulation once; repeat calls return the result."""
+        if self._timings is None:
+            self._timings = self._schedule.solve(start_time=start_time)
+        return self._timings
+
+    def channel_finish(self, channel: object) -> float:
+        """Completion offset of a channel's last transfer (0.0 if idle)."""
+        timings = self.solve()
+        items = self._channel_items.get(channel, [])
+        return max((timings[key].finish for key in items), default=0.0)
+
+    @property
+    def makespan(self) -> float:
+        """Completion offset of the slowest channel."""
+        timings = self.solve()
+        return max((t.finish for t in timings.values()), default=0.0)

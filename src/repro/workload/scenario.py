@@ -6,6 +6,7 @@ tests, and benches share identical wiring.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.attest.monitor import MonitoringSystem, baseline_whitelist
@@ -23,7 +24,7 @@ from repro.sgx.enclave import Enclave
 from repro.sgx.epc import EpcModel
 from repro.sgx.platform import AttestationService, SgxCpu
 from repro.simnet.latency import Continent
-from repro.simnet.network import Host, Network
+from repro.simnet.network import Host, Network, ScheduledFetchSession
 from repro.tpm.device import Tpm
 from repro.util.errors import PackageManagerError
 from repro.workload.generator import GeneratedWorkload
@@ -63,8 +64,14 @@ class Scenario:
     def new_node(self, name: str | None = None,
                  continent: Continent = Continent.EUROPE,
                  appraisal: AppraisalMode = AppraisalMode.OFF,
-                 use_tsr: bool = True) -> tuple[IntegrityEnforcedOS, PackageManager]:
-        """Boot a node and attach a package manager (TSR or mirror-direct)."""
+                 use_tsr: bool = True,
+                 session: ScheduledFetchSession | None = None,
+                 ) -> tuple[IntegrityEnforcedOS, PackageManager]:
+        """Boot a node and attach a package manager (TSR or mirror-direct).
+
+        ``session`` routes the node's fetches onto a fleet-wide transfer
+        schedule (see :func:`fleet_refresh`) instead of the per-call clock.
+        """
         self._node_count += 1
         name = name or f"node-{self._node_count:03d}"
         node = IntegrityEnforcedOS(
@@ -76,13 +83,15 @@ class Scenario:
         self.network.add_host(Host(name=name, continent=continent))
         if use_tsr:
             client = TsrRepositoryClient(self.network, name,
-                                         self.tsr.hostname, self.repo_id)
+                                         self.tsr.hostname, self.repo_id,
+                                         session=session)
             trusted = [self.tsr_public_key]
             node.ima.trust_key(self.tsr_public_key)
         else:
             from repro.core.client import MirrorRepositoryClient
             first_mirror = next(iter(self.mirrors))
-            client = MirrorRepositoryClient(self.network, name, first_mirror)
+            client = MirrorRepositoryClient(self.network, name, first_mirror,
+                                            session=session)
             trusted = [self.distro_key.public_key]
         manager = PackageManager(node, client, trusted_keys=trusted)
         self.nodes[name] = node
@@ -191,6 +200,11 @@ class FleetRefreshReport:
     wall_elapsed: float
     #: Per-client simulated install durations (same order as the nodes).
     client_elapsed: list[float] = field(default_factory=list)
+    #: Whether the fan-out ran on the shared transfer schedule.
+    scheduled: bool = False
+    #: Simulated seconds the whole client fan-out took (schedule makespan
+    #: in scheduled mode, sum of per-client slices in serial mode).
+    fanout_elapsed: float = 0.0
 
     @property
     def slowest_client(self) -> float:
@@ -201,7 +215,8 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
                   installs_per_client: int = 2,
                   update_fraction: float = 0.05,
                   pipelined: bool = True,
-                  seed: int = 11) -> FleetRefreshReport:
+                  seed: int = 11,
+                  scheduled: bool = True) -> FleetRefreshReport:
     """Publish an update batch, refresh TSR, and drive a client fleet.
 
     The flow the north star cares about: upstream releases land, the
@@ -209,13 +224,24 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
     update their indexes and install from the refreshed repository.  The
     report separates refresh latency from fan-out latency so benches can
     show where pipelining moves the needle.
-    """
-    import random
 
+    With ``scheduled`` (the default) every client's fetches run as one
+    channel on a shared :class:`ScheduledFetchSession` whose capacity is
+    the TSR host's uplink: thousands of nodes resolve in a single
+    event-driven ``solve`` and their per-client timings reflect
+    shared-link contention.  ``scheduled=False`` keeps the old behaviour —
+    clients advance the clock one after another — for comparison benches.
+
+    The fleet's own randomness (install choices) flows through one
+    ``random.Random(seed)`` instance; ``generate_update_batch`` seeds its
+    internal RNG from the same ``seed``.  Repeated calls with equal
+    arguments on identically built scenarios are therefore reproducible.
+    """
     from repro.workload.generator import generate_update_batch
 
     if clients < 1:
         raise ValueError("fleet needs at least one client")
+    rng = random.Random(seed)
     workload = getattr(scenario, "workload", None)
     updated: list[str] = []
     if workload is not None:
@@ -228,32 +254,49 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
     start = scenario.clock.now()
     report = scenario.refresh(pipelined=pipelined)
 
-    rng = random.Random(f"fleet:{seed}")
     installable = [
         name for name in report.changed_packages
         if scenario.tsr.cache.has_sanitized(scenario.repo_id, name)
     ]
+    session = None
+    if scheduled:
+        uplink = scenario.network.host(scenario.tsr.hostname).bandwidth
+        session = ScheduledFetchSession(scenario.network,
+                                        shared_bandwidth=uplink)
     installs = 0
+    client_names: list[str] = []
     client_elapsed: list[float] = []
+    fanout_start = scenario.clock.now()
     for i in range(clients):
-        node, manager = scenario.new_node(f"fleet-{seed}-{i:03d}")
+        name = f"fleet-{seed}-{i:03d}"
+        node, manager = scenario.new_node(name, session=session)
+        client_names.append(name)
         client_start = scenario.clock.now()
         manager.update()
         choices = list(installable or manager.index.package_names())
         rng.shuffle(choices)
         done = 0
-        for name in choices:
+        for pkg_name in choices:
             if done >= installs_per_client:
                 break
             try:
-                manager.install(name)
+                manager.install(pkg_name)
             except PackageManagerError:
                 # Closure includes a package TSR rejected — not installable
                 # through the sanitized repository; pick another.
                 continue
             done += 1
             installs += 1
-        client_elapsed.append(scenario.clock.now() - client_start)
+        if not scheduled:
+            client_elapsed.append(scenario.clock.now() - client_start)
+    if scheduled:
+        session.solve()
+        client_elapsed = [session.channel_finish(name)
+                          for name in client_names]
+        fanout_elapsed = session.makespan
+        scenario.clock.advance(fanout_elapsed)
+    else:
+        fanout_elapsed = scenario.clock.now() - fanout_start
     return FleetRefreshReport(
         refresh=report,
         clients=clients,
@@ -261,4 +304,6 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
         updated_packages=updated,
         wall_elapsed=scenario.clock.now() - start,
         client_elapsed=client_elapsed,
+        scheduled=scheduled,
+        fanout_elapsed=fanout_elapsed,
     )

@@ -57,6 +57,142 @@ class TestClients:
         assert scenario.clock.now() > before
 
 
+def _dep_packages():
+    return [
+        ApkPackage(name="musl", version="1.1.24-r2",
+                   files=[PackageFile("/lib/ld-musl.so", b"\x7fELF m" * 500)]),
+        ApkPackage(name="zlib", version="1.2.11-r3", depends=["musl"],
+                   files=[PackageFile("/lib/libz.so", b"\x7fELF z" * 700)]),
+        ApkPackage(name="busybox", version="1.31-r0",
+                   files=[PackageFile("/bin/busybox2", b"\x7fELF b" * 300)]),
+    ]
+
+
+class TestScheduledClientFetch:
+    """Batch fetches and the overlapped index+package install path."""
+
+    @pytest.fixture()
+    def dep_scenario(self):
+        return build_scenario(packages=_dep_packages(), key_bits=1024,
+                              with_monitor=False)
+
+    def test_fetch_packages_matches_serial_payloads(self, dep_scenario):
+        scenario = dep_scenario
+        scenario.network.add_host(Host("batch-host", Continent.EUROPE))
+        client = TsrRepositoryClient(scenario.network, "batch-host",
+                                     scenario.tsr.hostname, scenario.repo_id)
+        serial = {name: client.fetch_package(name)
+                  for name in ("musl", "zlib")}
+        batch = client.fetch_packages(["musl", "zlib"], connections=2)
+        assert batch == serial
+
+    def test_batch_fetch_advances_clock_less_than_serial(self, dep_scenario):
+        scenario = dep_scenario
+        scenario.network.add_host(Host("t-serial", Continent.EUROPE))
+        scenario.network.add_host(Host("t-batch", Continent.EUROPE))
+        client_a = TsrRepositoryClient(scenario.network, "t-serial",
+                                       scenario.tsr.hostname,
+                                       scenario.repo_id)
+        before = scenario.clock.now()
+        for name in ("musl", "zlib", "busybox"):
+            client_a.fetch_package(name)
+        serial_elapsed = scenario.clock.now() - before
+        client_b = TsrRepositoryClient(scenario.network, "t-batch",
+                                       scenario.tsr.hostname,
+                                       scenario.repo_id)
+        before = scenario.clock.now()
+        client_b.fetch_packages(["musl", "zlib", "busybox"], connections=3)
+        batch_elapsed = scenario.clock.now() - before
+        assert batch_elapsed < serial_elapsed
+
+    def test_fetch_index_and_packages_overlaps(self, dep_scenario):
+        scenario = dep_scenario
+        scenario.network.add_host(Host("ov-host", Continent.EUROPE))
+        client = TsrRepositoryClient(scenario.network, "ov-host",
+                                     scenario.tsr.hostname, scenario.repo_id)
+        index_blob, blobs = client.fetch_index_and_packages(
+            ["musl", "zlib"], connections=2)
+        index = RepositoryIndex.from_bytes(index_blob)
+        assert index.verify(scenario.tsr_public_key)
+        assert set(blobs) == {"musl", "zlib"}
+        assert blobs["musl"] == client.fetch_package("musl")
+
+    def test_connections_validated(self, dep_scenario):
+        scenario = dep_scenario
+        scenario.network.add_host(Host("val-host", Continent.EUROPE))
+        client = TsrRepositoryClient(scenario.network, "val-host",
+                                     scenario.tsr.hostname, scenario.repo_id)
+        with pytest.raises(ValueError):
+            client.fetch_packages(["musl"], connections=0)
+
+    def test_install_batch_equivalent_to_serial_installs(self, dep_scenario):
+        scenario = dep_scenario
+        node_a, manager_a = scenario.new_node("serial-node")
+        manager_a.update()
+        stats_a = InstallStats()
+        manager_a.install("zlib", stats_a)   # pulls musl via the closure
+        manager_a.install("busybox", stats_a)
+
+        node_b, manager_b = scenario.new_node("batch-node")
+        stats_b = manager_b.install_batch(["zlib", "busybox"], connections=2)
+
+        assert stats_b.packages == stats_a.packages == 3
+        assert stats_b.bytes_downloaded == stats_a.bytes_downloaded
+        assert ({p.name for p in node_b.pkgdb.all()}
+                == {p.name for p in node_a.pkgdb.all()})
+        for pkg in node_a.pkgdb.all():
+            other = node_b.pkgdb.get(pkg.name)
+            assert other is not None
+            assert other.content_hash == pkg.content_hash
+
+    def test_install_batch_faster_than_serial_path(self, dep_scenario):
+        scenario = dep_scenario
+        node_a, manager_a = scenario.new_node("slow-node")
+        before = scenario.clock.now()
+        manager_a.update()
+        manager_a.install("zlib")
+        manager_a.install("busybox")
+        serial_elapsed = scenario.clock.now() - before
+
+        node_b, manager_b = scenario.new_node("fast-node")
+        before = scenario.clock.now()
+        manager_b.install_batch(["zlib", "busybox"], connections=4)
+        batch_elapsed = scenario.clock.now() - before
+        assert batch_elapsed < serial_elapsed
+
+    def test_empty_batch_is_free(self, dep_scenario):
+        scenario = dep_scenario
+        scenario.network.add_host(Host("empty-host", Continent.EUROPE))
+        client = TsrRepositoryClient(scenario.network, "empty-host",
+                                     scenario.tsr.hostname, scenario.repo_id)
+        before = scenario.clock.now()
+        assert client.fetch_packages([]) == {}
+        assert scenario.clock.now() == before  # no phantom timeout
+
+    def test_install_batch_rejected_name_matches_serial_error(self,
+                                                              dep_scenario):
+        """A name the repository does not serve must fail exactly like the
+        serial path (PackageManagerError at resolution, after the fresh
+        index arrived) — not abort the optimistic wave with a transport
+        error."""
+        from repro.util.errors import PackageManagerError
+        scenario = dep_scenario
+        node, manager = scenario.new_node("reject-node")
+        with pytest.raises(PackageManagerError):
+            manager.install_batch(["musl", "no-such-package"])
+        # The index still landed and valid prefetches are not lost state:
+        # a follow-up batch of the good names succeeds.
+        stats = manager.install_batch(["musl"])
+        assert stats.packages == 1
+
+    def test_install_batch_works_against_mirror_client(self, dep_scenario):
+        scenario = dep_scenario
+        node, manager = scenario.new_node("mirror-node", use_tsr=False)
+        stats = manager.install_batch(["zlib"], connections=2)
+        assert stats.packages == 2  # musl came along via the closure
+        assert node.pkgdb.get("musl") is not None
+
+
 class TestAttestedOnboarding:
     def test_happy_path(self, scenario):
         scenario.network.add_host(Host("owner", Continent.EUROPE))

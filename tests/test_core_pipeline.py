@@ -15,7 +15,7 @@ from repro.simnet.network import (
     ParallelTransferSchedule,
     max_min_rates,
 )
-from repro.util.errors import PolicyError
+from repro.util.errors import NetworkError, PolicyError
 from repro.workload.generator import generate_workload
 from repro.workload.scenario import build_scenario, fleet_refresh
 
@@ -344,6 +344,73 @@ class TestPipelineFaultTolerance:
         assert "mirror-eu-1.example" not in set(
             report.mirror_assignments.values())
 
+    def test_majority_corrupt_mirrors_retried_until_honest(self):
+        scenario = build_scenario(
+            packages=_mini_packages(),
+            mirror_specs=(
+                MirrorSpec("corrupt-1", Continent.EUROPE,
+                           behavior=MirrorBehavior.CORRUPT),
+                MirrorSpec("corrupt-2", Continent.EUROPE,
+                           behavior=MirrorBehavior.CORRUPT),
+                MirrorSpec("honest", Continent.EUROPE),
+            ),
+            refresh=False, with_monitor=False,
+        )
+        report = scenario.tsr.refresh(scenario.repo_id, pipelined=True)
+        assert report.sanitized == 3
+        # Every package ends on the only honest mirror, no matter how many
+        # retry rounds it took.
+        assert set(report.mirror_assignments.values()) == {"honest"}
+
+    def test_all_mirrors_corrupt_raises(self):
+        scenario = build_scenario(
+            packages=_mini_packages(),
+            mirror_specs=(
+                MirrorSpec("corrupt-1", Continent.EUROPE,
+                           behavior=MirrorBehavior.CORRUPT),
+                MirrorSpec("corrupt-2", Continent.EUROPE,
+                           behavior=MirrorBehavior.CORRUPT),
+            ),
+            refresh=False, with_monitor=False,
+        )
+        with pytest.raises(NetworkError):
+            scenario.tsr.refresh(scenario.repo_id, pipelined=True)
+
+    def test_retries_reinserted_into_live_schedule(self):
+        """Retries ride the live schedule on the earliest-free channel.
+
+        With a down mirror holding two queued packages, the channel stalls
+        for one timeout per failed probe (detections at ~5 s and ~10 s).
+        The first retry must be rescheduled onto an idle honest channel
+        and finish while the down channel is *still* stalling — the
+        retired serial fallback only started retrying after the whole
+        parallel phase (>= 10 s) had drained.
+        """
+        scenario = build_scenario(packages=_mini_packages(),
+                                  refresh=False, with_monitor=False)
+        scenario.network.set_down("mirror-eu-2.example")
+        from repro.core.pipeline import RefreshPipeline
+        tsr = scenario.tsr
+        mirrors = tsr._policy_mirrors(scenario.repo_id)
+        quorum = tsr._read_quorum(scenario.repo_id, mirrors)
+        pipeline = RefreshPipeline(tsr, scenario.repo_id, mirrors,
+                                   quorum["expected"])
+        names = list(quorum["changed"])
+        fetched, durations, finishes, assignments = \
+            pipeline._download_pipelined(names)
+        timeout = scenario.network.timeout
+        assert set(fetched) == set(names)
+        assert "mirror-eu-2.example" not in set(assignments.values())
+        retried = [name for name in names if finishes[name] >= timeout]
+        assert len(retried) == 2
+        # Overlap: one retry completed during the second stall, i.e.
+        # before the failed channel's queue drained at 2 * timeout.
+        assert min(finishes[name] for name in retried) < 2 * timeout
+        assert max(finishes.values()) < 2 * timeout + 0.5
+        # Durations account the stalled attempt plus the retry transfer.
+        for name in retried:
+            assert durations[name] > timeout
+
 
 # -- fleet refresh -------------------------------------------------------------
 
@@ -359,6 +426,7 @@ class TestFleetRefresh:
         assert fleet.installs >= 1
         assert len(fleet.client_elapsed) == 3
         assert fleet.refresh.pipelined
+        assert fleet.scheduled
         assert fleet.wall_elapsed >= fleet.slowest_client
         assert fleet.updated_packages  # an update batch was published
 
@@ -368,3 +436,53 @@ class TestFleetRefresh:
                                   with_monitor=False)
         with pytest.raises(ValueError):
             fleet_refresh(scenario, clients=0)
+
+    def test_scheduled_fleet_overlaps_clients(self):
+        """Same fleet, serial vs scheduled: the shared schedule must beat
+        per-client serialization on fan-out wall-clock while showing
+        contention (resource-seconds exceed the makespan)."""
+        workload = generate_workload(scale=0.004, seed=5, with_content=True)
+        a = build_scenario(workload=workload, key_bits=1024,
+                           with_monitor=False)
+        serial = fleet_refresh(a, clients=4, installs_per_client=1,
+                               scheduled=False)
+        b = build_scenario(workload=workload, key_bits=1024,
+                           with_monitor=False)
+        sched = fleet_refresh(b, clients=4, installs_per_client=1,
+                              scheduled=True)
+        assert serial.installs == sched.installs
+        assert not serial.scheduled and sched.scheduled
+        # Fan-out no longer serializes per client...
+        assert sched.fanout_elapsed < serial.fanout_elapsed
+        # ...but clients do contend for the TSR uplink: summed per-client
+        # durations exceed the shared-schedule makespan.
+        assert sum(sched.client_elapsed) > sched.fanout_elapsed
+        assert sched.slowest_client <= sched.fanout_elapsed + 1e-9
+
+    def test_scheduled_fleet_reproducible(self):
+        workload = generate_workload(scale=0.004, seed=5, with_content=True)
+        runs = []
+        for _ in range(2):
+            scenario = build_scenario(workload=workload, key_bits=1024,
+                                      with_monitor=False)
+            runs.append(fleet_refresh(scenario, clients=3,
+                                      installs_per_client=1, seed=7))
+        assert runs[0].installs == runs[1].installs
+        assert runs[0].client_elapsed == runs[1].client_elapsed
+        # (wall_elapsed also folds in *really measured* sanitize time,
+        # which varies run to run by design — see EXPERIMENTS.md §1 — so
+        # only the network-scheduled parts are asserted identical.)
+        assert runs[0].fanout_elapsed == runs[1].fanout_elapsed
+
+    def test_scheduled_fleet_timings_reflect_contention(self):
+        """With many clients pulling from one TSR uplink, per-client time
+        must grow with fleet size (shared-downlink contention), not stay
+        flat as it would if clients simply serialized."""
+        workload = generate_workload(scale=0.004, seed=5, with_content=True)
+        small = build_scenario(workload=workload, key_bits=1024,
+                               with_monitor=False)
+        few = fleet_refresh(small, clients=2, installs_per_client=1)
+        big = build_scenario(workload=workload, key_bits=1024,
+                             with_monitor=False)
+        many = fleet_refresh(big, clients=12, installs_per_client=1)
+        assert many.slowest_client > few.slowest_client

@@ -212,6 +212,29 @@ class TestQuorum:
         assert result.contacted == 3  # needed the NA mirror to break the tie
         assert "frozen-eu" in result.dissenting_mirrors
 
+    def test_shared_downlink_contention_slows_quorum(self, origin, rsa_key):
+        """The quorum reader runs on the shared transfer schedule: when the
+        TSR host's downlink is throttled, the concurrent first-wave index
+        downloads share it max-min fairly and the read slows down."""
+        specs = [MirrorSpec(f"m{i}", Continent.EUROPE) for i in range(5)]
+        net_free, _ = _network_with(origin, specs)
+        free = QuorumReader(net_free, "tsr.eu", _entries(specs),
+                            [rsa_key.public_key]).read_index()
+
+        net_tight, _ = _network_with(origin, specs)
+        index_size = len(origin.index_bytes())
+        net_tight.host("tsr.eu").downlink_bandwidth = index_size / 2.0
+        tight = QuorumReader(net_tight, "tsr.eu", _entries(specs),
+                             [rsa_key.public_key]).read_index()
+
+        # Verdicts are schedule-independent...
+        assert tight.index.serial == free.index.serial
+        assert tight.agreeing_mirrors == free.agreeing_mirrors
+        assert tight.contacted == free.contacted
+        # ...timing is not: 3 concurrent index downloads through a link
+        # that moves half an index per second take ~6 s of transfer.
+        assert tight.elapsed > free.elapsed + 4.0
+
     def test_cross_continent_quorum_slower(self, origin, rsa_key):
         eu_specs = [MirrorSpec(f"eu-{i}", Continent.EUROPE) for i in range(3)]
         net_eu, _ = _network_with(origin, eu_specs)
