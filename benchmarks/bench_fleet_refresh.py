@@ -9,8 +9,13 @@ fleet pull) at two scales:
   transfer schedule, to quantify what the single-engine refactor buys;
 * *fleet scale* — a >= 256-client fan-out (``REPRO_FLEET_CLIENTS``
   overrides), feasible only on the scheduled path: all clients resolve in
-  one event-driven ``solve`` and their per-client timings reflect
-  shared-uplink contention rather than per-client serialization.
+  one incremental event-driven ``solve`` (see
+  ``bench_schedule_solver.py`` for the solver's own scaling curve) and
+  their per-client timings reflect shared-uplink contention rather than
+  per-client serialization;
+* *layered NICs* — the same small fleet with low-end 64 KB/s client
+  downlinks (``client_downlink``), showing the per-client capacity layer
+  binding below the uplink fair share.
 """
 
 import os
@@ -36,6 +41,9 @@ def test_fleet_refresh_scaling(benchmark):
             _scenario(), clients=16, installs_per_client=1, scheduled=False)
         results["scheduled-16"] = fleet_refresh(
             _scenario(), clients=16, installs_per_client=1, scheduled=True)
+        results["scheduled-16-nic64K"] = fleet_refresh(
+            _scenario(), clients=16, installs_per_client=1, scheduled=True,
+            client_downlink=64 * 1024)
         results[f"scheduled-{FLEET_CLIENTS}"] = fleet_refresh(
             _scenario(), clients=FLEET_CLIENTS, installs_per_client=1,
             scheduled=True)
@@ -62,13 +70,18 @@ def test_fleet_refresh_scaling(benchmark):
     table.note("scheduled clients share the TSR uplink max-min fairly: "
                "client-seconds exceed the fan-out wall-clock (overlap), "
                "and per-client latency grows with fleet size (contention); "
-               "serial mode adds the clients' slices back to back")
+               "serial mode adds the clients' slices back to back; the "
+               "nic64K row layers 64 KB/s client downlinks under the "
+               "uplink fair share")
     record_table(table)
 
     serial, scheduled = results["serial-16"], results["scheduled-16"]
+    nic_capped = results["scheduled-16-nic64K"]
     large = results[f"scheduled-{FLEET_CLIENTS}"]
     # The schedule overlaps the fan-out that serial mode adds up.
     assert scheduled.fanout_elapsed < serial.fanout_elapsed
+    # Low-end NICs bind below the 16-way uplink share and slow the fleet.
+    assert nic_capped.fanout_elapsed > scheduled.fanout_elapsed
     # Contention, not serialization: resource-seconds exceed the makespan,
     # and every client stays in flight until near the end.
     assert sum(large.client_elapsed) > 2 * large.fanout_elapsed

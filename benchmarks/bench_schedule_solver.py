@@ -1,0 +1,141 @@
+"""Solver scaling — incremental event-heap solve vs the dense reference.
+
+Fleet-shaped schedules (N client channels sharing one repository uplink,
+heterogeneous per-client NIC caps, a few transfers per client) are solved
+with both engines:
+
+* the incremental solver (``ParallelTransferSchedule.solve``): heap of
+  next-completion events + water-level dirty-set rebalance, O(log n) per
+  event;
+* the PR 2 reference (``solve_reference``): full per-event rate
+  recomputation with a sort, O(n log n) per event — measured up to
+  ``REFERENCE_CEILING`` channels and extrapolated beyond with the
+  exponent fitted to the measured points.
+
+These timings are **host wall-clock** (solver runtime), not simulated
+seconds: the point is that a 10k-channel fleet's transfer timeline now
+resolves in well under ten real seconds.  The bench also differentially
+checks both solvers agree to 1e-6 s at the largest directly-measured
+scale.
+
+``REPRO_SOLVER_CHANNELS`` overrides the largest fleet (default 10000).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+import time
+
+from repro.bench.report import PaperTable, record_table
+from repro.simnet.schedule import ParallelTransferSchedule
+from repro.util.stats import human_duration
+
+MAX_CHANNELS = int(os.environ.get("REPRO_SOLVER_CHANNELS", "10000"))
+SCALES = tuple(sorted({256, 1024, MAX_CHANNELS}))
+#: Largest scale the O(events x channels log channels) reference solves
+#: directly in reasonable bench time.
+REFERENCE_CEILING = 1024
+ITEMS_PER_CLIENT = 3
+UPLINK = 100 * 1024 * 1024  # 100 MB/s repository uplink
+PEER_BANDWIDTH = 3 * 1024 * 1024  # Table 3 anchor: ~3 MB/s per stream
+NIC_CHOICES = (1, 2, 4, 8)  # MB/s — heterogeneous client downlinks
+
+
+def _fleet_schedule(channels: int, seed: int = 7) -> ParallelTransferSchedule:
+    """A fleet-refresh-shaped workload: index + package pulls per client."""
+    rng = random.Random(seed)
+    schedule = ParallelTransferSchedule(downlink_bandwidth=UPLINK)
+    for c in range(channels):
+        channel = f"client-{c:05d}"
+        schedule.limit_channel(channel,
+                               rng.choice(NIC_CHOICES) * 1024 * 1024)
+        for i in range(ITEMS_PER_CLIENT):
+            schedule.enqueue(channel, (channel, i),
+                             setup=0.03 + rng.random() * 0.02,
+                             size_bytes=rng.randint(20_000, 600_000),
+                             bandwidth=PEER_BANDWIDTH)
+    return schedule
+
+
+def _timed(solve) -> tuple[float, dict]:
+    begin = time.perf_counter()
+    timings = solve()
+    return time.perf_counter() - begin, timings
+
+
+def test_solver_scaling(benchmark):
+    def sweep():
+        results = {}
+        reference_walls = {}
+        for channels in SCALES:
+            schedule = _fleet_schedule(channels)
+            wall, timings = _timed(schedule.solve)
+            results[channels] = {
+                "incremental_wall": wall,
+                "items": len(timings),
+                "makespan": max(t.finish for t in timings.values()),
+            }
+            if channels <= REFERENCE_CEILING:
+                ref_wall, ref_timings = _timed(schedule.solve_reference)
+                results[channels]["reference_wall"] = ref_wall
+                reference_walls[channels] = ref_wall
+                worst = max(
+                    max(abs(timings[k].start - ref_timings[k].start),
+                        abs(timings[k].finish - ref_timings[k].finish))
+                    for k in ref_timings
+                )
+                results[channels]["worst_delta"] = worst
+        # Fit t = c * n^alpha to the measured reference points and
+        # extrapolate to the unmeasured scales.
+        (n0, t0), (n1, t1) = sorted(reference_walls.items())[-2:]
+        alpha = math.log(t1 / t0) / math.log(n1 / n0)
+        for channels, row in results.items():
+            if "reference_wall" not in row:
+                row["reference_extrapolated"] = t1 * (channels / n1) ** alpha
+        results["alpha"] = alpha
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    alpha = results.pop("alpha")
+
+    table = PaperTable(
+        experiment="Solver scaling",
+        title="Transfer-schedule solve: incremental vs dense reference "
+              "(host wall-clock)",
+        columns=["channels", "items", "incremental", "reference", "speedup",
+                 "simulated makespan"],
+    )
+    for channels, row in sorted(results.items()):
+        if "reference_wall" in row:
+            reference = row["reference_wall"]
+            ref_label = human_duration(reference)
+        else:
+            reference = row["reference_extrapolated"]
+            ref_label = f"~{human_duration(reference)} (extrapolated)"
+        table.add_row(
+            channels,
+            row["items"],
+            human_duration(row["incremental_wall"]),
+            ref_label,
+            f"{reference / row['incremental_wall']:.0f}x",
+            human_duration(row["makespan"]),
+        )
+    table.note(f"reference cost fitted as n^{alpha:.2f} from the measured "
+               f"scales <= {REFERENCE_CEILING}; timings are solver runtime "
+               "on the host, not simulated seconds")
+    table.note("differential check: both solvers agree within 1e-6 s at "
+               "every directly-measured scale")
+    record_table(table)
+
+    largest = results[MAX_CHANNELS]
+    # Acceptance: a 10k-channel fleet solves in single-digit seconds and
+    # at least 10x faster than the reference trajectory.
+    assert largest["incremental_wall"] <= 10.0
+    reference = largest.get("reference_wall",
+                            largest.get("reference_extrapolated"))
+    assert reference / largest["incremental_wall"] >= 10.0
+    for row in results.values():
+        if "worst_delta" in row:
+            assert row["worst_delta"] < 1e-6

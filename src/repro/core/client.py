@@ -6,11 +6,13 @@ tell them apart, which is the paper's transparency claim (section 4.3).
 
 Both clients run their transfers on the shared event-driven engine: single
 fetches go through :meth:`Network.call`, batch fetches
-(:meth:`fetch_packages`, :meth:`fetch_index_and_packages`) fan out over a
-``ParallelTransferSchedule`` via :meth:`Network.gather_scheduled`, and a
+(:meth:`fetch_packages`, :meth:`fetch_index_and_packages`) fan out over the
+incremental :class:`repro.simnet.schedule.ParallelTransferSchedule` solver
+via :meth:`Network.gather_scheduled`, and a
 :class:`~repro.simnet.network.ScheduledFetchSession` — when attached —
-routes every fetch onto a fleet-wide schedule so thousands of clients
-share the repository's uplink instead of serializing on the clock.
+routes every fetch onto a fleet-wide schedule so tens of thousands of
+clients share the repository's uplink instead of serializing on the clock,
+each capped by its own NIC downlink when the host declares one.
 """
 
 from __future__ import annotations

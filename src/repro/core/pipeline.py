@@ -8,7 +8,8 @@ simulated clock as a pipeline over three resource classes:
 
 * **mirror channels** — one concurrent stream per policy mirror, each at
   the mirror's own serving bandwidth, all sharing the TSR host's downlink
-  (max-min fairly, via :class:`repro.simnet.network.ParallelTransferSchedule`);
+  (max-min fairly, via the incremental solver in
+  :class:`repro.simnet.schedule.ParallelTransferSchedule`);
 * **the enclave** — a serial channel; a package is scanned the moment its
   blob is local, and sanitized as soon as the scan is done *unless* its
   scripts splice the repository-wide account prelude, in which case it
@@ -34,7 +35,8 @@ from repro.simnet.latency import (
     LOCAL_DISK_BANDWIDTH_BYTES_PER_S,
     LOCAL_DISK_SEEK_S,
 )
-from repro.simnet.network import ParallelTransferSchedule, Request
+from repro.simnet.network import Request
+from repro.simnet.schedule import ParallelTransferSchedule
 from repro.util.errors import NetworkError
 
 #: Default request size for a package fetch (control message).

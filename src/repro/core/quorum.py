@@ -7,7 +7,8 @@ mirrors.  Packages themselves may then come from any single mirror because
 the quorum-validated index pins their sizes and hashes.
 
 Transfer accounting runs on the shared event-driven engine
-(:meth:`Network.gather_scheduled` over ``ParallelTransferSchedule``): the
+(:meth:`Network.gather_scheduled` over the incremental
+:class:`repro.simnet.schedule.ParallelTransferSchedule` solver): the
 first wave's concurrent index downloads share the TSR host's downlink with
 exact max-min accounting — the same model pipeline downloads use — and
 extension reads compose onto the same timeline via ``start_at``, so quorum

@@ -15,11 +15,13 @@ from repro.simnet.latency import Continent, LatencyModel, DEFAULT_LATENCY_MODEL
 from repro.simnet.network import (
     Host,
     Network,
-    ParallelTransferSchedule,
     Request,
     Response,
     ScheduledFetchSession,
     TransferProbe,
+)
+from repro.simnet.schedule import (
+    ParallelTransferSchedule,
     TransferTiming,
     max_min_rates,
 )

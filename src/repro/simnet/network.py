@@ -7,11 +7,13 @@ mirrors at once): the clock advances to the *slowest completed* request, but
 each response records its individual completion offset.
 
 Parallel-transfer accounting: :meth:`Network.probe` resolves a request
-without touching the clock, and :class:`ParallelTransferSchedule` computes
-per-transfer completion offsets for many concurrent streams — each channel
-serves one stream at a time at its own bandwidth, and all active streams
-share a common link capacity max-min fairly.  The schedule is the *single*
-transfer engine: :meth:`Network.gather` (and its composable form,
+without touching the clock, and the incremental solver in
+:mod:`repro.simnet.schedule` (:class:`ParallelTransferSchedule`, re-exported
+here) computes per-transfer completion offsets for many concurrent streams —
+each channel serves one stream at a time at its own bandwidth, capped by its
+channel's capacity layer (a client NIC), and all active streams share a
+common link capacity max-min fairly.  The schedule is the *single* transfer
+engine: :meth:`Network.gather` (and its composable form,
 :meth:`Network.gather_scheduled`) is built on it, as are the pipelined
 refresh engine (:mod:`repro.core.pipeline`), the quorum reader
 (:mod:`repro.core.quorum`), and the client fleet
@@ -24,7 +26,7 @@ network connection to the original repository and arbitrary mirrors".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.simnet.clock import SimClock
@@ -32,6 +34,11 @@ from repro.simnet.latency import (
     Continent,
     DEFAULT_BANDWIDTH_BYTES_PER_S,
     LatencyModel,
+)
+from repro.simnet.schedule import (  # noqa: F401  (re-exported)
+    ParallelTransferSchedule,
+    TransferTiming,
+    max_min_rates,
 )
 from repro.util.errors import NetworkError
 
@@ -75,141 +82,6 @@ class TransferProbe:
     def solo_duration(self) -> float:
         """Completion time when the stream runs with no contention."""
         return self.setup + self.size_bytes / self.bandwidth
-
-
-@dataclass
-class TransferTiming:
-    """When one scheduled transfer started and finished (clock offsets)."""
-
-    start: float
-    finish: float
-
-    @property
-    def duration(self) -> float:
-        return self.finish - self.start
-
-
-@dataclass
-class _StreamItem:
-    key: object
-    setup: float
-    size_bytes: int
-    bandwidth: float
-
-
-def max_min_rates(caps: dict, capacity: float | None) -> dict:
-    """Max-min fair allocation of a shared capacity among capped streams.
-
-    Each stream receives at most its own cap (the peer's serving
-    bandwidth); slack left by streams capped below the fair share is
-    redistributed to the rest (progressive filling).  ``capacity=None``
-    means the shared link is not the bottleneck.
-    """
-    if capacity is None or capacity >= sum(caps.values()):
-        return dict(caps)
-    rates: dict = {}
-    remaining = capacity
-    pending = sorted(caps.items(), key=lambda item: (item[1], str(item[0])))
-    while pending:
-        share = remaining / len(pending)
-        key, cap = pending[0]
-        if cap <= share:
-            rates[key] = cap
-            remaining -= cap
-            pending.pop(0)
-            continue
-        for key, cap in pending:
-            rates[key] = share
-        break
-    return rates
-
-
-class ParallelTransferSchedule:
-    """Fluid-flow accounting for concurrent downloads over serial channels.
-
-    Each *channel* (one mirror connection) processes its queue in order: a
-    per-item setup phase (RTT + upload + processing, no downlink use)
-    followed by a payload phase at up to the peer's bandwidth.  All payload
-    phases active at the same instant share ``downlink_bandwidth`` max-min
-    fairly — the NIC bottleneck that makes many parallel streams saturate.
-
-    ``solve`` runs the event simulation and returns per-item
-    :class:`TransferTiming` offsets; it does not advance any clock, so the
-    caller decides how the makespan maps onto simulated time.
-    """
-
-    def __init__(self, downlink_bandwidth: float | None = None):
-        if downlink_bandwidth is not None and downlink_bandwidth <= 0:
-            raise ValueError("downlink bandwidth must be positive")
-        self._downlink = downlink_bandwidth
-        self._queues: dict[object, list[_StreamItem]] = {}
-
-    def enqueue(self, channel: object, key: object, setup: float,
-                size_bytes: int, bandwidth: float):
-        if setup < 0 or size_bytes < 0:
-            raise ValueError("negative transfer parameters")
-        if bandwidth <= 0:
-            raise ValueError("bandwidth must be positive")
-        self._queues.setdefault(channel, []).append(
-            _StreamItem(key=key, setup=setup, size_bytes=size_bytes,
-                        bandwidth=bandwidth)
-        )
-
-    def solve(self, start_time: float = 0.0) -> dict[object, TransferTiming]:
-        timings: dict[object, TransferTiming] = {}
-        # Per-channel cursor state: (queue index, phase, phase datum).
-        # phase "setup" -> datum is the absolute end of the setup phase;
-        # phase "transfer" -> datum is the remaining payload bytes.
-        state: dict[object, list] = {}
-        started: dict[object, float] = {}
-        for channel, queue in self._queues.items():
-            if queue:
-                state[channel] = [0, "setup", start_time + queue[0].setup]
-                started[(channel, 0)] = start_time
-        now = start_time
-        while state:
-            active = {
-                channel: self._queues[channel][cursor[0]].bandwidth
-                for channel, cursor in state.items()
-                if cursor[1] == "transfer"
-            }
-            rates = max_min_rates(active, self._downlink)
-            horizons: dict[object, float] = {}
-            for channel, cursor in state.items():
-                if cursor[1] == "setup":
-                    horizons[channel] = cursor[2]
-                else:
-                    rate = rates[channel]
-                    horizons[channel] = (now + cursor[2] / rate if rate > 0
-                                         else float("inf"))
-            step_end = min(horizons.values())
-            for channel, cursor in list(state.items()):
-                if cursor[1] == "transfer":
-                    if horizons[channel] <= step_end:
-                        # This stream defines the event: complete it by
-                        # identity, not subtraction — at large clock
-                        # values the per-step drain can round to zero and
-                        # leave a sub-epsilon residue that never clears.
-                        cursor[2] = 0.0
-                    else:
-                        cursor[2] -= rates[channel] * (step_end - now)
-            now = step_end
-            for channel, cursor in list(state.items()):
-                index, phase, datum = cursor
-                item = self._queues[channel][index]
-                if phase == "setup" and datum <= now + 1e-15:
-                    state[channel] = [index, "transfer", float(item.size_bytes)]
-                elif phase == "transfer" and datum <= 1e-9:
-                    timings[item.key] = TransferTiming(
-                        start=started[(channel, index)], finish=now
-                    )
-                    if index + 1 < len(self._queues[channel]):
-                        nxt = self._queues[channel][index + 1]
-                        state[channel] = [index + 1, "setup", now + nxt.setup]
-                        started[(channel, index + 1)] = now
-                    else:
-                        del state[channel]
-        return timings
 
 
 @dataclass
@@ -404,19 +276,37 @@ class ScheduledFetchSession:
     :meth:`solve` call, so a thousands-of-node fleet costs a single event
     simulation instead of per-client clock serialization.
 
+    Per-client NICs are layered onto the schedule: when the fetching host
+    declares a ``downlink_bandwidth``, its channel is capped at that rate,
+    so a stream runs at ``min(peer bandwidth, client NIC, fair share of
+    the shared link)``.
+
     Failed fetches charge the network timeout to their channel (the client
     waited for it) and re-raise.
+
+    ``start_time`` is recorded at construction: :meth:`solve` (and the
+    accessors built on it, :meth:`channel_finish` / :attr:`makespan`)
+    defaults to it, so a session placed mid-timeline cannot silently
+    resolve at offset 0.0.
     """
 
     def __init__(self, network: Network,
-                 shared_bandwidth: float | None = None):
+                 shared_bandwidth: float | None = None,
+                 start_time: float = 0.0):
         self._network = network
         self._schedule = ParallelTransferSchedule(
             downlink_bandwidth=shared_bandwidth
         )
+        self._start_time = start_time
+        self._solved_at: float | None = None
         self._sequence = 0
         self._channel_items: dict[object, list[object]] = {}
         self._timings: dict[object, TransferTiming] | None = None
+
+    @property
+    def start_time(self) -> float:
+        """The timeline offset this session's schedule begins at."""
+        return self._start_time
 
     def fetch(self, src_name: str, request: Request,
               channel: object = None) -> object:
@@ -426,6 +316,12 @@ class ScheduledFetchSession:
         channel = src_name if channel is None else channel
         key = (channel, self._sequence)
         self._sequence += 1
+        try:
+            nic = self._network.host(src_name).downlink_bandwidth
+        except NetworkError:
+            nic = None  # unknown src: let probe() report it below
+        if nic is not None:
+            self._schedule.limit_channel(channel, nic)
         try:
             probe = self._network.probe(src_name, request)
         except NetworkError:
@@ -438,20 +334,40 @@ class ScheduledFetchSession:
         self._channel_items.setdefault(channel, []).append(key)
         return probe.payload
 
-    def solve(self, start_time: float = 0.0) -> dict[object, TransferTiming]:
-        """Run the event simulation once; repeat calls return the result."""
+    def solve(self, start_time: float | None = None,
+              ) -> dict[object, TransferTiming]:
+        """Run the event simulation once; repeat calls return the result.
+
+        ``start_time`` defaults to the value recorded at construction.
+        Re-solving at a *different* offset raises instead of silently
+        returning the cached timings.
+        """
+        if start_time is None:
+            start_time = self._start_time
         if self._timings is None:
+            self._solved_at = start_time
             self._timings = self._schedule.solve(start_time=start_time)
+        elif start_time != self._solved_at:
+            raise NetworkError(
+                f"session already solved at start_time={self._solved_at}; "
+                f"cannot re-solve at {start_time}"
+            )
         return self._timings
 
     def channel_finish(self, channel: object) -> float:
-        """Completion offset of a channel's last transfer (0.0 if idle)."""
+        """Completion offset of a channel's last transfer.
+
+        An idle channel reports the session's start time (it finished the
+        moment it began).
+        """
         timings = self.solve()
         items = self._channel_items.get(channel, [])
-        return max((timings[key].finish for key in items), default=0.0)
+        return max((timings[key].finish for key in items),
+                   default=self._solved_at)
 
     @property
     def makespan(self) -> float:
         """Completion offset of the slowest channel."""
         timings = self.solve()
-        return max((t.finish for t in timings.values()), default=0.0)
+        return max((t.finish for t in timings.values()),
+                   default=self._solved_at)

@@ -1,0 +1,405 @@
+"""The transfer-schedule solver: incremental max-min fluid-flow accounting.
+
+Every concurrent transfer in the system — quorum reads, the pipelined
+refresh engine, client batch fetches, and the fleet fan-out — runs on
+:class:`ParallelTransferSchedule`.  Each *channel* (one connection)
+processes its queue in order: a per-item setup phase (RTT + upload +
+processing, no downlink use) followed by a payload phase whose rate is
+
+    ``min(peer bandwidth, channel capacity, fair share of the shared link)``
+
+where the *channel capacity* is an optional per-channel layer (a fleet
+client's NIC downlink, see :meth:`ParallelTransferSchedule.limit_channel`)
+and the shared link (``downlink_bandwidth``) is divided max-min fairly
+among all payload phases active at the same instant.
+
+:meth:`ParallelTransferSchedule.solve` is an *incremental* event-driven
+simulation built for 10k+-channel fleets:
+
+* a heap of next-completion events replaces the scan over every channel
+  per event;
+* the max-min allocation is tracked as a progressive-filling water level:
+  streams whose cap sits below the level are *capped* (rate = cap,
+  absolute finish time known), the rest are *level-bound* (rate = level).
+  When a stream starts or finishes, only the *dirty set* — streams whose
+  cap crosses the new level — moves between the two classes; everyone
+  else's state is untouched;
+* level-bound streams complete against a *virtual time* that integrates
+  the level, so a level change revalues every level-bound deadline at
+  once without touching any of them.
+
+Per event the work is O(log channels) plus the dirty-set moves (amortized
+small), against the reference solver's O(channels · log channels) full
+recomputation.  The PR 2 reference loop is kept verbatim as
+:meth:`ParallelTransferSchedule.solve_reference` for differential testing;
+both solvers model the same fluid system and agree to float tolerance.
+
+``solve`` does not advance any clock and does not consume the queues, so
+callers may enqueue more work and re-solve (the refresh pipeline reinserts
+retries into the live schedule this way).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class TransferTiming:
+    """When one scheduled transfer started and finished (clock offsets)."""
+
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class _StreamItem:
+    key: object
+    setup: float
+    size_bytes: int
+    bandwidth: float
+
+
+def max_min_rates(caps: dict, capacity: float | None) -> dict:
+    """Max-min fair allocation of a shared capacity among capped streams.
+
+    Each stream receives at most its own cap (the peer's serving
+    bandwidth); slack left by streams capped below the fair share is
+    redistributed to the rest (progressive filling).  ``capacity=None``
+    means the shared link is not the bottleneck.
+
+    Ties between equal caps are broken by insertion order of ``caps``
+    (enqueue order): the sort is stable and keys are never compared, so
+    the allocation — including the order of the returned dict — is
+    reproducible run to run even for keys whose ``repr`` contains a
+    memory address.
+    """
+    if capacity is None or capacity >= sum(caps.values()):
+        return dict(caps)
+    rates: dict = {}
+    remaining = capacity
+    pending = sorted(caps.items(), key=lambda item: item[1])
+    while pending:
+        share = remaining / len(pending)
+        key, cap = pending[0]
+        if cap <= share:
+            rates[key] = cap
+            remaining -= cap
+            pending.pop(0)
+            continue
+        for key, cap in pending:
+            rates[key] = share
+        break
+    return rates
+
+
+class ParallelTransferSchedule:
+    """Fluid-flow accounting for concurrent downloads over serial channels.
+
+    Each channel (one mirror connection / one fleet client) processes its
+    queue in order; all payload phases active at the same instant share
+    ``downlink_bandwidth`` max-min fairly, and each stream is additionally
+    capped by its peer's bandwidth and by its channel's capacity layer
+    (:meth:`limit_channel`), if set.
+
+    :meth:`solve` runs the incremental event simulation (see the module
+    docstring) and returns per-item :class:`TransferTiming` offsets; it
+    does not advance any clock, so the caller decides how the makespan
+    maps onto simulated time.  :meth:`solve_reference` is the dense PR 2
+    solver, kept for differential testing.
+    """
+
+    def __init__(self, downlink_bandwidth: float | None = None,
+                 channel_capacities: dict | None = None):
+        if downlink_bandwidth is not None and downlink_bandwidth <= 0:
+            raise ValueError("downlink bandwidth must be positive")
+        self._downlink = downlink_bandwidth
+        self._queues: dict[object, list[_StreamItem]] = {}
+        self._channel_caps: dict[object, float] = {}
+        for channel, cap in (channel_capacities or {}).items():
+            self.limit_channel(channel, cap)
+
+    def limit_channel(self, channel: object, bandwidth: float):
+        """Cap every payload phase on ``channel`` at ``bandwidth``.
+
+        The layered-capacity hook: a fleet client's NIC downlink bounds
+        its stream no matter how much of the shared link is free.
+        """
+        if bandwidth <= 0:
+            raise ValueError("channel capacity must be positive")
+        self._channel_caps[channel] = bandwidth
+
+    def enqueue(self, channel: object, key: object, setup: float,
+                size_bytes: int, bandwidth: float):
+        if setup < 0 or size_bytes < 0:
+            raise ValueError("negative transfer parameters")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._queues.setdefault(channel, []).append(
+            _StreamItem(key=key, setup=setup, size_bytes=size_bytes,
+                        bandwidth=bandwidth)
+        )
+
+    def _effective_cap(self, channel: object, bandwidth: float) -> float:
+        limit = self._channel_caps.get(channel)
+        return bandwidth if limit is None else min(bandwidth, limit)
+
+    # -- incremental solver --------------------------------------------------
+
+    def solve(self, start_time: float = 0.0) -> dict[object, TransferTiming]:
+        timings: dict[object, TransferTiming] = {}
+        queues = self._queues
+        capacity = self._downlink
+
+        # Stable per-channel serial numbers keep heap entries comparable
+        # even when the channel objects themselves are not, and break
+        # exact-time ties by enqueue order.
+        order = {channel: n for n, channel in enumerate(queues)}
+
+        index: dict[object, int] = {}
+        started: dict[object, float] = {}
+
+        # Active payload phases, keyed by channel (one stream at a time per
+        # channel).  A stream is either "cap" (runs at its own effective
+        # cap; datum = absolute finish time) or "lvl" (runs at the shared
+        # water level; datum = virtual deadline).  ``epoch`` invalidates a
+        # channel's stale heap entries after any class/datum change.
+        cls_of: dict[object, str] = {}
+        eff_cap: dict[object, float] = {}
+        datum: dict[object, float] = {}
+        epoch: dict[object, int] = {channel: 0 for channel in queues}
+
+        capsum = 0.0        # total rate of "cap" streams
+        nlvl = 0            # number of "lvl" streams
+        level = math.inf    # current fair share of the shared link
+        vnow = 0.0          # virtual time: integral of the level
+        now = start_time
+
+        setup_heap: list = []    # (abs end, order, channel) — never stale
+        cap_heap: list = []      # (abs finish, order, epoch, channel)
+        lvl_heap: list = []      # (virtual deadline, order, epoch, channel)
+        capmax_heap: list = []   # (-eff cap, order, epoch, channel)
+        lvlmin_heap: list = []   # (eff cap, order, epoch, channel)
+
+        def push_cap(channel):
+            entry = (order[channel], epoch[channel], channel)
+            heapq.heappush(cap_heap, (datum[channel], *entry))
+            heapq.heappush(capmax_heap, (-eff_cap[channel], *entry))
+
+        def push_lvl(channel):
+            entry = (order[channel], epoch[channel], channel)
+            heapq.heappush(lvl_heap, (datum[channel], *entry))
+            heapq.heappush(lvlmin_heap, (eff_cap[channel], *entry))
+
+        def peek(heap, cls):
+            """Top live entry of a lazy heap; stale entries are dropped."""
+            while heap:
+                value, _, entry_epoch, channel = heap[0]
+                if cls_of.get(channel) == cls and epoch[channel] == entry_epoch:
+                    return value, channel
+                heapq.heappop(heap)
+            return None
+
+        def demote(channel):
+            """cap -> lvl: the fair share fell below this stream's cap."""
+            nonlocal capsum, nlvl
+            remaining = (datum[channel] - now) * eff_cap[channel]
+            capsum -= eff_cap[channel]
+            nlvl += 1
+            cls_of[channel] = "lvl"
+            datum[channel] = vnow + max(0.0, remaining)
+            epoch[channel] += 1
+            push_lvl(channel)
+
+        def promote(channel):
+            """lvl -> cap: this stream's own cap binds again."""
+            nonlocal capsum, nlvl
+            remaining = datum[channel] - vnow
+            nlvl -= 1
+            capsum += eff_cap[channel]
+            cls_of[channel] = "cap"
+            datum[channel] = now + max(0.0, remaining) / eff_cap[channel]
+            epoch[channel] += 1
+            push_cap(channel)
+
+        def rebalance():
+            """Restore the water-fill invariants after the active set changed.
+
+            Only the dirty set — streams whose cap crosses the moving
+            level — changes class; every other stream's datum stays valid
+            verbatim (capped finishes are absolute, level-bound deadlines
+            are virtual).  Within one call the recomputed level only
+            rises, so each stream moves at most twice and the loop always
+            terminates at the unique water-fill solution.
+            """
+            nonlocal level
+            if capacity is None:
+                return
+            while True:
+                if nlvl == 0:
+                    if capsum <= capacity:
+                        level = math.inf
+                        return
+                    top = peek(capmax_heap, "cap")
+                    demote(top[1])
+                    continue
+                level = (capacity - capsum) / nlvl
+                top = peek(lvlmin_heap, "lvl")
+                if top is not None and top[0] <= level:
+                    promote(top[1])
+                    continue
+                top = peek(capmax_heap, "cap")
+                if top is not None and -top[0] > level:
+                    demote(top[1])
+                    continue
+                return
+
+        def advance_channel(channel):
+            """Start the next queued item's setup phase, if any."""
+            queue = queues[channel]
+            nxt = index[channel] + 1
+            index[channel] = nxt
+            if nxt < len(queue):
+                started[(channel, nxt)] = now
+                heapq.heappush(setup_heap,
+                               (now + queue[nxt].setup, order[channel],
+                                channel))
+
+        def finish_item(channel, item):
+            timings[item.key] = TransferTiming(
+                start=started[(channel, index[channel])], finish=now)
+            advance_channel(channel)
+
+        def begin_transfer(channel, item):
+            """Enter the payload phase; an empty payload completes now."""
+            nonlocal capsum
+            if item.size_bytes == 0:
+                finish_item(channel, item)
+                return
+            cap = self._effective_cap(channel, item.bandwidth)
+            eff_cap[channel] = cap
+            cls_of[channel] = "cap"
+            capsum += cap
+            datum[channel] = now + item.size_bytes / cap
+            epoch[channel] += 1
+            push_cap(channel)
+            rebalance()
+
+        def complete_stream(channel):
+            nonlocal capsum, nlvl
+            item = queues[channel][index[channel]]
+            if cls_of[channel] == "cap":
+                capsum -= eff_cap[channel]
+            else:
+                nlvl -= 1
+            del cls_of[channel]
+            epoch[channel] += 1
+            finish_item(channel, item)
+            rebalance()
+
+        for channel, queue in queues.items():
+            index[channel] = 0
+            if queue:
+                started[(channel, 0)] = start_time
+                heapq.heappush(setup_heap,
+                               (start_time + queue[0].setup, order[channel],
+                                channel))
+
+        while True:
+            # Next event: a setup ending, a capped stream draining, or the
+            # earliest virtual deadline among level-bound streams.
+            best = None
+            if setup_heap:
+                when, _, channel = setup_heap[0]
+                best = (when, "setup", channel)
+            top = peek(cap_heap, "cap")
+            if top is not None and (best is None or top[0] < best[0]):
+                best = (top[0], "cap", top[1])
+            top = peek(lvl_heap, "lvl")
+            if top is not None:
+                when = now + max(0.0, top[0] - vnow) / level
+                if best is None or when < best[0]:
+                    best = (when, "lvl", top[1])
+            if best is None:
+                break
+            when = max(best[0], now)
+            if nlvl and when > now:
+                vnow += level * (when - now)
+            now = when
+            kind, channel = best[1], best[2]
+            if kind == "setup":
+                heapq.heappop(setup_heap)
+                begin_transfer(channel, queues[channel][index[channel]])
+            else:
+                complete_stream(channel)
+        return timings
+
+    # -- reference solver (PR 2), for differential testing -------------------
+
+    def solve_reference(self, start_time: float = 0.0,
+                        ) -> dict[object, TransferTiming]:
+        """Dense per-event recomputation: every active stream's rate is
+        rebuilt (with a sort) at every event.  O(events × channels log
+        channels) — kept only to differentially validate :meth:`solve`,
+        which must agree with it to float tolerance."""
+        timings: dict[object, TransferTiming] = {}
+        # Per-channel cursor state: (queue index, phase, phase datum).
+        # phase "setup" -> datum is the absolute end of the setup phase;
+        # phase "transfer" -> datum is the remaining payload bytes.
+        state: dict[object, list] = {}
+        started: dict[object, float] = {}
+        for channel, queue in self._queues.items():
+            if queue:
+                state[channel] = [0, "setup", start_time + queue[0].setup]
+                started[(channel, 0)] = start_time
+        now = start_time
+        while state:
+            active = {
+                channel: self._effective_cap(
+                    channel, self._queues[channel][cursor[0]].bandwidth)
+                for channel, cursor in state.items()
+                if cursor[1] == "transfer"
+            }
+            rates = max_min_rates(active, self._downlink)
+            horizons: dict[object, float] = {}
+            for channel, cursor in state.items():
+                if cursor[1] == "setup":
+                    horizons[channel] = cursor[2]
+                else:
+                    rate = rates[channel]
+                    horizons[channel] = (now + cursor[2] / rate if rate > 0
+                                         else float("inf"))
+            step_end = min(horizons.values())
+            for channel, cursor in list(state.items()):
+                if cursor[1] == "transfer":
+                    if horizons[channel] <= step_end:
+                        # This stream defines the event: complete it by
+                        # identity, not subtraction — at large clock
+                        # values the per-step drain can round to zero and
+                        # leave a sub-epsilon residue that never clears.
+                        cursor[2] = 0.0
+                    else:
+                        cursor[2] -= rates[channel] * (step_end - now)
+            now = step_end
+            for channel, cursor in list(state.items()):
+                index, phase, datum = cursor
+                item = self._queues[channel][index]
+                if phase == "setup" and datum <= now + 1e-15:
+                    state[channel] = [index, "transfer", float(item.size_bytes)]
+                elif phase == "transfer" and datum <= 1e-9:
+                    timings[item.key] = TransferTiming(
+                        start=started[(channel, index)], finish=now
+                    )
+                    if index + 1 < len(self._queues[channel]):
+                        nxt = self._queues[channel][index + 1]
+                        state[channel] = [index + 1, "setup", now + nxt.setup]
+                        started[(channel, index + 1)] = now
+                    else:
+                        del state[channel]
+        return timings

@@ -66,11 +66,15 @@ class Scenario:
                  appraisal: AppraisalMode = AppraisalMode.OFF,
                  use_tsr: bool = True,
                  session: ScheduledFetchSession | None = None,
+                 downlink_bandwidth: float | None = None,
                  ) -> tuple[IntegrityEnforcedOS, PackageManager]:
         """Boot a node and attach a package manager (TSR or mirror-direct).
 
         ``session`` routes the node's fetches onto a fleet-wide transfer
         schedule (see :func:`fleet_refresh`) instead of the per-call clock.
+        ``downlink_bandwidth`` models the node's NIC: on a scheduled
+        session the node's channel is capped at it (layered under the
+        shared-uplink fair share).
         """
         self._node_count += 1
         name = name or f"node-{self._node_count:03d}"
@@ -80,7 +84,8 @@ class Scenario:
             init_config_files=self.policy.init_config_files,
         )
         node.boot()
-        self.network.add_host(Host(name=name, continent=continent))
+        self.network.add_host(Host(name=name, continent=continent,
+                                   downlink_bandwidth=downlink_bandwidth))
         if use_tsr:
             client = TsrRepositoryClient(self.network, name,
                                          self.tsr.hostname, self.repo_id,
@@ -216,7 +221,8 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
                   update_fraction: float = 0.05,
                   pipelined: bool = True,
                   seed: int = 11,
-                  scheduled: bool = True) -> FleetRefreshReport:
+                  scheduled: bool = True,
+                  client_downlink=None) -> FleetRefreshReport:
     """Publish an update batch, refresh TSR, and drive a client fleet.
 
     The flow the north star cares about: upstream releases land, the
@@ -227,10 +233,18 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
 
     With ``scheduled`` (the default) every client's fetches run as one
     channel on a shared :class:`ScheduledFetchSession` whose capacity is
-    the TSR host's uplink: thousands of nodes resolve in a single
-    event-driven ``solve`` and their per-client timings reflect
-    shared-link contention.  ``scheduled=False`` keeps the old behaviour —
-    clients advance the clock one after another — for comparison benches.
+    the TSR host's uplink: tens of thousands of nodes resolve in a single
+    incremental event-driven ``solve`` and their per-client timings
+    reflect shared-link contention.  ``scheduled=False`` keeps the old
+    behaviour — clients advance the clock one after another — for
+    comparison benches.
+
+    ``client_downlink`` models the clients' NIC downlinks: a single
+    bandwidth (bytes/s) applied to every client, or a sequence cycled
+    across the fleet (heterogeneous NICs).  Each client host carries its
+    value as ``downlink_bandwidth`` and, in scheduled mode, its session
+    channel is capped at it — the layered-capacity rate model
+    ``min(TSR bandwidth, client NIC, fair uplink share)``.
 
     The fleet's own randomness (install choices) flows through one
     ``random.Random(seed)`` instance; ``generate_update_batch`` seeds its
@@ -241,6 +255,18 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
 
     if clients < 1:
         raise ValueError("fleet needs at least one client")
+    if (client_downlink is not None
+            and not isinstance(client_downlink, (int, float))
+            and not len(client_downlink)):
+        raise ValueError("client_downlink sequence must be non-empty")
+
+    def client_nic(i: int) -> float | None:
+        if client_downlink is None:
+            return None
+        if isinstance(client_downlink, (int, float)):
+            return float(client_downlink)
+        return float(client_downlink[i % len(client_downlink)])
+
     rng = random.Random(seed)
     workload = getattr(scenario, "workload", None)
     updated: list[str] = []
@@ -269,7 +295,8 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
     fanout_start = scenario.clock.now()
     for i in range(clients):
         name = f"fleet-{seed}-{i:03d}"
-        node, manager = scenario.new_node(name, session=session)
+        node, manager = scenario.new_node(name, session=session,
+                                          downlink_bandwidth=client_nic(i))
         client_names.append(name)
         client_start = scenario.clock.now()
         manager.update()

@@ -486,3 +486,33 @@ class TestFleetRefresh:
                              with_monitor=False)
         many = fleet_refresh(big, clients=12, installs_per_client=1)
         assert many.slowest_client > few.slowest_client
+
+    def test_fleet_client_nic_caps_bind(self):
+        """Layered capacities: low-end client NICs must slow the fan-out
+        even when the shared TSR uplink has headroom."""
+        workload = generate_workload(scale=0.004, seed=5, with_content=True)
+        fast = build_scenario(workload=workload, key_bits=1024,
+                              with_monitor=False)
+        unconstrained = fleet_refresh(fast, clients=2, installs_per_client=1)
+        slow = build_scenario(workload=workload, key_bits=1024,
+                              with_monitor=False)
+        constrained = fleet_refresh(slow, clients=2, installs_per_client=1,
+                                    client_downlink=64 * 1024)
+        assert constrained.installs == unconstrained.installs
+        # Two clients on a 3 MB/s uplink would get ~1.5 MB/s each; a
+        # 64 KB/s NIC pins them far below that.
+        assert constrained.fanout_elapsed > 2 * unconstrained.fanout_elapsed
+        # The NIC value is recorded on the client hosts themselves.
+        host = slow.network.host("fleet-11-000")
+        assert host.downlink_bandwidth == 64 * 1024
+
+    def test_fleet_heterogeneous_nics_stratify_clients(self):
+        """A cycled client_downlink sequence gives per-client NICs; the
+        slow-NIC client must finish after the fast-NIC one."""
+        workload = generate_workload(scale=0.004, seed=5, with_content=True)
+        scenario = build_scenario(workload=workload, key_bits=1024,
+                                  with_monitor=False)
+        fleet = fleet_refresh(scenario, clients=2, installs_per_client=1,
+                              client_downlink=[32 * 1024, 1024 * 1024])
+        slow_nic, fast_nic = fleet.client_elapsed
+        assert slow_nic > fast_nic

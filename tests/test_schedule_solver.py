@@ -1,0 +1,270 @@
+"""Tests for the incremental transfer-schedule solver.
+
+Three layers:
+
+* *differential*: the incremental solver must agree with the dense PR 2
+  reference (``solve_reference``) to float tolerance on ~100 randomized
+  workloads covering mixed setups, zero-size items, downed-channel
+  stalls, capacity ties, large start offsets, and layered channel caps
+  both on and off;
+* *dirty-set unit tests*: hand-computed schedules where a stream's class
+  (capped vs level-bound) changes mid-flight, so the water-level
+  rebalance is exercised directly;
+* *event-heap ordering*: exact completion ties, zero-size chains, and
+  setup-only channels.
+"""
+
+import random
+
+import pytest
+
+from repro.simnet.latency import Continent, LatencyModel
+from repro.simnet.network import Host, Network, Request, ScheduledFetchSession
+from repro.simnet.schedule import ParallelTransferSchedule, max_min_rates
+from repro.util.errors import NetworkError
+
+
+def _random_schedule(seed: int) -> tuple[ParallelTransferSchedule, float]:
+    """One randomized workload: (schedule, start_time)."""
+    rng = random.Random(seed)
+    downlink = rng.choice([None, 40.0, 75.0, 120.0, 300.0])
+    schedule = ParallelTransferSchedule(downlink_bandwidth=downlink)
+    layered = rng.random() < 0.5
+    for channel in range(rng.randint(1, 9)):
+        if layered and rng.random() < 0.6:
+            schedule.limit_channel(channel, rng.choice([15.0, 40.0, 90.0]))
+        for item in range(rng.randint(0, 5)):
+            setup = rng.choice([0.0, 0.01, round(rng.uniform(0, 3), 3)])
+            size = rng.choice([0, 0, rng.randint(1, 5000)])
+            bandwidth = rng.choice([25.0, 50.0, 50.0, 100.0])  # frequent ties
+            schedule.enqueue(channel, (channel, item), setup, size, bandwidth)
+        if rng.random() < 0.2:
+            # Downed-peer shape: a zero-byte stall holding the channel.
+            schedule.enqueue(channel, ("stall", channel), 5.0, 0, 1.0)
+    start_time = rng.choice([0.0, 7.25, 1000.0, 123456.789])
+    return schedule, start_time
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(100))
+    def test_matches_reference_on_random_workloads(self, seed):
+        schedule, start_time = _random_schedule(seed)
+        incremental = schedule.solve(start_time=start_time)
+        reference = schedule.solve_reference(start_time=start_time)
+        assert set(incremental) == set(reference)
+        for key in reference:
+            assert incremental[key].start == pytest.approx(
+                reference[key].start, abs=1e-6)
+            assert incremental[key].finish == pytest.approx(
+                reference[key].finish, abs=1e-6)
+
+    def test_solve_is_pure_and_resolvable(self):
+        # The pipeline enqueues retries into a live schedule and re-solves:
+        # earlier items must keep their timings, and repeat solves of an
+        # unchanged schedule must be identical.
+        schedule = ParallelTransferSchedule(downlink_bandwidth=100.0)
+        schedule.enqueue("m1", "a", 0.0, 400, 100.0)
+        first = schedule.solve()
+        schedule.enqueue("m2", "b", 0.0, 400, 100.0)
+        second = schedule.solve()
+        assert first["a"].finish == pytest.approx(4.0)
+        assert second["a"].finish == pytest.approx(8.0)  # now shares the link
+        assert schedule.solve()["a"].finish == second["a"].finish
+
+
+class TestDirtySetRebalance:
+    def test_stream_promoted_when_contender_leaves(self):
+        # capacity 100, two cap-60 streams: both level-bound at 50.  When A
+        # (600 B) finishes at t=12, B is promoted to its own cap (60) for
+        # its remaining 600 B: 12 + 10 = 22.
+        schedule = ParallelTransferSchedule(downlink_bandwidth=100.0)
+        schedule.enqueue("a", "A", 0.0, 600, 60.0)
+        schedule.enqueue("b", "B", 0.0, 1200, 60.0)
+        timings = schedule.solve()
+        assert timings["A"].finish == pytest.approx(12.0)
+        assert timings["B"].finish == pytest.approx(22.0)
+
+    def test_stream_demoted_when_contender_arrives(self):
+        # B runs alone at its cap (60) for 5 s (300 B done), then A's setup
+        # ends and the 100 B/s link splits 50/50: A (200 B) finishes at
+        # 5 + 4 = 9, then B's last 500 B run at 60: 9 + 300/50... B has
+        # 900 - 300 - 200 = 400 B left at t=9, at cap 60 -> 15.667.
+        schedule = ParallelTransferSchedule(downlink_bandwidth=100.0)
+        schedule.enqueue("b", "B", 0.0, 900, 60.0)
+        schedule.enqueue("a", "A", 5.0, 200, 60.0)
+        timings = schedule.solve()
+        assert timings["A"].finish == pytest.approx(9.0)
+        assert timings["B"].finish == pytest.approx(9.0 + 400 / 60.0)
+
+    def test_layered_channel_cap_binds_below_fair_share(self):
+        # Uplink 100 shared by NIC-30 and NIC-80 clients (peer bandwidth
+        # 100): progressive filling gives 30 and 70.  A (30 B) ends at 1 s;
+        # B then runs at its NIC (80): 1 + (700-70)/80 = 8.875.
+        schedule = ParallelTransferSchedule(downlink_bandwidth=100.0)
+        schedule.limit_channel("a", 30.0)
+        schedule.limit_channel("b", 80.0)
+        schedule.enqueue("a", "A", 0.0, 30, 100.0)
+        schedule.enqueue("b", "B", 0.0, 700, 100.0)
+        timings = schedule.solve()
+        assert timings["A"].finish == pytest.approx(1.0)
+        assert timings["B"].finish == pytest.approx(8.875)
+
+    def test_channel_cap_above_bandwidth_is_inert(self):
+        schedule = ParallelTransferSchedule()
+        schedule.limit_channel("a", 1000.0)
+        schedule.enqueue("a", "A", 0.0, 100, 50.0)
+        assert schedule.solve()["A"].finish == pytest.approx(2.0)
+
+    def test_channel_cap_applies_without_shared_link(self):
+        schedule = ParallelTransferSchedule()  # no shared downlink at all
+        schedule.limit_channel("a", 10.0)
+        schedule.enqueue("a", "A", 0.0, 100, 50.0)
+        assert schedule.solve()["A"].finish == pytest.approx(10.0)
+
+    def test_limit_channel_validates(self):
+        schedule = ParallelTransferSchedule()
+        with pytest.raises(ValueError):
+            schedule.limit_channel("a", 0.0)
+        with pytest.raises(ValueError):
+            ParallelTransferSchedule(channel_capacities={"a": -1.0})
+
+    def test_homogeneous_fleet_crosses_cap_boundary(self):
+        # 8 cap-10 streams on a 50-capacity link: level-bound at 6.25 each
+        # until enough finish that the survivors' caps bind.  Differential
+        # equality pins the exact trajectory.
+        schedule = ParallelTransferSchedule(downlink_bandwidth=50.0)
+        for i in range(8):
+            schedule.enqueue(i, i, 0.0, 100 * (i + 1), 10.0)
+        incremental = schedule.solve()
+        reference = schedule.solve_reference()
+        for key in reference:
+            assert incremental[key].finish == pytest.approx(
+                reference[key].finish, abs=1e-9)
+
+
+class TestEventHeapOrdering:
+    def test_exactly_tied_completions(self):
+        schedule = ParallelTransferSchedule()
+        schedule.enqueue("a", "A", 0.0, 100, 10.0)   # finishes at 10
+        schedule.enqueue("b", "B", 0.0, 200, 20.0)   # finishes at 10
+        schedule.enqueue("c", "C", 10.0, 0, 5.0)     # setup ends at 10
+        timings = schedule.solve()
+        assert timings["A"].finish == pytest.approx(10.0)
+        assert timings["B"].finish == pytest.approx(10.0)
+        assert timings["C"].finish == pytest.approx(10.0)
+
+    def test_zero_size_chain_collapses_to_setups(self):
+        schedule = ParallelTransferSchedule(downlink_bandwidth=50.0)
+        schedule.enqueue("a", "A", 1.0, 0, 50.0)
+        schedule.enqueue("a", "B", 0.0, 0, 50.0)
+        schedule.enqueue("a", "C", 2.0, 100, 50.0)
+        timings = schedule.solve()
+        assert timings["A"].finish == pytest.approx(1.0)
+        assert timings["B"].start == pytest.approx(1.0)
+        assert timings["B"].finish == pytest.approx(1.0)
+        assert timings["C"].start == pytest.approx(1.0)
+        assert timings["C"].finish == pytest.approx(5.0)
+
+    def test_setup_only_channels_and_empty_queue(self):
+        schedule = ParallelTransferSchedule()
+        schedule.enqueue("a", "A", 3.0, 0, 1.0)
+        schedule._queues.setdefault("empty", [])
+        timings = schedule.solve(start_time=2.0)
+        assert timings["A"].start == pytest.approx(2.0)
+        assert timings["A"].finish == pytest.approx(5.0)
+
+    def test_unorderable_channel_objects(self):
+        # Channels and keys need not be mutually comparable: heap
+        # tie-breaks must come from enqueue order, never the objects.
+        schedule = ParallelTransferSchedule(downlink_bandwidth=10.0)
+        chan_a, chan_b = object(), object()
+        schedule.enqueue(chan_a, "A", 0.0, 100, 10.0)
+        schedule.enqueue(chan_b, "B", 0.0, 100, 10.0)
+        timings = schedule.solve()
+        assert timings["A"].finish == pytest.approx(20.0)
+        assert timings["B"].finish == pytest.approx(20.0)
+
+
+class TestMaxMinTieBreak:
+    def test_equal_caps_keep_enqueue_order(self):
+        # Regression: ties used to sort by str(key) — for objects with the
+        # default repr that is the memory address, so the allocation order
+        # varied run to run.  Ties now preserve insertion (enqueue) order.
+        first, second = object(), object()
+        caps = {}
+        caps[second] = 5.0
+        caps[first] = 5.0
+        rates = max_min_rates(caps, 4.0)
+        assert list(rates) == [second, first]
+        assert rates[second] == pytest.approx(2.0)
+        assert rates[first] == pytest.approx(2.0)
+
+    def test_unorderable_keys_with_partial_fill(self):
+        keys = [object() for _ in range(3)]
+        caps = {keys[0]: 1.0, keys[1]: 50.0, keys[2]: 50.0}
+        rates = max_min_rates(caps, 11.0)
+        assert rates[keys[0]] == pytest.approx(1.0)
+        assert rates[keys[1]] == pytest.approx(5.0)
+        assert rates[keys[2]] == pytest.approx(5.0)
+
+
+def _fleet_network() -> Network:
+    net = Network(latency=LatencyModel(jitter=0))
+    net.timeout = 1000.0
+    handler = lambda op, payload: (b"x" * 1000, 1000)
+    net.add_host(Host("tsr.eu", Continent.EUROPE, handler=handler,
+                      processing_time=0.0, bandwidth=100.0))
+    return net
+
+
+class TestSessionLayeredNics:
+    def test_client_nic_caps_its_channel(self):
+        net = _fleet_network()
+        net.add_host(Host("slow.eu", Continent.EUROPE,
+                          downlink_bandwidth=20.0))
+        net.add_host(Host("fast.eu", Continent.EUROPE))
+        session = ScheduledFetchSession(net, shared_bandwidth=100.0)
+        session.fetch("slow.eu", Request("tsr.eu", "get", size_bytes=0))
+        session.fetch("fast.eu", Request("tsr.eu", "get", size_bytes=0))
+        session.solve()
+        rtt = 0.0264
+        # slow's NIC pins it at 20 B/s for all 1000 B; fast gets the
+        # residual 80 B/s until done (1000/80), far before slow.
+        assert session.channel_finish("slow.eu") == pytest.approx(rtt + 50.0)
+        assert session.channel_finish("fast.eu") == pytest.approx(rtt + 12.5)
+
+    def test_no_nic_keeps_fair_split(self):
+        net = _fleet_network()
+        net.add_host(Host("c1.eu", Continent.EUROPE))
+        net.add_host(Host("c2.eu", Continent.EUROPE))
+        session = ScheduledFetchSession(net, shared_bandwidth=100.0)
+        session.fetch("c1.eu", Request("tsr.eu", "get", size_bytes=0))
+        session.fetch("c2.eu", Request("tsr.eu", "get", size_bytes=0))
+        session.solve()
+        rtt = 0.0264
+        assert session.channel_finish("c1.eu") == pytest.approx(rtt + 20.0)
+        assert session.channel_finish("c2.eu") == pytest.approx(rtt + 20.0)
+
+
+class TestSessionStartTime:
+    def test_start_time_recorded_at_construction(self):
+        net = _fleet_network()
+        net.add_host(Host("c1.eu", Continent.EUROPE))
+        session = ScheduledFetchSession(net, start_time=100.0)
+        session.fetch("c1.eu", Request("tsr.eu", "get", size_bytes=0))
+        # makespan/channel_finish must not silently solve at 0.0.
+        assert session.start_time == 100.0
+        assert session.makespan == pytest.approx(100.0 + 0.0264 + 10.0)
+        assert session.channel_finish("c1.eu") == pytest.approx(
+            100.0 + 0.0264 + 10.0)
+        assert session.channel_finish("idle") == pytest.approx(100.0)
+
+    def test_resolve_at_other_offset_rejected(self):
+        net = _fleet_network()
+        net.add_host(Host("c1.eu", Continent.EUROPE))
+        session = ScheduledFetchSession(net, start_time=5.0)
+        session.fetch("c1.eu", Request("tsr.eu", "get", size_bytes=0))
+        session.solve()
+        session.solve(start_time=5.0)  # same offset: cached result is fine
+        with pytest.raises(NetworkError):
+            session.solve(start_time=0.0)
