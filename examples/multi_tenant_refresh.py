@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Orchestrated multi-tenant refresh: two tenants, one plan, one enclave.
+
+Two organizations share a cloud-hosted TSR (paper section 5.2) and their
+package whitelists overlap in a common core (musl, zlib, nginx).  Instead
+of refreshing each repository in its own phased pass, the orchestrator
+plans both refreshes on one transfer schedule: the quorum reads
+interleave, the shared upstream blobs are downloaded / scanned / analyzed
+once (per-tenant signing and cataloging still run per repository), and
+both tenants' sanitizations serialize on the single enclave.
+
+Run:  python examples/multi_tenant_refresh.py
+"""
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.archive.index import RepositoryIndex
+from repro.workload.scenario import build_scenario, multi_tenant_refresh
+
+
+def main():
+    packages = [
+        ApkPackage(name="musl", version="1.1.24-r2",
+                   files=[PackageFile("/lib/ld-musl.so", b"\x7fELF musl" * 800)]),
+        ApkPackage(name="zlib", version="1.2.11-r3", depends=["musl"],
+                   files=[PackageFile("/lib/libz.so", b"\x7fELF zlib" * 900)]),
+        ApkPackage(name="nginx", version="1.16.1-r6", depends=["musl"],
+                   scripts={".pre-install": "addgroup -S www\n"
+                                            "adduser -S -G www nginx\n"},
+                   files=[PackageFile("/usr/sbin/nginx", b"\x7fELF nginx" * 700)]),
+        ApkPackage(name="redis", version="5.0.7-r0", depends=["musl"],
+                   scripts={".pre-install": "adduser -S -D -H redis\n"},
+                   files=[PackageFile("/usr/bin/redis", b"\x7fELF redis" * 600)]),
+        ApkPackage(name="postgresql", version="12.2-r0", depends=["musl"],
+                   files=[PackageFile("/usr/bin/postgres", b"\x7fELF pg" * 900)]),
+    ]
+    core = {"musl", "zlib", "nginx"}
+
+    scenario = build_scenario(packages=packages, key_bits=1024,
+                              refresh=False, with_monitor=False,
+                              package_whitelist=frozenset(core | {"redis"}))
+    tenant_a = scenario.repo_id
+    tenant_b = scenario.add_tenant(
+        package_whitelist=frozenset(core | {"postgresql"}))
+    print(f"tenant A: {tenant_a}  whitelist: {sorted(core | {'redis'})}")
+    print(f"tenant B: {tenant_b}  whitelist: {sorted(core | {'postgresql'})}")
+    assert (scenario.tenant_keys[tenant_a].fingerprint()
+            != scenario.tenant_keys[tenant_b].fingerprint())
+
+    report = multi_tenant_refresh(scenario)
+    print(f"\norchestrated wall-clock: {report.wall_elapsed * 1000:.1f} ms "
+          f"(phase sum {report.phase_sum * 1000:.1f} ms)")
+    print(f"cross-tenant dedupe: {report.downloads_deduped} downloads "
+          f"({report.dedupe_bytes_saved} bytes not re-moved), "
+          f"{report.scans_deduped} scans, "
+          f"{report.sanitize_shared} shared analyses")
+    for repo_id in scenario.tenants:
+        tenant = report.reports[repo_id]
+        print(f"  {repo_id}: sanitized={tenant.sanitized} "
+              f"deduped={tenant.deduped_downloads} "
+              f"downloaded={tenant.downloaded_bytes}B")
+
+    # The shared core moved over the network exactly once.
+    assert report.downloads_deduped == len(core)
+    # Every sanitize job rode the single serial enclave channel.
+    previous_finish = 0.0
+    for repo_id, name, start, finish in report.enclave_timeline:
+        assert start >= previous_finish - 1e-9
+        previous_finish = finish
+    print(f"enclave timeline: {len(report.enclave_timeline)} jobs, "
+          "strictly serialized")
+
+    # Tenants stay isolated: each index lists exactly its whitelist and is
+    # signed with its own enclave-held key.
+    index_a = RepositoryIndex.from_bytes(scenario.tsr.get_index_bytes(tenant_a))
+    index_b = RepositoryIndex.from_bytes(scenario.tsr.get_index_bytes(tenant_b))
+    assert set(index_a.entries) == core | {"redis"}
+    assert set(index_b.entries) == core | {"postgresql"}
+    assert index_a.verify(scenario.tenant_keys[tenant_a])
+    assert index_b.verify(scenario.tenant_keys[tenant_b])
+    print(f"tenant A index: {index_a.package_names()}")
+    print(f"tenant B index: {index_b.package_names()}")
+
+    # And the shared blobs still sanitize to *different* signed packages
+    # per tenant (per-repo keys), byte-identical to a phased refresh.
+    blob_a = scenario.tsr.serve_package(tenant_a, "musl")
+    blob_b = scenario.tsr.serve_package(tenant_b, "musl")
+    assert blob_a != blob_b
+    print("\nmulti-tenant orchestrated refresh complete: one enclave, "
+          "one schedule, per-tenant verdicts preserved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,18 +17,42 @@ no longer serializes behind an insert hitting another shard.  Shard 0's
 filesystem doubles as the root ``disk`` holding non-package state (the
 sealed freshness file), which keeps the single-disk layout of the paper's
 deployment observable to tests.
+
+Content-addressed store: alongside the per-repo named entries, blobs can
+be stored under their SHA-256 (``put_content``/``get_content``).  This is
+the dedupe substrate of the multi-tenant orchestrator
+(:mod:`repro.core.orchestrator`): two tenant repositories whose quorum
+indexes pin the same upstream blob resolve to one cached copy, so the
+shared package is downloaded (and its bytes stored) once per TSR instead
+of once per tenant.  Content entries shard by the blob hash.
+
+Eviction: each shard optionally carries a byte budget
+(``shard_budget_bytes``).  Inserts that push a shard over its budget evict
+least-recently-used blobs (reads and writes both refresh recency) until
+the shard fits again; the just-written blob itself is never evicted, so a
+single oversized blob degrades the budget gracefully instead of thrashing.
+Only blobs the cache manages are eviction candidates — non-package state
+on the root disk (e.g. the sealed freshness file) is written directly via
+``disk`` and never tracked.  Evictions are counted per shard
+(:class:`ShardStats`), and the identities of evicted entries are
+remembered so a later re-download caused by eviction can be surfaced in
+refresh accounting (``RefreshReport.evicted_redownloads``):
+``original_was_evicted`` / ``content_was_evicted`` pop the marker, so
+each eviction is attributed at most once.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.crypto.hashes import sha256_bytes
+from repro.crypto.hashes import sha256_bytes, sha256_hex  # noqa: F401
 from repro.osim.fs import SimFileSystem
 from repro.util.errors import FileSystemError
 
 ORIGINAL_PREFIX = "/var/cache/tsr/original"
 SANITIZED_PREFIX = "/var/cache/tsr/sanitized"
+CONTENT_PREFIX = "/var/cache/tsr/content"
 
 DEFAULT_SHARDS = 8
 
@@ -41,28 +65,51 @@ class ShardStats:
     writes: int = 0
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
 
 
 class PackageCache:
-    """Name-addressed blob store over the untrusted host filesystem."""
+    """Name- and content-addressed blob store over the untrusted host fs."""
 
     def __init__(self, disk: SimFileSystem | None = None,
-                 shards: int = DEFAULT_SHARDS):
+                 shards: int = DEFAULT_SHARDS,
+                 shard_budget_bytes: int | None = None):
         if shards < 1:
             raise ValueError(f"shard count must be >= 1: {shards}")
+        if shard_budget_bytes is not None and shard_budget_bytes <= 0:
+            raise ValueError(
+                f"shard budget must be positive: {shard_budget_bytes}"
+            )
         self.disk = disk or SimFileSystem()
         self._shards: list[SimFileSystem] = [self.disk]
         self._shards.extend(SimFileSystem() for _ in range(shards - 1))
         self._stats = [ShardStats() for _ in range(shards)]
+        self._budget = shard_budget_bytes
+        #: Per-shard LRU of managed blobs: path -> size, oldest first.
+        self._lru: list[OrderedDict[str, int]] = [
+            OrderedDict() for _ in range(shards)
+        ]
+        self._used = [0] * shards
+        #: Paths evicted and not yet re-queried (re-download attribution).
+        self._evicted_paths: set[str] = set()
 
     @property
     def shard_count(self) -> int:
         return len(self._shards)
 
+    @property
+    def shard_budget_bytes(self) -> int | None:
+        return self._budget
+
     def shard_index(self, repo_id: str, name: str) -> int:
         """Stable shard assignment for one package's blobs."""
         digest = sha256_bytes(f"{repo_id}/{name}".encode())
         return int.from_bytes(digest[:4], "big") % len(self._shards)
+
+    def content_shard_index(self, sha256: str) -> int:
+        """Stable shard assignment for one content-addressed blob."""
+        return int(sha256[:8], 16) % len(self._shards)
 
     def shard_stats(self) -> list[ShardStats]:
         return list(self._stats)
@@ -75,12 +122,76 @@ class PackageCache:
     def _path(prefix: str, repo_id: str, name: str) -> str:
         return f"{prefix}/{repo_id}/{name}.apk"
 
+    @staticmethod
+    def _content_path(sha256: str) -> str:
+        return f"{CONTENT_PREFIX}/{sha256}.blob"
+
+    # -- LRU bookkeeping ----------------------------------------------------
+
+    def _track(self, shard_index: int, path: str, size: int):
+        """Record a managed write and evict LRU blobs past the budget."""
+        lru = self._lru[shard_index]
+        self._used[shard_index] += size - lru.get(path, 0)
+        lru[path] = size
+        lru.move_to_end(path)
+        if self._budget is None:
+            return
+        shard = self._shards[shard_index]
+        stats = self._stats[shard_index]
+        while self._used[shard_index] > self._budget and len(lru) > 1:
+            victim, victim_size = next(iter(lru.items()))
+            if victim == path:
+                # Never evict the blob that triggered the sweep.
+                break
+            del lru[victim]
+            self._used[shard_index] -= victim_size
+            if shard.isfile(victim):
+                shard.remove(victim)
+            stats.evictions += 1
+            stats.evicted_bytes += victim_size
+            self._evicted_paths.add(victim)
+
+    def _touch(self, shard_index: int, path: str):
+        lru = self._lru[shard_index]
+        if path in lru:
+            lru.move_to_end(path)
+
+    def _untrack(self, shard_index: int, path: str):
+        size = self._lru[shard_index].pop(path, None)
+        if size is not None:
+            self._used[shard_index] -= size
+        self._evicted_paths.discard(path)
+
+    def shard_used_bytes(self, shard_index: int) -> int:
+        """Bytes of managed blobs currently held by one shard."""
+        return self._used[shard_index]
+
+    # -- eviction attribution ----------------------------------------------
+
+    def original_was_evicted(self, repo_id: str, name: str) -> bool:
+        """Was this original evicted since last asked?  Pops the marker."""
+        return self._pop_evicted(self._path(ORIGINAL_PREFIX, repo_id, name))
+
+    def sanitized_was_evicted(self, repo_id: str, name: str) -> bool:
+        return self._pop_evicted(self._path(SANITIZED_PREFIX, repo_id, name))
+
+    def content_was_evicted(self, sha256: str) -> bool:
+        return self._pop_evicted(self._content_path(sha256))
+
+    def _pop_evicted(self, path: str) -> bool:
+        if path in self._evicted_paths:
+            self._evicted_paths.discard(path)
+            return True
+        return False
+
     # -- originals ----------------------------------------------------------
 
     def put_original(self, repo_id: str, name: str, blob: bytes):
-        shard, stats = self._shard(repo_id, name)
-        stats.writes += 1
-        shard.write_file(self._path(ORIGINAL_PREFIX, repo_id, name), blob)
+        index = self.shard_index(repo_id, name)
+        self._stats[index].writes += 1
+        path = self._path(ORIGINAL_PREFIX, repo_id, name)
+        self._shards[index].write_file(path, blob)
+        self._track(index, path, len(blob))
 
     def get_original(self, repo_id: str, name: str) -> bytes | None:
         return self._read(repo_id, name, ORIGINAL_PREFIX)
@@ -92,9 +203,11 @@ class PackageCache:
     # -- sanitized ------------------------------------------------------------
 
     def put_sanitized(self, repo_id: str, name: str, blob: bytes):
-        shard, stats = self._shard(repo_id, name)
-        stats.writes += 1
-        shard.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
+        index = self.shard_index(repo_id, name)
+        self._stats[index].writes += 1
+        path = self._path(SANITIZED_PREFIX, repo_id, name)
+        self._shards[index].write_file(path, blob)
+        self._track(index, path, len(blob))
 
     def get_sanitized(self, repo_id: str, name: str) -> bytes | None:
         return self._read(repo_id, name, SANITIZED_PREFIX)
@@ -104,11 +217,73 @@ class PackageCache:
         return shard.isfile(self._path(SANITIZED_PREFIX, repo_id, name))
 
     def invalidate(self, repo_id: str, name: str):
-        shard, _ = self._shard(repo_id, name)
+        index = self.shard_index(repo_id, name)
+        shard = self._shards[index]
         for prefix in (ORIGINAL_PREFIX, SANITIZED_PREFIX):
             path = self._path(prefix, repo_id, name)
             if shard.isfile(path):
                 shard.remove(path)
+            self._untrack(index, path)
+
+    # -- combined lookup ------------------------------------------------------
+
+    def lookup_blob(self, repo_id: str, name: str,
+                    expected: dict) -> tuple[bytes | None, str | None, bool]:
+        """Resolve one quorum-pinned blob: named entry, then content store.
+
+        ``expected`` is the quorum-validated ``{"sha256", "size"}`` entry;
+        a cached blob only counts when it matches it (stale versions of an
+        updated package never satisfy a lookup).  Returns ``(blob, source,
+        evicted)``: ``source`` is ``"named"`` or ``"content"`` (None on a
+        miss), and ``evicted`` is True when the miss is attributable to
+        eviction (the markers are popped, so each eviction is counted at
+        most once).  Time accounting is the caller's job — every refresh
+        path charges the read against its own shard/clock model.
+        """
+        cached = self.get_original(repo_id, name)
+        if cached is not None and self._matches(cached, expected):
+            return cached, "named", False
+        evicted = self.original_was_evicted(repo_id, name)
+        sha = expected["sha256"]
+        content = self.get_content(sha)
+        if content is not None and self._matches(content, expected):
+            return content, "content", False
+        evicted = self.content_was_evicted(sha) or evicted
+        return None, None, evicted
+
+    @staticmethod
+    def _matches(blob: bytes, expected: dict) -> bool:
+        return len(blob) == expected["size"] \
+            and sha256_hex(blob) == expected["sha256"]
+
+    # -- content-addressed store ---------------------------------------------
+
+    def put_content(self, blob: bytes, sha256: str | None = None) -> str:
+        """Store a blob under its SHA-256; returns the hex digest."""
+        digest = sha256 or sha256_hex(blob)
+        index = self.content_shard_index(digest)
+        self._stats[index].writes += 1
+        path = self._content_path(digest)
+        self._shards[index].write_file(path, blob)
+        self._track(index, path, len(blob))
+        return digest
+
+    def get_content(self, sha256: str) -> bytes | None:
+        index = self.content_shard_index(sha256)
+        stats = self._stats[index]
+        stats.reads += 1
+        try:
+            blob = self._shards[index].read_file(self._content_path(sha256))
+        except FileSystemError:
+            stats.misses += 1
+            return None
+        stats.hits += 1
+        self._touch(index, self._content_path(sha256))
+        return blob
+
+    def has_content(self, sha256: str) -> bool:
+        index = self.content_shard_index(sha256)
+        return self._shards[index].isfile(self._content_path(sha256))
 
     # -- adversary surface -------------------------------------------------------
 
@@ -119,12 +294,15 @@ class PackageCache:
         shard.write_file(self._path(SANITIZED_PREFIX, repo_id, name), blob)
 
     def _read(self, repo_id: str, name: str, prefix: str) -> bytes | None:
-        shard, stats = self._shard(repo_id, name)
+        index = self.shard_index(repo_id, name)
+        stats = self._stats[index]
         stats.reads += 1
+        path = self._path(prefix, repo_id, name)
         try:
-            blob = shard.read_file(self._path(prefix, repo_id, name))
+            blob = self._shards[index].read_file(path)
         except FileSystemError:
             stats.misses += 1
             return None
         stats.hits += 1
+        self._touch(index, path)
         return blob

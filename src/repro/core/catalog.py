@@ -5,6 +5,21 @@ and group any package might create, fix one global creation order, and make
 every sanitized script create all of them.  Any package subset installed in
 any order then converges to the same /etc/passwd, /etc/group, /etc/shadow
 contents — which TSR can sign ahead of time.
+
+Scanning is split into two halves so a multi-tenant TSR can dedupe it:
+
+* :func:`extract_scan_delta` — the expensive, *content-determined* half:
+  parse every script and record the account operations in script order.
+  The result depends only on the package bytes, so it can be memoized
+  under the blob's hash and shared across tenant repositories.
+* :meth:`RepositoryCatalog.apply_delta` — the cheap, *stateful* half:
+  replay the recorded operations against one repository's catalog.
+  Resolution that reads catalog state (membership gid reuse, the
+  deleted-password insecurity check against users other packages
+  created) happens here, so replaying a memoized delta is byte-for-byte
+  equivalent to scanning the package directly.
+
+:meth:`RepositoryCatalog.scan_package` composes the two.
 """
 
 from __future__ import annotations
@@ -26,6 +41,64 @@ from repro.util.errors import ScriptError
 
 
 @dataclass
+class PackageScanDelta:
+    """The account operations one package's scripts perform, in order.
+
+    Pure function of the package bytes: operations are recorded, not
+    resolved, so replaying a delta against a catalog (``apply_delta``)
+    reproduces a direct scan exactly — including resolution that depends
+    on what *other* packages already put in the catalog.
+
+    Ops (tag, *args):
+
+    * ``("group", GroupSpec)`` — declare a group.
+    * ``("primary", user, group)`` — record a requested primary group.
+    * ``("user", UserSpec)`` — declare a user.
+    * ``("member", group, gid, user)`` — add a user to a group.
+    * ``("passwd_deleted", user)`` — a script deleted this user's
+      password (checked for the CVE-2019-5021 pattern at apply time).
+    """
+
+    package: str
+    ops: list[tuple] = field(default_factory=list)
+
+
+def extract_scan_delta(package: ApkPackage) -> PackageScanDelta:
+    """Parse a package's scripts into an ordered account-operation delta."""
+    delta = PackageScanDelta(package=package.name)
+    for source in package.scripts.values():
+        try:
+            script = parse_script(source)
+        except ScriptError:
+            continue  # unparseable scripts are rejected later anyway
+        deleted_passwords: dict[str, None] = {}
+        for command in script.iter_commands():
+            if command.name == "adduser":
+                kwargs, primary_group = parse_adduser_args(command.args)
+                if primary_group is not None:
+                    delta.ops.append(("group", GroupSpec(name=primary_group)))
+                    delta.ops.append(("primary", kwargs["name"],
+                                      primary_group))
+                delta.ops.append(("user", UserSpec(**kwargs)))
+            elif command.name == "addgroup":
+                gid, positional = parse_addgroup_args(command.args)
+                if len(positional) == 1:
+                    delta.ops.append(
+                        ("group", GroupSpec(name=positional[0], gid=gid))
+                    )
+                else:
+                    user, group_name = positional
+                    delta.ops.append(("member", group_name, gid, user))
+            elif command.name == "passwd" and "-d" in command.args:
+                target = [a for a in command.args if not a.startswith("-")]
+                if target:
+                    deleted_passwords.setdefault(target[0])
+        for user_name in deleted_passwords:
+            delta.ops.append(("passwd_deleted", user_name))
+    return delta
+
+
+@dataclass
 class RepositoryCatalog:
     """All users/groups any package in the repository may create, in the
     fixed global creation order (sorted by name)."""
@@ -42,42 +115,33 @@ class RepositoryCatalog:
 
     def scan_package(self, package: ApkPackage):
         """Extract account-creation commands from a package's scripts."""
-        for source in package.scripts.values():
-            try:
-                script = parse_script(source)
-            except ScriptError:
-                continue  # unparseable scripts are rejected later anyway
-            deleted_passwords: set[str] = set()
-            for command in script.iter_commands():
-                if command.name == "adduser":
-                    kwargs, primary_group = parse_adduser_args(command.args)
-                    if primary_group is not None:
-                        self._add_group(GroupSpec(name=primary_group))
-                        self.user_primary_group.setdefault(kwargs["name"],
-                                                           primary_group)
-                    self._add_user(UserSpec(**kwargs))
-                elif command.name == "addgroup":
-                    gid, positional = parse_addgroup_args(command.args)
-                    if len(positional) == 1:
-                        self._add_group(GroupSpec(name=positional[0], gid=gid))
-                    else:
-                        user, group_name = positional
-                        existing = self.groups.get(
-                            group_name, GroupSpec(name=group_name, gid=gid)
-                        )
-                        members = tuple(dict.fromkeys([*existing.members, user]))
-                        self.groups[group_name] = GroupSpec(
-                            name=group_name, gid=existing.gid, members=members
-                        )
-                elif command.name == "passwd" and "-d" in command.args:
-                    target = [a for a in command.args if not a.startswith("-")]
-                    if target:
-                        deleted_passwords.add(target[0])
-            for user_name in deleted_passwords:
+        self.apply_delta(extract_scan_delta(package))
+
+    def apply_delta(self, delta: PackageScanDelta):
+        """Replay one package's recorded account operations."""
+        for op in delta.ops:
+            tag = op[0]
+            if tag == "group":
+                self._add_group(op[1])
+            elif tag == "primary":
+                self.user_primary_group.setdefault(op[1], op[2])
+            elif tag == "user":
+                self._add_user(op[1])
+            elif tag == "member":
+                _, group_name, gid, user = op
+                existing = self.groups.get(
+                    group_name, GroupSpec(name=group_name, gid=gid)
+                )
+                members = tuple(dict.fromkeys([*existing.members, user]))
+                self.groups[group_name] = GroupSpec(
+                    name=group_name, gid=existing.gid, members=members
+                )
+            elif tag == "passwd_deleted":
+                user_name = op[1]
                 spec = self.users.get(user_name)
                 shell = spec.shell if spec else "/bin/ash"
                 if not shell.endswith("nologin"):
-                    self.insecure_findings.append((package.name, user_name))
+                    self.insecure_findings.append((delta.package, user_name))
 
     def _add_user(self, spec: UserSpec):
         if spec.name not in self.users:

@@ -17,6 +17,16 @@ simulated clock as a pipeline over three resource classes:
 * **cache shards** — disk reads/writes serialize per shard only, so a
   cache-hit lookup no longer queues behind an insert on another shard.
 
+The download half lives in :class:`MirrorDownloadScheduler`, a *batch*
+planner over per-mirror channels: each batch is one repository's changed
+set (names + quorum-pinned sizes/hashes + the policy mirrors allowed to
+serve it), assigned longest-processing-time-first onto the least-loaded
+channel and verified/retried against the live schedule.  One scheduler
+can carry batches of *several* repositories on one shared schedule — the
+multi-tenant orchestrator (:mod:`repro.core.orchestrator`) interleaves
+tenants' downloads this way, while :class:`RefreshPipeline` runs a single
+batch and keeps its historical single-repo behaviour.
+
 Correctness is inherited, not re-argued: the engine performs exactly the
 same ecalls as the sequential path (scan everything, freeze the catalog,
 sanitize everything), and the enclave itself refuses an illegal overlap
@@ -63,6 +73,12 @@ class PipelineOutcome:
     sanitized_early: int = 0
     #: When the catalog froze, relative to the phase start.
     catalog_barrier_at: float = 0.0
+    #: Re-downloads forced because the cached blob had been evicted.
+    evicted_redownloads: int = 0
+    #: Downloads satisfied by the content-addressed store (blobs another
+    #: tenant's orchestrated refresh landed), and the bytes not re-moved.
+    deduped_downloads: int = 0
+    deduped_download_bytes: int = 0
 
 
 @dataclass
@@ -73,6 +89,290 @@ class _Job:
     blob: bytes
     ready: float
     needs_catalog: bool = False
+
+
+@dataclass(eq=False)  # identity semantics: batches key the retry maps
+class DownloadBatch:
+    """One repository's download work-list on a shared mirror schedule.
+
+    ``not_before`` is the earliest simulated instant any transfer of this
+    batch may start (the moment its quorum information became available);
+    results are filled by :meth:`MirrorDownloadScheduler.resolve`.
+    """
+
+    batch_id: int
+    names: list[str]
+    expected: dict[str, dict]
+    #: Mirrors allowed to serve this batch, fastest-first (retry pool).
+    mirrors: list[dict]
+    #: The fan-out subset initial assignments spread over.
+    fanout: list[dict]
+    not_before: float = 0.0
+    #: Best-effort batches (speculative/optimistic fetches) record a
+    #: mirror-exhaustion failure in ``failed`` instead of raising.
+    best_effort: bool = False
+    #: Filled by ``resolve``:
+    fetched: dict[str, bytes] = field(default_factory=dict)
+    durations: dict[str, float] = field(default_factory=dict)
+    finishes: dict[str, float] = field(default_factory=dict)
+    assignments: dict[str, str] = field(default_factory=dict)
+    failed: dict[str, str] = field(default_factory=dict)
+
+
+class MirrorDownloadScheduler:
+    """Batch downloads over per-mirror channels on one live schedule.
+
+    Assignment is longest-processing-time-first onto the channel with the
+    least estimated backlog (sizes come from the quorum-validated index,
+    so the estimate needs no extra round trips).  Failed or corrupt
+    transfers are reinserted into the live schedule on the earliest-free
+    not-yet-tried channel — starting no earlier than the moment the
+    failure was detected — and the schedule re-solved, so retries overlap
+    with still-running downloads instead of running in a serial pass
+    after the parallel phase.
+
+    Timing guarantees lean on the schedule's monotonicity: adding load
+    never makes an existing stream finish *earlier*, so a gap computed
+    against the solved state at decision time (a batch's ``not_before``,
+    a retry's detection instant) still holds after later batches and
+    retries pile more contention onto the link.
+    """
+
+    def __init__(self, service,
+                 schedule: ParallelTransferSchedule | None = None,
+                 channel_key=None):
+        self._service = service
+        self._network = service._network
+        self._src = self._network.host(service.hostname)
+        self._schedule = schedule or ParallelTransferSchedule(
+            downlink_bandwidth=self._src.downlink_bandwidth
+        )
+        #: Mirror hostname -> schedule channel (override to namespace the
+        #: download channels on a schedule shared with other traffic).
+        self._channel_key = channel_key or (lambda hostname: hostname)
+        self._hosts: dict[str, object] = {}
+        self._setup_est: dict[str, float] = {}
+        #: Estimated backlog end per mirror hostname (assignment heuristic).
+        self._estimates: dict[str, float] = {}
+        #: Every schedule key enqueued per mirror hostname.
+        self._channel_items: dict[str, list] = {}
+        self._batches: list[DownloadBatch] = []
+        #: (batch, name) -> bookkeeping for the retry loop.
+        self._tried: dict[tuple, set[str]] = {}
+        self._attempt_keys: dict[tuple, list] = {}
+        self._candidate: dict[tuple, bytes] = {}
+        self._success_key: dict[tuple, object] = {}
+        self._last_error: dict[tuple, object] = {}
+        self._pending: list[tuple] = []
+        self._attempt = 0
+
+    @property
+    def schedule(self) -> ParallelTransferSchedule:
+        return self._schedule
+
+    @property
+    def batches(self) -> list[DownloadBatch]:
+        return list(self._batches)
+
+    def _register_mirrors(self, mirrors: list[dict]):
+        for mirror in mirrors:
+            hostname = mirror["hostname"]
+            if hostname in self._hosts:
+                continue
+            host = self._network.host(hostname)
+            self._hosts[hostname] = host
+            self._setup_est[hostname] = (
+                self._network.latency.base_rtt(self._src.continent,
+                                               host.continent)
+                + self._network.latency.transfer_time(_REQUEST_BYTES,
+                                                      host.bandwidth)
+                + host.processing_time + host.extra_delay
+            )
+            self._channel_items.setdefault(hostname, [])
+
+    def channel_frees(self) -> dict[str, float]:
+        """Actual per-mirror backlog ends from a fresh solve."""
+        if not any(self._channel_items.values()):
+            return {hostname: 0.0 for hostname in self._hosts}
+        timings = self._schedule.solve()
+        return {
+            hostname: max((timings[key].finish for key in items), default=0.0)
+            for hostname, items in self._channel_items.items()
+        }
+
+    def add_batch(self, names: list[str], expected: dict[str, dict],
+                  mirrors: list[dict], fanout: list[dict] | None = None,
+                  not_before: float = 0.0,
+                  best_effort: bool = False) -> DownloadBatch:
+        """Assign and issue one repository's downloads.
+
+        ``not_before`` delays the batch's first transfer per channel to at
+        least that schedule offset: the gap is computed against the
+        *solved* backlog of each channel at add time, and later additions
+        can only push transfers later, never earlier — so a batch issued
+        on quorum information available at time T never moves bytes
+        before T.
+        """
+        batch = DownloadBatch(
+            batch_id=len(self._batches),
+            names=list(names),
+            expected=expected,
+            mirrors=list(mirrors),
+            fanout=list(fanout if fanout is not None else mirrors),
+            not_before=not_before,
+            best_effort=best_effort,
+        )
+        self._batches.append(batch)
+        self._register_mirrors(batch.mirrors)
+
+        base_free = (self.channel_frees() if not_before > 0.0
+                     else {h: 0.0 for h in self._hosts})
+        for mirror in batch.fanout:
+            self._estimates.setdefault(mirror["hostname"], 0.0)
+
+        fanout_names = {m["hostname"] for m in batch.fanout}
+        queues: dict[str, list[str]] = {h: [] for h in fanout_names}
+        estimates = self._estimates
+        for name in sorted(batch.names,
+                           key=lambda n: -batch.expected[n]["size"]):
+            hostname = min(fanout_names,
+                           key=lambda h: (estimates[h], h))
+            queues[hostname].append(name)
+            estimates[hostname] += (
+                self._setup_est[hostname]
+                + batch.expected[name]["size"] / self._hosts[hostname].bandwidth
+            )
+
+        gap_done: set[str] = set()
+        for mirror in batch.fanout:
+            hostname = mirror["hostname"]
+            for name in queues[hostname]:
+                item = (batch, name)
+                self._tried[item] = set()
+                self._attempt_keys[item] = []
+                extra_wait = 0.0
+                if hostname not in gap_done:
+                    gap_done.add(hostname)
+                    extra_wait = max(0.0, batch.not_before
+                                     - base_free.get(hostname, 0.0))
+                    estimates[hostname] += extra_wait
+                if self._issue(item, hostname, 0, extra_wait) is None:
+                    self._pending.append(item)
+        return batch
+
+    def _issue(self, item: tuple, hostname: str, attempt: int,
+               extra_wait: float):
+        """Probe one fetch and enqueue it (or its timeout stall)."""
+        batch, name = item
+        self._tried[item].add(hostname)
+        channel = self._channel_key(hostname)
+        try:
+            probe = self._network.probe(
+                self._service.hostname,
+                Request(hostname, "get_package", payload=name),
+            )
+        except NetworkError as exc:
+            # A dead mirror stalls its channel for the timeout.
+            self._last_error[item] = exc
+            key = ("stall", batch.batch_id, attempt, name)
+            self._schedule.enqueue(channel, key,
+                                   extra_wait + self._network.timeout, 0,
+                                   self._hosts[hostname].bandwidth)
+            self._attempt_keys[item].append(key)
+            self._channel_items[hostname].append(key)
+            return None
+        key = (batch.batch_id, attempt, name)
+        self._schedule.enqueue(channel, key, extra_wait + probe.setup,
+                               probe.size_bytes, probe.bandwidth)
+        self._attempt_keys[item].append(key)
+        self._channel_items[hostname].append(key)
+        self._candidate[item] = probe.payload
+        batch.assignments[name] = hostname
+        self._success_key[item] = key
+        return probe
+
+    def resolve(self) -> dict:
+        """Solve, verify, and retry until every batch item lands.
+
+        Fills each batch's ``fetched``/``durations``/``finishes``/
+        ``assignments`` and returns the final schedule timings.  Raises
+        :class:`NetworkError` when some package stays unavailable after
+        every allowed mirror was tried.
+        """
+        timings = self._schedule.solve()
+        while True:
+            # Verify against the quorum index; corrupt blobs join retries.
+            for item in sorted(self._candidate,
+                               key=lambda i: (i[0].batch_id, i[1])):
+                batch, name = item
+                if matches_expected(self._candidate[item],
+                                    batch.expected[name]):
+                    batch.fetched[name] = self._candidate[item]
+                else:
+                    self._last_error[item] = (
+                        f"mirror {batch.assignments[name]} served a blob "
+                        "that does not match the quorum-validated index"
+                    )
+                    self._pending.append(item)
+                    del batch.assignments[name]
+                    del self._success_key[item]
+            self._candidate.clear()
+            if not self._pending:
+                break
+            channel_free = {
+                hostname: max((timings[key].finish for key in items),
+                              default=0.0)
+                for hostname, items in self._channel_items.items()
+            }
+            retry_now = sorted(
+                set(self._pending),
+                key=lambda i: (timings[self._attempt_keys[i][-1]].finish,
+                               i[0].batch_id, i[1]),
+            )
+            self._pending = []
+            self._attempt += 1
+            for item in retry_now:
+                batch, name = item
+                detect = timings[self._attempt_keys[item][-1]].finish
+                eligible = [m["hostname"] for m in batch.mirrors
+                            if m["hostname"] not in self._tried[item]]
+                if not eligible:
+                    reason = (
+                        f"package {name!r} unavailable from every policy "
+                        f"mirror: {self._last_error.get(item)}"
+                    )
+                    if batch.best_effort:
+                        batch.failed[name] = reason
+                        continue
+                    raise NetworkError(reason)
+                hostname = min(eligible,
+                               key=lambda h: (channel_free[h], h))
+                extra_wait = max(0.0, detect - channel_free[hostname])
+                probe = self._issue(item, hostname, self._attempt, extra_wait)
+                if probe is None:
+                    channel_free[hostname] += \
+                        extra_wait + self._network.timeout
+                    self._pending.append(item)
+                else:
+                    channel_free[hostname] += (
+                        extra_wait + probe.setup
+                        + probe.size_bytes / probe.bandwidth
+                    )
+            timings = self._schedule.solve()
+
+        # (Re)compute from the *current* timings: a later resolve with
+        # extra load can shift earlier transfers, never the other way.
+        for batch in self._batches:
+            for name in batch.names:
+                item = (batch, name)
+                if item not in self._success_key:
+                    continue  # best-effort failure, recorded in .failed
+                batch.durations[name] = sum(
+                    timings[key].duration
+                    for key in self._attempt_keys[item]
+                )
+                batch.finishes[name] = timings[self._success_key[item]].finish
+        return timings
 
 
 class RefreshPipeline:
@@ -92,6 +392,9 @@ class RefreshPipeline:
             streams = min(streams, max_streams)
         self._channels = self._ordered_mirrors[:streams]
         self._shard_free: dict[int, float] = {}
+        self._evicted_redownloads = 0
+        self._deduped_downloads = 0
+        self._deduped_download_bytes = 0
 
     # -- public entry -------------------------------------------------------
 
@@ -156,6 +459,9 @@ class RefreshPipeline:
             mirror_assignments=assignments,
             sanitized_early=sanitized_early,
             catalog_barrier_at=barrier_at,
+            evicted_redownloads=self._evicted_redownloads,
+            deduped_downloads=self._deduped_downloads,
+            deduped_download_bytes=self._deduped_download_bytes,
         )
 
     # -- blob acquisition ---------------------------------------------------
@@ -168,12 +474,21 @@ class RefreshPipeline:
         to_download: list[str] = []
         for name in changed:
             want = self._expected[name]
-            cached = cache.get_original(self._repo_id, name)
-            if cached is not None and matches_expected(cached, want):
-                ready = self._charge_shard_read(name, len(cached), 0.0)
-                jobs.append(_Job(name=name, blob=cached, ready=ready))
-            else:
-                to_download.append(name)
+            blob, source, evicted = cache.lookup_blob(self._repo_id, name,
+                                                      want)
+            if blob is not None:
+                if source == "named":
+                    ready = self._charge_shard_read(name, len(blob), 0.0)
+                else:
+                    shard = cache.content_shard_index(want["sha256"])
+                    ready = self._shard_busy_index(shard, len(blob), 0.0)
+                    self._deduped_downloads += 1
+                    self._deduped_download_bytes += len(blob)
+                jobs.append(_Job(name=name, blob=blob, ready=ready))
+                continue
+            if evicted:
+                self._evicted_redownloads += 1
+            to_download.append(name)
 
         download_elapsed = 0.0
         downloaded_bytes = 0
@@ -197,149 +512,15 @@ class RefreshPipeline:
     def _download_pipelined(self, names: list[str]) -> tuple[
             dict[str, bytes], dict[str, float], dict[str, float],
             dict[str, str]]:
-        """Fan the downloads out over per-mirror channels.
-
-        Assignment is longest-processing-time-first onto the channel with
-        the least estimated backlog (sizes come from the quorum-validated
-        index, so the estimate needs no extra round trips).  Failed or
-        corrupt transfers are reinserted into the live schedule on the
-        earliest-free not-yet-tried channel — starting no earlier than the
-        moment the failure was detected — and the schedule re-solved, so
-        retries overlap with still-running downloads instead of running in
-        a serial pass after the parallel phase.  Retry start gaps are
-        pinned against the schedule state at decision time; the re-solve
-        may still shift concurrent streams through downlink contention.
-        """
-        src = self._network.host(self._service.hostname)
-        schedule = ParallelTransferSchedule(
-            downlink_bandwidth=src.downlink_bandwidth
-        )
-        # Retries may open channels beyond the fan-out cap: any policy
-        # mirror not yet tried for a package is fair game, as in the old
-        # sequential fallback.
-        hosts = {mirror["hostname"]: self._network.host(mirror["hostname"])
-                 for mirror in self._ordered_mirrors}
-        setup_est = {}
-        for hostname, host in hosts.items():
-            setup_est[hostname] = (
-                self._network.latency.base_rtt(src.continent, host.continent)
-                + self._network.latency.transfer_time(_REQUEST_BYTES,
-                                                      host.bandwidth)
-                + host.processing_time + host.extra_delay
-            )
-
-        estimates = {channel["hostname"]: 0.0 for channel in self._channels}
-        queues: dict[str, list[str]] = {h: [] for h in estimates}
-        for name in sorted(names, key=lambda n: -self._expected[n]["size"]):
-            hostname = min(estimates, key=lambda h: (estimates[h], h))
-            queues[hostname].append(name)
-            estimates[hostname] += (
-                setup_est[hostname]
-                + self._expected[name]["size"] / hosts[hostname].bandwidth
-            )
-
-        fetched: dict[str, bytes] = {}
-        candidate: dict[str, bytes] = {}          # this round, unverified
-        attempt_keys: dict[str, list] = {name: [] for name in names}
-        channel_items: dict[str, list] = {h: [] for h in hosts}
-        tried: dict[str, set[str]] = {name: set() for name in names}
-        assignments: dict[str, str] = {}
-        success_key: dict[str, object] = {}
-        last_error: dict[str, object] = {}
-        pending: list[str] = []
-
-        def issue(name: str, hostname: str, attempt: int, extra_wait: float):
-            """Probe one fetch and enqueue it (or its timeout stall)."""
-            tried[name].add(hostname)
-            try:
-                probe = self._network.probe(
-                    self._service.hostname,
-                    Request(hostname, "get_package", payload=name),
-                )
-            except NetworkError as exc:
-                # A dead mirror stalls its channel for the timeout.
-                last_error[name] = exc
-                key = ("stall", attempt, name)
-                schedule.enqueue(hostname, key,
-                                 extra_wait + self._network.timeout, 0,
-                                 hosts[hostname].bandwidth)
-                attempt_keys[name].append(key)
-                channel_items[hostname].append(key)
-                return None
-            key = (attempt, name)
-            schedule.enqueue(hostname, key, extra_wait + probe.setup,
-                             probe.size_bytes, probe.bandwidth)
-            attempt_keys[name].append(key)
-            channel_items[hostname].append(key)
-            candidate[name] = probe.payload
-            assignments[name] = hostname
-            success_key[name] = key
-            return probe
-
-        for hostname, queue in queues.items():
-            for name in queue:
-                if issue(name, hostname, 0, 0.0) is None:
-                    pending.append(name)
-
-        attempt = 0
-        timings = schedule.solve()
-        while True:
-            # Verify against the quorum index; corrupt blobs join retries.
-            for name in sorted(candidate):
-                if matches_expected(candidate[name], self._expected[name]):
-                    fetched[name] = candidate[name]
-                else:
-                    last_error[name] = (
-                        f"mirror {assignments[name]} served a blob that "
-                        "does not match the quorum-validated index"
-                    )
-                    pending.append(name)
-                    del assignments[name]
-                    del success_key[name]
-            candidate.clear()
-            if not pending:
-                break
-            channel_free = {
-                h: max((timings[k].finish for k in channel_items[h]),
-                       default=0.0)
-                for h in hosts
-            }
-            retry_now = sorted(
-                set(pending),
-                key=lambda n: (timings[attempt_keys[n][-1]].finish, n),
-            )
-            pending = []
-            attempt += 1
-            for name in retry_now:
-                detect = timings[attempt_keys[name][-1]].finish
-                eligible = [h for h in hosts if h not in tried[name]]
-                if not eligible:
-                    raise NetworkError(
-                        f"package {name!r} unavailable from every policy "
-                        f"mirror: {last_error.get(name)}"
-                    )
-                hostname = min(eligible,
-                               key=lambda h: (channel_free[h], h))
-                extra_wait = max(0.0, detect - channel_free[hostname])
-                probe = issue(name, hostname, attempt, extra_wait)
-                if probe is None:
-                    channel_free[hostname] += \
-                        extra_wait + self._network.timeout
-                    pending.append(name)
-                else:
-                    channel_free[hostname] += (
-                        extra_wait + probe.setup
-                        + probe.size_bytes / probe.bandwidth
-                    )
-            timings = schedule.solve()
-
-        durations = {
-            name: sum(timings[key].duration for key in keys)
-            for name, keys in attempt_keys.items()
-        }
-        finishes = {name: timings[key].finish
-                    for name, key in success_key.items()}
-        return fetched, durations, finishes, assignments
+        """Fan the downloads out over per-mirror channels (one batch on a
+        fresh :class:`MirrorDownloadScheduler`)."""
+        scheduler = MirrorDownloadScheduler(self._service)
+        batch = scheduler.add_batch(names, self._expected,
+                                    self._ordered_mirrors,
+                                    fanout=self._channels)
+        scheduler.resolve()
+        return batch.fetched, batch.durations, batch.finishes, \
+            batch.assignments
 
     # -- per-resource accounting -------------------------------------------
 
@@ -361,6 +542,9 @@ class RefreshPipeline:
     def _shard_busy(self, name: str, size: int, at: float) -> float:
         """Serialize one disk operation on the blob's cache shard."""
         shard = self._service.cache.shard_index(self._repo_id, name)
+        return self._shard_busy_index(shard, size, at)
+
+    def _shard_busy_index(self, shard: int, size: int, at: float) -> float:
         start = max(self._shard_free.get(shard, 0.0), at)
         finish = start + LOCAL_DISK_SEEK_S \
             + size / LOCAL_DISK_BANDWIDTH_BYTES_PER_S

@@ -15,9 +15,9 @@ from __future__ import annotations
 import json
 
 from repro.archive.index import IndexEntry, RepositoryIndex
-from repro.core.catalog import RepositoryCatalog
+from repro.core.catalog import RepositoryCatalog, extract_scan_delta
 from repro.core.policy import SecurityPolicy
-from repro.core.sanitizer import SanitizationResult, Sanitizer
+from repro.core.sanitizer import PackageAnalysis, SanitizationResult, Sanitizer
 from repro.crypto.hashes import hmac_sha256, sha256_hex
 from repro.crypto.rsa import generate_keypair
 from repro.scripts.accounts import GroupSpec, UserSpec
@@ -55,6 +55,38 @@ class _RepositoryState:
         return sanitizer
 
 
+class _SharedRefreshContext:
+    """Cross-tenant dedupe memos for one orchestrated refresh plan.
+
+    Scoped to a single ``begin_shared_refresh`` / ``end_shared_refresh``
+    window so the single-repository refresh paths keep their historical
+    per-call cost; everything memoized here is *content-determined*:
+
+    * scan records — the account-operation delta and catalog dependency
+      of one blob (pure function of the bytes), replayed per repository
+      via :meth:`RepositoryCatalog.apply_delta`;
+    * package analyses — the parse/verify/classify/filter half of
+      sanitization, keyed by blob hash *and* trusted-signer set (two
+      tenants trusting different signers never share a verification).
+    """
+
+    def __init__(self):
+        self.scan_memo: dict[str, dict] = {}
+        self.analysis_memo: dict[tuple, PackageAnalysis] = {}
+        self.scan_hits = 0
+        self.scan_misses = 0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "scan_hits": self.scan_hits,
+            "scan_misses": self.scan_misses,
+            "analysis_hits": self.analysis_hits,
+            "analysis_misses": self.analysis_misses,
+        }
+
+
 class TsrProgram:
     """Enclave program implementing the TSR trusted core."""
 
@@ -62,6 +94,7 @@ class TsrProgram:
         self._key_bits = key_bits
         self._repos: dict[str, _RepositoryState] = {}
         self._enclave = None  # bound via _bind_enclave (EGETKEY analog)
+        self._shared: _SharedRefreshContext | None = None
 
     def _bind_enclave(self, enclave):
         self._enclave = enclave
@@ -164,15 +197,66 @@ class TsrProgram:
             },
         }
 
+    # -- shared refresh (multi-tenant dedupe) ------------------------------------------
+
+    def begin_shared_refresh(self):
+        """Open a cross-tenant dedupe window (orchestrated refresh plans).
+
+        While open, content-determined scan records and package analyses
+        are memoized by blob hash and shared across repositories; the
+        per-repository halves (catalog replay, prelude splicing, signing,
+        repacking) always run per tenant, so outputs are byte-identical
+        to unshared refreshes.
+        """
+        if self._shared is not None:
+            raise PolicyError("a shared refresh is already in progress")
+        self._shared = _SharedRefreshContext()
+
+    def end_shared_refresh(self) -> dict:
+        """Close the dedupe window; returns its hit/miss counters."""
+        if self._shared is None:
+            raise PolicyError("no shared refresh in progress")
+        stats = self._shared.stats()
+        self._shared = None
+        return stats
+
+    def _scan_record(self, blob: bytes) -> tuple[dict, bool]:
+        """(scan record, memo hit?) for one blob; memoized when shared."""
+        from repro.archive.apk import ApkPackage
+        from repro.scripts.classify import OperationType, classify_package_scripts
+        from repro.util.errors import ScriptError
+
+        shared = self._shared
+        digest = None
+        if shared is not None:
+            digest = sha256_hex(bytes(blob))
+            cached = shared.scan_memo.get(digest)
+            if cached is not None:
+                shared.scan_hits += 1
+                return cached, True
+        package = ApkPackage.parse(bytes(blob)).package
+        delta = extract_scan_delta(package)
+        try:
+            profile = classify_package_scripts(package.scripts)
+            needs_catalog = OperationType.USER_GROUP_CREATION in profile.operations
+        except ScriptError:
+            # Unparseable/unsupported scripts are rejected during
+            # sanitization regardless of catalog state.
+            needs_catalog = False
+        record = {"delta": delta, "needs_catalog": needs_catalog}
+        if shared is not None:
+            shared.scan_memo[digest] = record
+            shared.scan_misses += 1
+        return record, False
+
     # -- catalog & sanitization -------------------------------------------------------
 
     def scan_for_accounts(self, repo_id: str, blob: bytes):
         """Feed one upstream package through the account scanner."""
-        from repro.archive.apk import ApkPackage
-
         state = self._repo(repo_id)
         self._check_upstream_blob(state, blob)
-        state.catalog.scan_package(ApkPackage.parse(bytes(blob)).package)
+        record, _ = self._scan_record(blob)
+        state.catalog.apply_delta(record["delta"])
 
     def scan_package(self, repo_id: str, blob: bytes) -> dict:
         """Account-scan one package and report its catalog dependency.
@@ -183,23 +267,18 @@ class TsrProgram:
         :meth:`finish_catalog`.  Everything else can be sanitized the
         moment its blob arrives — the pipelined refresh engine uses this to
         overlap sanitization with ongoing downloads.
-        """
-        from repro.archive.apk import ApkPackage
-        from repro.scripts.classify import OperationType, classify_package_scripts
-        from repro.util.errors import ScriptError
 
+        Inside a shared refresh the parse/extract half is memoized by
+        blob hash (``deduped`` reports a hit); the delta replay against
+        this repository's catalog always runs.
+        """
         state = self._repo(repo_id)
         entry = self._check_upstream_blob(state, blob)
-        package = ApkPackage.parse(bytes(blob)).package
-        state.catalog.scan_package(package)
-        try:
-            profile = classify_package_scripts(package.scripts)
-            needs_catalog = OperationType.USER_GROUP_CREATION in profile.operations
-        except ScriptError:
-            # Unparseable/unsupported scripts are rejected during
-            # sanitization regardless of catalog state.
-            needs_catalog = False
-        return {"name": entry.name, "needs_catalog": needs_catalog}
+        record, deduped = self._scan_record(blob)
+        state.catalog.apply_delta(record["delta"])
+        return {"name": entry.name,
+                "needs_catalog": record["needs_catalog"],
+                "deduped": deduped}
 
     def finish_catalog(self, repo_id: str) -> dict:
         """Freeze the catalog and build the sanitizer."""
@@ -243,7 +322,28 @@ class TsrProgram:
     def _sanitize_with(self, state: _RepositoryState, sanitizer: Sanitizer,
                        blob: bytes, forbid=None) -> SanitizationResult:
         entry = self._check_upstream_blob(state, blob)
-        result = sanitizer.sanitize_blob(bytes(blob))
+        shared = self._shared
+        if shared is None:
+            result = sanitizer.sanitize_blob(bytes(blob))
+        else:
+            # Shared refresh: the content-determined analysis (parse,
+            # verify, classify, filter — including a recorded rejection)
+            # is memoized per (blob, trusted signer set); the repository-
+            # determined half (prelude, signatures, repack) always runs.
+            key = (
+                sha256_hex(bytes(blob)),
+                tuple(k.fingerprint() for k in state.policy.signers_keys),
+            )
+            analysis = shared.analysis_memo.get(key)
+            if analysis is None:
+                analysis = sanitizer.analyze_blob(bytes(blob))
+                shared.analysis_memo[key] = analysis
+                shared.analysis_misses += 1
+                result = sanitizer.finish_from_analysis(analysis)
+            else:
+                shared.analysis_hits += 1
+                result = sanitizer.finish_from_analysis(analysis.charged())
+                result.shared_analysis = True
         if forbid is not None and forbid in result.profile.operations:
             raise PolicyError(
                 "catalog-dependent package sanitized before finish_catalog "

@@ -26,6 +26,36 @@ from repro.simnet.network import Network, Request
 from repro.util.errors import NetworkError, QuorumError
 
 
+def entry_agreement(indexes: list[RepositoryIndex],
+                    needed: int) -> dict[str, dict]:
+    """Index entries already certain to be in any eventual quorum value.
+
+    Counts, for every (name, sha256, size) triple, how many of the given
+    per-mirror indexes carry it identically, and returns the triples with
+    at least ``needed`` (= f+1) votes as ``name -> {"sha256", "size"}``.
+
+    Soundness (pigeonhole): with a 2f+1-mirror policy, the f+1 mirrors
+    that eventually vote for the winning index and the f+1 mirrors
+    carrying the entry overlap in at least one mirror — and that mirror's
+    *single* index response is both the winner and a carrier, so the
+    entry is in the winner.  Starting a package download for such an
+    entry while quorum extension reads are still in flight is therefore
+    pure schedule optimization: it can never change the accepted index or
+    the verdicts derived from it (and every optimistically fetched blob
+    is still hash-checked against the final quorum index before use).
+    """
+    votes: dict[tuple[str, str, int], int] = {}
+    for index in indexes:
+        for entry in index.entries.values():
+            key = (entry.name, entry.sha256, entry.size)
+            votes[key] = votes.get(key, 0) + 1
+    agreed: dict[str, dict] = {}
+    for (name, sha256, size), count in votes.items():
+        if count >= needed and name not in agreed:
+            agreed[name] = {"sha256": sha256, "size": size}
+    return agreed
+
+
 @dataclass
 class QuorumResult:
     """Outcome of a quorum read."""

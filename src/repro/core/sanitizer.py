@@ -19,6 +19,25 @@ Sanitizing a package means:
 
 Each phase is timed individually — Table 4's correlations and Fig. 8/12
 are computed from these timings.
+
+The pipeline is split at the trust-relevant boundary between
+*content-determined* and *repository-determined* work:
+
+* :meth:`Sanitizer.analyze_blob` — parse, verify, classify, and filter
+  the scripts.  The result (:class:`PackageAnalysis`) depends only on the
+  package bytes and the trusted signer set, so a multi-tenant TSR can
+  compute it once per unique upstream blob and share it across tenant
+  repositories (the enclave memoizes it under the blob hash — see
+  :mod:`repro.core.program`).  Rejections are content-determined too and
+  are recorded in the analysis for replay.
+* :meth:`Sanitizer.finish_from_analysis` — everything keyed to one
+  repository: splice this repository's account prelude and IMA signature
+  lines into the filtered scripts, sign every file with the repository
+  key, and repack.  Output bytes are identical whether the analysis was
+  computed fresh or replayed from the memo.
+
+:meth:`Sanitizer.sanitize_blob` composes the two (the single-tenant
+path); its output is unchanged.
 """
 
 from __future__ import annotations
@@ -91,6 +110,9 @@ class SanitizationResult:
     timings: PhaseTimings
     profile: ScriptProfile
     insecure_findings: list[tuple[str, str]] = field(default_factory=list)
+    #: True when the content-determined analysis came from the shared
+    #: refresh memo (another tenant already paid for parse/verify/classify).
+    shared_analysis: bool = False
 
     @property
     def size_overhead(self) -> float:
@@ -103,6 +125,52 @@ class SanitizationResult:
     def working_set_bytes(self) -> int:
         """Peak enclave memory estimate: compressed blob + extracted data."""
         return self.original_size + self.uncompressed_size
+
+
+@dataclass
+class HookAnalysis:
+    """Content-determined rewrite state of one installation script."""
+
+    profile: ScriptProfile
+    #: Verbatim source for safe scripts (no rewrite needed); None when the
+    #: script was filtered and must be re-rendered per repository.
+    source: str | None = None
+    #: Statements retained after dropping account pipelines (unsafe-but-
+    #: sanitizable scripts only).
+    kept: list[Statement] = field(default_factory=list)
+    #: Original shebang (falls back to ``#!/bin/sh`` at render time).
+    shebang: str | None = None
+    #: Paths ``touch``-created by the retained statements.
+    touched: list[str] = field(default_factory=list)
+
+
+@dataclass
+class PackageAnalysis:
+    """Everything about one blob that does not depend on the repository.
+
+    Shareable across tenants whose policies trust the same signer set;
+    ``timings`` records the parse/verify/classify cost so the *first*
+    repository to sanitize the blob accounts it and memo hits do not.
+    """
+
+    package: ApkPackage
+    original_size: int
+    profile: ScriptProfile
+    hooks: dict[str, HookAnalysis]
+    timings: PhaseTimings
+    #: (package name, reason) when classification rejected the package.
+    rejection: tuple[str, str] | None = None
+
+    def charged(self) -> "PackageAnalysis":
+        """A view of this analysis whose shared cost is already paid."""
+        return PackageAnalysis(
+            package=self.package,
+            original_size=self.original_size,
+            profile=self.profile,
+            hooks=self.hooks,
+            timings=PhaseTimings(),
+            rejection=self.rejection,
+        )
 
 
 class Sanitizer:
@@ -135,6 +203,14 @@ class Sanitizer:
 
     def sanitize_blob(self, blob: bytes) -> SanitizationResult:
         """Run the full sanitization pipeline on raw apk bytes."""
+        return self.finish_from_analysis(self.analyze_blob(blob))
+
+    def analyze_blob(self, blob: bytes) -> PackageAnalysis:
+        """The content-determined half: parse, verify, classify, filter.
+
+        Never raises for rejected packages — the rejection is recorded so
+        a memoized analysis replays it identically per repository.
+        """
         timings = PhaseTimings()
 
         start = time.perf_counter()
@@ -148,7 +224,73 @@ class Sanitizer:
         package = parsed.package
 
         start = time.perf_counter()
-        profile, new_scripts, touched_paths = self._rewrite_scripts(package)
+        profile = ScriptProfile()
+        hooks: dict[str, HookAnalysis] = {}
+        rejection: tuple[str, str] | None = None
+        for hook, source in package.scripts.items():
+            try:
+                script = parse_script(source)
+                hook_profile = classify_script(script)
+            except ScriptError as exc:
+                rejection = (package.name,
+                             f"unparseable script {hook}: {exc}")
+                break
+            profile = profile.merge(hook_profile)
+            if not hook_profile.sanitizable:
+                bad = ", ".join(sorted(
+                    op.label for op in hook_profile.unsafe_operations
+                    if not op.sanitizable
+                ))
+                rejection = (package.name, f"script {hook} performs: {bad}")
+                break
+            if hook_profile.safe:
+                hooks[hook] = HookAnalysis(profile=hook_profile,
+                                           source=source)
+                continue
+            kept = _filter_statements(script.statements)
+            hooks[hook] = HookAnalysis(
+                profile=hook_profile,
+                kept=kept,
+                shebang=script.shebang,
+                touched=_touched_paths(kept),
+            )
+        timings.scripts += time.perf_counter() - start
+
+        return PackageAnalysis(
+            package=package,
+            original_size=len(blob),
+            profile=profile,
+            hooks=hooks,
+            timings=timings,
+            rejection=rejection,
+        )
+
+    def finish_from_analysis(self,
+                             analysis: PackageAnalysis) -> SanitizationResult:
+        """The repository-determined half: render, sign, repack.
+
+        Raises :class:`SanitizationRejected` when the analysis recorded a
+        rejection; the shared parse/verify/classify cost carried in
+        ``analysis.timings`` is folded into the result's timings (a memo
+        hit passes a zero-cost :meth:`PackageAnalysis.charged` view).
+        """
+        if analysis.rejection is not None:
+            raise SanitizationRejected(*analysis.rejection)
+        package = analysis.package
+        timings = PhaseTimings(
+            verify=analysis.timings.verify,
+            archive=analysis.timings.archive,
+            scripts=analysis.timings.scripts,
+        )
+
+        start = time.perf_counter()
+        new_scripts: dict[str, str] = {}
+        profile = analysis.profile
+        for hook, hook_analysis in analysis.hooks.items():
+            if hook_analysis.source is not None:
+                new_scripts[hook] = hook_analysis.source  # nothing to change
+            else:
+                new_scripts[hook] = self._render_hook(hook_analysis)
         timings.scripts += time.perf_counter() - start
 
         start = time.perf_counter()
@@ -189,7 +331,7 @@ class Sanitizer:
         return SanitizationResult(
             package=sanitized,
             blob=sanitized_blob,
-            original_size=len(blob),
+            original_size=analysis.original_size,
             sanitized_size=len(sanitized_blob),
             file_count=len(package.files),
             uncompressed_size=uncompressed,
@@ -200,62 +342,34 @@ class Sanitizer:
 
     # -- script rewriting -----------------------------------------------------------
 
-    def _rewrite_scripts(self, package: ApkPackage) -> tuple[
-            ScriptProfile, dict[str, str], list[str]]:
-        profile = ScriptProfile()
-        new_scripts: dict[str, str] = {}
-        touched_all: list[str] = []
-        for hook, source in package.scripts.items():
-            try:
-                script = parse_script(source)
-                hook_profile = classify_script(script)
-            except ScriptError as exc:
-                raise SanitizationRejected(package.name,
-                                           f"unparseable script {hook}: {exc}")
-            profile = profile.merge(hook_profile)
-            if not hook_profile.sanitizable:
-                bad = ", ".join(sorted(
-                    op.label for op in hook_profile.unsafe_operations
-                    if not op.sanitizable
-                ))
-                raise SanitizationRejected(package.name,
-                                           f"script {hook} performs: {bad}")
-            if hook_profile.safe:
-                new_scripts[hook] = source  # nothing to change
-                continue
-            new_scripts[hook], touched = self._rewrite_one(script, hook_profile)
-            touched_all.extend(touched)
-        return profile, new_scripts, touched_all
-
-    def _rewrite_one(self, script: Script,
-                     profile: ScriptProfile) -> tuple[str, list[str]]:
-        """Rewrite one unsafe-but-sanitizable script."""
-        kept = _filter_statements(script.statements)
-        touched = _touched_paths(kept)
+    def _render_hook(self, analysis: HookAnalysis) -> str:
+        """Render one filtered script with this repository's prelude and
+        IMA signature lines (the repository-determined rewrite half)."""
         lines: list[str] = []
-        if OperationType.USER_GROUP_CREATION in profile.operations:
+        if OperationType.USER_GROUP_CREATION in analysis.profile.operations:
             # Deterministic account prelude replaces the script's own
             # adduser/addgroup/passwd commands.
             lines.extend(self._prelude_lines)
-        rewritten = Script(statements=kept, shebang=script.shebang or "#!/bin/sh")
+        rewritten = Script(statements=analysis.kept,
+                           shebang=analysis.shebang or "#!/bin/sh")
         body = rewritten.render().splitlines()
         if body and body[0].startswith("#!"):
             shebang, body = body[0], body[1:]
         else:
             shebang = "#!/bin/sh"
         lines = [shebang, *lines, *body]
-        if OperationType.USER_GROUP_CREATION in profile.operations:
+        if OperationType.USER_GROUP_CREATION in analysis.profile.operations:
             for path in CONFIG_PATHS:
                 signature = self._config_signatures[path]
                 lines.append(
                     f"setfattr -n security.ima -v 0x{signature.hex()} {path}"
                 )
-        for path in touched:
+        for path in analysis.touched:
             lines.append(
                 "setfattr -n security.ima -v "
                 f"0x{self._empty_file_signature.hex()} {path}"
             )
-        return "\n".join(lines) + "\n", touched
+        return "\n".join(lines) + "\n"
 
 
 def _filter_statements(statements: list[Statement]) -> list[Statement]:

@@ -64,6 +64,22 @@ class RefreshReport:
     mirror_assignments: dict[str, str] = field(default_factory=dict)
     #: Packages sanitized before the catalog barrier (pipelined only).
     sanitized_early: int = 0
+    #: This refresh ran as part of a multi-tenant orchestrated plan.
+    orchestrated: bool = False
+    #: Packages whose download was satisfied by another tenant's transfer
+    #: or the content-addressed cache (orchestrated plans only), and the
+    #: bytes that did not have to move again because of it.
+    deduped_downloads: int = 0
+    deduped_download_bytes: int = 0
+    #: Packages whose catalog scan replayed a memoized delta.
+    deduped_scans: int = 0
+    #: Packages whose sanitization reused a shared content analysis.
+    shared_sanitize: int = 0
+    #: Downloads that started on first-wave entry agreement, while quorum
+    #: extension reads were still in flight.
+    interleaved_downloads: int = 0
+    #: Re-downloads forced because the cached blob had been evicted.
+    evicted_redownloads: int = 0
 
     @property
     def phase_sum(self) -> float:
@@ -83,12 +99,39 @@ class RefreshReport:
         return max(0.0, self.phase_sum - self.total_elapsed)
 
 
+@dataclass(frozen=True)
+class RepoConfig:
+    """Resolved per-repository refresh configuration.
+
+    Hoisted out of :meth:`TrustedSoftwareRepository.refresh`, which used
+    to re-export the enclave state, re-parse the policy YAML, and re-sort
+    the mirror set on *every* call.  Policies are immutable after
+    deployment, so this is resolved once per repository and shared by the
+    phased, pipelined, and orchestrated refresh paths (the cache is
+    dropped on :meth:`TrustedSoftwareRepository.restart`).
+    """
+
+    repo_id: str
+    #: The parsed policy (host-deployed, nothing secret in it): the
+    #: orchestrator needs the signer keys to validate index responses
+    #: host-side before counting optimistic entry votes, and the package
+    #: filter to skip downloads the enclave would discard anyway.
+    policy: SecurityPolicy
+    #: Policy mirrors in policy order ({"hostname", "continent"} dicts).
+    mirrors: tuple[dict, ...]
+    #: The same mirrors, fastest-first from the TSR host.
+    ordered_mirrors: tuple[dict, ...]
+    fault_tolerance: int
+    quorum_needed: int
+
+
 class TrustedSoftwareRepository:
     """A TSR deployment: enclave + cache + network endpoint."""
 
     def __init__(self, hostname: str, network: Network, cpu: SgxCpu, tpm: Tpm,
                  continent=None, key_bits: int = 1024,
-                 sgx_enabled: bool = True, epc_model: EpcModel | None = None):
+                 sgx_enabled: bool = True, epc_model: EpcModel | None = None,
+                 cache: PackageCache | None = None):
         from repro.simnet.latency import Continent
 
         self.hostname = hostname
@@ -98,7 +141,8 @@ class TrustedSoftwareRepository:
         self._key_bits = key_bits
         self.sgx_enabled = sgx_enabled
         self.epc_model = epc_model or EpcModel()
-        self.cache = PackageCache()
+        self.cache = cache or PackageCache()
+        self._repo_configs: dict[str, RepoConfig] = {}
         self._freshness = FreshnessManager(tpm)
         self._enclave = Enclave(cpu, TsrProgram, key_bits=key_bits)
         network.add_host(Host(
@@ -161,7 +205,8 @@ class TrustedSoftwareRepository:
         """
         if parallel_downloads < 1:
             raise ValueError("parallel_downloads must be >= 1")
-        policy_mirrors = self._policy_mirrors(repo_id)
+        config = self.repo_config(repo_id)
+        policy_mirrors = list(config.mirrors)
         quorum_start = self._network.clock.now()
         quorum = self._read_quorum(repo_id, policy_mirrors)
         quorum_elapsed = self._network.clock.now() - quorum_start
@@ -173,22 +218,33 @@ class TrustedSoftwareRepository:
         download_elapsed = 0.0
         sanitize_elapsed = 0.0
         downloaded = 0
+        evicted_redownloads = 0
+        deduped_downloads = 0
+        deduped_download_bytes = 0
         rejected: list[tuple[str, str]] = []
         results: list[SanitizationResult] = []
 
         # Pass 1: make sure every changed package blob is available locally
-        # (cache hit or mirror download), verified against the quorum index.
+        # (cache hit, content-store hit, or mirror download), verified
+        # against the quorum index.  Content-store hits are blobs another
+        # tenant's orchestrated refresh already landed (cross-tenant
+        # dedupe reaching the single-repo path).
         blobs: dict[str, bytes] = {}
         to_download: list[str] = []
         for name in quorum["changed"]:
-            cached = self.cache.get_original(repo_id, name)
             expected = quorum["expected"][name]
-            if cached is not None and len(cached) == expected["size"] \
-                    and sha256_hex(cached) == expected["sha256"]:
-                self._advance_disk_read(len(cached))
-                blobs[name] = cached
-            else:
-                to_download.append(name)
+            blob, source, evicted = self.cache.lookup_blob(repo_id, name,
+                                                           expected)
+            if blob is not None:
+                self._advance_disk_read(len(blob))
+                blobs[name] = blob
+                if source == "content":
+                    deduped_downloads += 1
+                    deduped_download_bytes += len(blob)
+                continue
+            if evicted:
+                evicted_redownloads += 1
+            to_download.append(name)
 
         if parallel_downloads == 1:
             for name in to_download:
@@ -241,6 +297,9 @@ class TrustedSoftwareRepository:
             sanitize_elapsed=sanitize_elapsed,
             insecure_findings=catalog_info["insecure_findings"],
             results=results,
+            evicted_redownloads=evicted_redownloads,
+            deduped_downloads=deduped_downloads,
+            deduped_download_bytes=deduped_download_bytes,
         )
 
     def _refresh_pipelined(self, repo_id: str, policy_mirrors: list[dict],
@@ -272,16 +331,40 @@ class TrustedSoftwareRepository:
             pipelined=True,
             mirror_assignments=outcome.mirror_assignments,
             sanitized_early=outcome.sanitized_early,
+            evicted_redownloads=outcome.evicted_redownloads,
+            deduped_downloads=outcome.deduped_downloads,
+            deduped_download_bytes=outcome.deduped_download_bytes,
         )
 
+    def repo_config(self, repo_id: str) -> RepoConfig:
+        """Resolved refresh configuration for one repository, cached.
+
+        One enclave state export + policy parse + RTT sort per repository
+        instead of per refresh; the orchestrator and the single-repo
+        paths share the same resolution.
+        """
+        config = self._repo_configs.get(repo_id)
+        if config is None:
+            deployed = self._enclave.ecall("export_state")
+            policy = SecurityPolicy.from_yaml(deployed[repo_id]["policy_yaml"])
+            mirrors = [
+                {"hostname": m.hostname, "continent": m.continent}
+                for m in policy.mirrors
+            ]
+            ordered = self.mirrors_by_rtt(mirrors)
+            config = RepoConfig(
+                repo_id=repo_id,
+                policy=policy,
+                mirrors=tuple(mirrors),
+                ordered_mirrors=tuple(ordered),
+                fault_tolerance=policy.fault_tolerance,
+                quorum_needed=policy.fault_tolerance + 1,
+            )
+            self._repo_configs[repo_id] = config
+        return config
+
     def _policy_mirrors(self, repo_id: str) -> list[dict]:
-        deployed = self._enclave.ecall("export_state")
-        policy_yaml = deployed[repo_id]["policy_yaml"]
-        policy = SecurityPolicy.from_yaml(policy_yaml)
-        return [
-            {"hostname": m.hostname, "continent": m.continent}
-            for m in policy.mirrors
-        ]
+        return list(self.repo_config(repo_id).mirrors)
 
     def mirrors_by_rtt(self, mirrors: list[dict]) -> list[dict]:
         """Policy mirrors sorted fastest-first from this host."""
@@ -295,7 +378,11 @@ class TrustedSoftwareRepository:
     def _read_quorum(self, repo_id: str, mirrors: list[dict]) -> dict:
         """Contact the fastest f+1 mirrors, widening until the enclave
         accepts a quorum (section 4.5)."""
-        ordered = self.mirrors_by_rtt(mirrors)
+        config = self.repo_config(repo_id)
+        if list(mirrors) == list(config.mirrors):
+            ordered = list(config.ordered_mirrors)
+        else:  # caller supplied a custom mirror set (tests)
+            ordered = self.mirrors_by_rtt(mirrors)
         needed = (len(ordered) - 1) // 2 + 1
         responses: list[tuple[str, bytes]] = []
         cursor = needed
@@ -406,6 +493,7 @@ class TrustedSoftwareRepository:
         Raises :class:`RollbackError` if the on-disk sealed state is stale
         or tampered (the adversary rolled the cache back).
         """
+        self._repo_configs.clear()
         self._enclave.destroy()
         self._enclave = Enclave(self._cpu, TsrProgram, key_bits=self._key_bits)
         if not self.cache.disk.isfile(SEALED_STATE_PATH):

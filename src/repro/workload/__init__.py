@@ -17,8 +17,10 @@ from repro.workload.generator import (
 from repro.workload.scenario import (
     FleetRefreshReport,
     Scenario,
+    build_multi_tenant_scenario,
     build_scenario,
     fleet_refresh,
+    multi_tenant_refresh,
 )
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "PAPER_TOTALS",
     "FleetRefreshReport",
     "Scenario",
+    "build_multi_tenant_scenario",
     "build_scenario",
     "fleet_refresh",
+    "multi_tenant_refresh",
 ]

@@ -10,7 +10,9 @@ import random
 from dataclasses import dataclass, field
 
 from repro.attest.monitor import MonitoringSystem, baseline_whitelist
+from repro.core.cache import PackageCache
 from repro.core.client import TsrRepositoryClient
+from repro.core.orchestrator import MultiTenantRefreshReport, RefreshOrchestrator
 from repro.core.policy import SecurityPolicy, MirrorPolicyEntry
 from repro.core.service import RefreshReport, TrustedSoftwareRepository
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
@@ -53,6 +55,11 @@ class Scenario:
     monitor: MonitoringSystem | None = None
     nodes: dict[str, IntegrityEnforcedOS] = field(default_factory=dict)
     workload: GeneratedWorkload | None = None
+    #: Every deployed repository id, in deployment order (the first is
+    #: ``repo_id``, the default tenant).
+    tenants: list[str] = field(default_factory=list)
+    #: repo_id -> that tenant's attested public signing key.
+    tenant_keys: dict[str, RsaPublicKey] = field(default_factory=dict)
     _node_count: int = 0
 
     @property
@@ -107,6 +114,40 @@ class Scenario:
     def sync_mirrors(self):
         sync_all(self.mirrors)
 
+    # -- tenants --------------------------------------------------------------
+
+    def add_tenant(self, policy: SecurityPolicy | None = None, *,
+                   package_whitelist=None,
+                   init_config_files: dict[str, str] | None = None) -> str:
+        """Deploy one more tenant repository on the shared TSR.
+
+        Builds a policy over the scenario's existing mirror set (unless an
+        explicit ``policy`` is given), deploys it, and verifies the
+        attestation quote before trusting the returned key — the same
+        onboarding flow as the primary tenant.  Returns the new repo id.
+        """
+        if policy is None:
+            kwargs = {}
+            if init_config_files is not None:
+                kwargs["init_config_files"] = dict(init_config_files)
+            policy = SecurityPolicy(
+                mirrors=list(self.policy.mirrors),
+                signers_keys=[self.distro_key.public_key],
+                package_whitelist=(frozenset(package_whitelist)
+                                   if package_whitelist is not None else None),
+                **kwargs,
+            )
+        deployed = self.tsr.deploy_policy(policy.to_yaml())
+        deployed["quote"].verify(
+            self.attestation_service,
+            expected_mrenclave=self.tsr._enclave.mrenclave,
+        )
+        repo_id = deployed["repo_id"]
+        self.tenants.append(repo_id)
+        self.tenant_keys[repo_id] = RsaPublicKey.from_pem(
+            deployed["public_key_pem"])
+        return repo_id
+
     def refresh(self, pipelined: bool = False,
                 max_streams: int | None = None,
                 parallel_downloads: int = 1) -> RefreshReport:
@@ -117,13 +158,16 @@ class Scenario:
         return self.refresh_report
 
 
-def default_policy(mirror_specs, distro_public: RsaPublicKey) -> SecurityPolicy:
+def default_policy(mirror_specs, distro_public: RsaPublicKey,
+                   package_whitelist=None) -> SecurityPolicy:
     return SecurityPolicy(
         mirrors=[
             MirrorPolicyEntry(hostname=spec.name, continent=spec.continent)
             for spec in mirror_specs
         ],
         signers_keys=[distro_public],
+        package_whitelist=(frozenset(package_whitelist)
+                           if package_whitelist is not None else None),
     )
 
 
@@ -136,9 +180,17 @@ def build_scenario(workload: GeneratedWorkload | None = None,
                    epc_bytes: int | None = None,
                    refresh: bool = True,
                    with_monitor: bool = True,
-                   seed: int = 99) -> Scenario:
+                   seed: int = 99,
+                   package_whitelist=None,
+                   cache_budget_bytes: int | None = None,
+                   cache_shards: int | None = None) -> Scenario:
     """Assemble origin + mirrors + TSR (+ monitor), deploy the default
-    policy, and optionally run the first refresh."""
+    policy, and optionally run the first refresh.
+
+    ``package_whitelist`` restricts the default tenant's policy;
+    ``cache_budget_bytes``/``cache_shards`` configure the TSR package
+    cache (per-shard LRU byte budgets — see :class:`PackageCache`).
+    """
     network = Network()
     distro_key = generate_keypair(key_bits, seed=seed)
     origin = OriginalRepository(distro_key)
@@ -153,12 +205,20 @@ def build_scenario(workload: GeneratedWorkload | None = None,
     tpm = Tpm("tpm-tsr-host", key_bits=key_bits)
     if epc_bytes is None and workload is not None:
         epc_bytes = workload.suggested_epc_bytes
+    cache = None
+    if cache_budget_bytes is not None or cache_shards is not None:
+        cache = PackageCache(
+            shards=cache_shards if cache_shards is not None else 8,
+            shard_budget_bytes=cache_budget_bytes,
+        )
     tsr = TrustedSoftwareRepository(
         "tsr.example", network, cpu, tpm,
         key_bits=tsr_key_bits or key_bits, sgx_enabled=sgx_enabled,
         epc_model=EpcModel(epc_bytes=epc_bytes) if epc_bytes else None,
+        cache=cache,
     )
-    policy = default_policy(mirror_specs, distro_key.public_key)
+    policy = default_policy(mirror_specs, distro_key.public_key,
+                            package_whitelist=package_whitelist)
     deployed = tsr.deploy_policy(policy.to_yaml())
     deployed["quote"].verify(attestation_service,
                              expected_mrenclave=tsr._enclave.mrenclave)
@@ -186,10 +246,86 @@ def build_scenario(workload: GeneratedWorkload | None = None,
         tsr_public_key=tsr_public_key,
         monitor=monitor,
         workload=workload,
+        tenants=[repo_id],
+        tenant_keys={repo_id: tsr_public_key},
     )
     if refresh and to_publish:
         scenario.refresh()
     return scenario
+
+
+def build_multi_tenant_scenario(tenants: int = 2, overlap: float = 0.5,
+                                workload: GeneratedWorkload | None = None,
+                                packages: list | None = None,
+                                mirror_specs=DEFAULT_MIRROR_SPECS,
+                                key_bits: int = 1024,
+                                cache_budget_bytes: int | None = None,
+                                cache_shards: int | None = None,
+                                seed: int = 99) -> Scenario:
+    """N tenant repositories over one origin with overlapping catalogs.
+
+    ``overlap`` is the fraction of the published package population every
+    tenant shares (the common core); the remainder is partitioned
+    round-robin into per-tenant exclusive slices.  Tenant whitelists are
+    ``core + slice_i``, so any two tenants overlap in at least the core —
+    the workload shape the cross-tenant dedupe of
+    :func:`multi_tenant_refresh` exploits.  No refresh is run.
+    """
+    if tenants < 1:
+        raise ValueError("need at least one tenant")
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError(f"overlap must be within [0, 1]: {overlap}")
+    to_publish = list(packages or (workload.packages if workload else []))
+    if not to_publish:
+        raise ValueError("multi-tenant scenario needs published packages")
+    names = [package.name for package in to_publish]
+    core_count = round(overlap * len(names))
+    core = names[:core_count]
+    rest = names[core_count:]
+    slices = [rest[i::tenants] for i in range(tenants)]
+
+    scenario = build_scenario(
+        workload=workload, packages=packages, mirror_specs=mirror_specs,
+        key_bits=key_bits, refresh=False, with_monitor=False, seed=seed,
+        package_whitelist=frozenset(core + slices[0]),
+        cache_budget_bytes=cache_budget_bytes, cache_shards=cache_shards,
+    )
+    for i in range(1, tenants):
+        scenario.add_tenant(package_whitelist=frozenset(core + slices[i]))
+    return scenario
+
+
+def multi_tenant_refresh(scenario: Scenario,
+                         repo_ids: list[str] | None = None,
+                         orchestrated: bool = True,
+                         max_streams: int | None = None,
+                         interleave: bool = True) -> MultiTenantRefreshReport:
+    """Refresh several tenant repositories of one TSR.
+
+    ``orchestrated`` (default) plans all refreshes as one
+    :class:`repro.core.orchestrator.RefreshOrchestrator` schedule —
+    interleaved quorums, cross-tenant download/scan/analysis dedupe, one
+    serial enclave channel.  ``orchestrated=False`` is the baseline the
+    ablation measures: the N phased refreshes run serially, exactly as N
+    separate ``tsr.refresh(repo_id)`` calls — same verdicts and
+    byte-identical sanitized outputs, vastly different wall-clock
+    (EXPERIMENTS.md §5).
+    """
+    repo_ids = list(repo_ids if repo_ids is not None else scenario.tenants)
+    if orchestrated:
+        return RefreshOrchestrator(
+            scenario.tsr, repo_ids, max_streams=max_streams,
+            interleave=interleave,
+        ).run()
+    start = scenario.clock.now()
+    reports = {
+        repo_id: scenario.tsr.refresh(repo_id) for repo_id in repo_ids
+    }
+    return MultiTenantRefreshReport(
+        reports=reports,
+        wall_elapsed=scenario.clock.now() - start,
+        orchestrated=False,
+    )
 
 
 @dataclass

@@ -33,3 +33,9 @@ class TestExamples:
         result = _run("multitenant_policies.py")
         assert result.returncode == 0, result.stderr
         assert "multi-tenant demo complete" in result.stdout
+
+    def test_multi_tenant_refresh(self):
+        result = _run("multi_tenant_refresh.py")
+        assert result.returncode == 0, result.stderr
+        assert "cross-tenant dedupe" in result.stdout
+        assert "multi-tenant orchestrated refresh complete" in result.stdout
