@@ -28,17 +28,28 @@ of once per tenant.  Content entries shard by the blob hash.
 
 Eviction: each shard optionally carries a byte budget
 (``shard_budget_bytes``).  Inserts that push a shard over its budget evict
-least-recently-used blobs (reads and writes both refresh recency) until
-the shard fits again; the just-written blob itself is never evicted, so a
-single oversized blob degrades the budget gracefully instead of thrashing.
-Only blobs the cache manages are eviction candidates — non-package state
-on the root disk (e.g. the sealed freshness file) is written directly via
-``disk`` and never tracked.  Evictions are counted per shard
-(:class:`ShardStats`), and the identities of evicted entries are
+blobs until the shard fits again; the just-written blob itself is never
+evicted, so a single oversized blob degrades the budget gracefully instead
+of thrashing.  Only blobs the cache manages are eviction candidates —
+non-package state on the root disk (e.g. the sealed freshness file) is
+written directly via ``disk`` and never tracked.  Evictions are counted
+per shard (:class:`ShardStats`), and the identities of evicted entries are
 remembered so a later re-download caused by eviction can be surfaced in
 refresh accounting (``RefreshReport.evicted_redownloads``):
 ``original_was_evicted`` / ``content_was_evicted`` pop the marker, so
 each eviction is attributed at most once.
+
+Eviction policy: the default, ``policy="lru2"``, is a scan-resistant
+LRU-2 (segmented LRU): a blob enters a per-shard *probation* queue on
+first insert and is promoted to the *protected* queue on its second touch
+(a read, or a re-write).  Victims come from the probation tail first, so
+one tenant's long exclusive tail — touched exactly once during its own
+refresh — cycles through probation without displacing the cross-tenant
+content core, whose blobs every later refresh re-reads (and thereby
+protects).  When probation is empty, the protected tail is evicted.
+``policy="lru"`` keeps the plain single-queue LRU (reads and writes both
+refresh recency) for comparison — the replay bench measures both
+(EXPERIMENTS.md §7).
 """
 
 from __future__ import annotations
@@ -57,6 +68,9 @@ CONTENT_PREFIX = "/var/cache/tsr/content"
 DEFAULT_SHARDS = 8
 
 
+EVICTION_POLICIES = ("lru2", "lru")
+
+
 @dataclass
 class ShardStats:
     """Per-shard operation counters (reads include misses)."""
@@ -67,6 +81,8 @@ class ShardStats:
     misses: int = 0
     evictions: int = 0
     evicted_bytes: int = 0
+    #: Probation -> protected promotions (LRU-2 policy only).
+    promotions: int = 0
 
 
 class PackageCache:
@@ -74,20 +90,33 @@ class PackageCache:
 
     def __init__(self, disk: SimFileSystem | None = None,
                  shards: int = DEFAULT_SHARDS,
-                 shard_budget_bytes: int | None = None):
+                 shard_budget_bytes: int | None = None,
+                 policy: str = "lru2"):
         if shards < 1:
             raise ValueError(f"shard count must be >= 1: {shards}")
         if shard_budget_bytes is not None and shard_budget_bytes <= 0:
             raise ValueError(
                 f"shard budget must be positive: {shard_budget_bytes}"
             )
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {policy!r} "
+                f"(expected one of {EVICTION_POLICIES})"
+            )
         self.disk = disk or SimFileSystem()
+        self.policy = policy
         self._shards: list[SimFileSystem] = [self.disk]
         self._shards.extend(SimFileSystem() for _ in range(shards - 1))
         self._stats = [ShardStats() for _ in range(shards)]
         self._budget = shard_budget_bytes
-        #: Per-shard LRU of managed blobs: path -> size, oldest first.
-        self._lru: list[OrderedDict[str, int]] = [
+        #: Per-shard recency queues of managed blobs: path -> size, oldest
+        #: first.  Under "lru" only ``_probation`` is used (one plain LRU
+        #: queue); under "lru2" a second touch moves a blob from
+        #: ``_probation`` into ``_protected``.
+        self._probation: list[OrderedDict[str, int]] = [
+            OrderedDict() for _ in range(shards)
+        ]
+        self._protected: list[OrderedDict[str, int]] = [
             OrderedDict() for _ in range(shards)
         ]
         self._used = [0] * shards
@@ -126,38 +155,79 @@ class PackageCache:
     def _content_path(sha256: str) -> str:
         return f"{CONTENT_PREFIX}/{sha256}.blob"
 
-    # -- LRU bookkeeping ----------------------------------------------------
+    # -- recency bookkeeping (LRU / LRU-2) -----------------------------------
 
     def _track(self, shard_index: int, path: str, size: int):
-        """Record a managed write and evict LRU blobs past the budget."""
-        lru = self._lru[shard_index]
-        self._used[shard_index] += size - lru.get(path, 0)
-        lru[path] = size
-        lru.move_to_end(path)
+        """Record a managed write and evict blobs past the budget.
+
+        Under LRU-2 a first write lands in probation; a re-write of a
+        tracked blob counts as its second touch and promotes it.
+        """
+        probation = self._probation[shard_index]
+        protected = self._protected[shard_index]
+        previous = probation.get(path, protected.get(path, 0))
+        self._used[shard_index] += size - previous
+        if path in protected:
+            protected[path] = size
+            protected.move_to_end(path)
+        elif self.policy == "lru2" and path in probation:
+            del probation[path]
+            protected[path] = size
+            self._stats[shard_index].promotions += 1
+        else:
+            probation[path] = size
+            probation.move_to_end(path)
+        self._evict(shard_index, keep=path)
+
+    def _evict(self, shard_index: int, keep: str):
+        """Sweep one shard down to its budget; never evicts ``keep``."""
         if self._budget is None:
             return
         shard = self._shards[shard_index]
         stats = self._stats[shard_index]
-        while self._used[shard_index] > self._budget and len(lru) > 1:
-            victim, victim_size = next(iter(lru.items()))
-            if victim == path:
-                # Never evict the blob that triggered the sweep.
+        probation = self._probation[shard_index]
+        protected = self._protected[shard_index]
+        while (self._used[shard_index] > self._budget
+               and len(probation) + len(protected) > 1):
+            # Probation tail first (scan resistance), then protected tail.
+            victim = None
+            for queue in (probation, protected):
+                for candidate in queue:
+                    if candidate != keep:
+                        victim = (queue, candidate)
+                        break
+                    break  # ``keep`` is the queue's own LRU: try the other
+                if victim is not None:
+                    break
+            if victim is None:
+                # Only ``keep`` is left over budget: never self-evict.
                 break
-            del lru[victim]
+            queue, path = victim
+            victim_size = queue.pop(path)
             self._used[shard_index] -= victim_size
-            if shard.isfile(victim):
-                shard.remove(victim)
+            if shard.isfile(path):
+                shard.remove(path)
             stats.evictions += 1
             stats.evicted_bytes += victim_size
-            self._evicted_paths.add(victim)
+            self._evicted_paths.add(path)
 
     def _touch(self, shard_index: int, path: str):
-        lru = self._lru[shard_index]
-        if path in lru:
-            lru.move_to_end(path)
+        probation = self._probation[shard_index]
+        protected = self._protected[shard_index]
+        if path in protected:
+            protected.move_to_end(path)
+        elif path in probation:
+            if self.policy == "lru2":
+                # Second touch: promote out of the probation queue.
+                protected[path] = probation.pop(path)
+                self._stats[shard_index].promotions += 1
+            else:
+                probation.move_to_end(path)
 
     def _untrack(self, shard_index: int, path: str):
-        size = self._lru[shard_index].pop(path, None)
+        size = self._probation[shard_index].pop(path, None)
+        if size is None:
+            size = self._protected[shard_index].pop(path, None)
         if size is not None:
             self._used[shard_index] -= size
         self._evicted_paths.discard(path)
@@ -211,6 +281,21 @@ class PackageCache:
 
     def get_sanitized(self, repo_id: str, name: str) -> bytes | None:
         return self._read(repo_id, name, SANITIZED_PREFIX)
+
+    def peek_sanitized(self, repo_id: str, name: str) -> bytes | None:
+        """Read a sanitized blob without refreshing recency or counters.
+
+        A measurement tap for publication capture
+        (:meth:`repro.core.service.TrustedSoftwareRepository.record_publication`):
+        snapshotting the served state must not promote every blob into the
+        protected queue, or eviction dynamics would no longer reflect the
+        refresh/serving traffic the experiments study.
+        """
+        shard, _ = self._shard(repo_id, name)
+        try:
+            return shard.read_file(self._path(SANITIZED_PREFIX, repo_id, name))
+        except FileSystemError:
+            return None
 
     def has_sanitized(self, repo_id: str, name: str) -> bool:
         shard, _ = self._shard(repo_id, name)

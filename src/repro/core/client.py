@@ -145,21 +145,38 @@ class _ScheduledClientBase:
 
 
 class TsrRepositoryClient(_ScheduledClientBase):
-    """A package manager's view of one TSR tenant repository."""
+    """A package manager's view of one TSR tenant repository.
+
+    ``as_of`` time-stamps the client's requests on a plan timeline: when
+    set, the TSR serves the newest *publication* available at that plan
+    instant (see :meth:`TrustedSoftwareRepository.record_publication`)
+    instead of its live enclave state — how the multi-round trace replay
+    keeps a pull that starts while a refresh is still in flight from
+    anachronistically seeing that refresh's output.  ``None`` (default)
+    keeps the live-serving behaviour.
+    """
 
     def __init__(self, network: Network, src_host: str, tsr_host: str,
                  repo_id: str,
-                 session: ScheduledFetchSession | None = None):
+                 session: ScheduledFetchSession | None = None,
+                 as_of: float | None = None):
         super().__init__(network, src_host, session=session)
         self._tsr = tsr_host
         self.repo_id = repo_id
+        self.as_of = as_of
 
     def _index_request(self) -> Request:
+        if self.as_of is not None:
+            return Request(self._tsr, "get_index",
+                           payload={"repo": self.repo_id,
+                                    "as_of": self.as_of})
         return Request(self._tsr, "get_index", payload=self.repo_id)
 
     def _package_request(self, name: str) -> Request:
-        return Request(self._tsr, "get_package",
-                       payload={"repo": self.repo_id, "name": name})
+        payload = {"repo": self.repo_id, "name": name}
+        if self.as_of is not None:
+            payload["as_of"] = self.as_of
+        return Request(self._tsr, "get_package", payload=payload)
 
 
 class MirrorRepositoryClient(_ScheduledClientBase):

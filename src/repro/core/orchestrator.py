@@ -69,7 +69,7 @@ class MultiTenantRefreshReport:
 
     #: repo_id -> that tenant's refresh report.
     reports: dict[str, RefreshReport]
-    #: Simulated wall-clock of the whole plan.
+    #: Simulated wall-clock of the whole plan (relative to its origin).
     wall_elapsed: float
     orchestrated: bool = True
     #: (repo_id, package, start, finish) of every sanitize job on the
@@ -78,6 +78,11 @@ class MultiTenantRefreshReport:
         field(default_factory=list)
     #: Enclave memo counters from ``end_shared_refresh``.
     memo_stats: dict = field(default_factory=dict)
+    #: Plan-time offset this round started at (multi-round plans place
+    #: successive rounds at their trace instants; standalone runs at 0).
+    origin: float = 0.0
+    #: Absolute plan-time offset the round's last activity ended at.
+    finished_at: float = 0.0
 
     @property
     def phase_sum(self) -> float:
@@ -109,12 +114,50 @@ class MultiTenantRefreshReport:
         return sum(r.evicted_redownloads for r in self.reports.values())
 
     @property
+    def prescans(self) -> int:
+        return sum(r.prescanned for r in self.reports.values())
+
+    @property
     def sanitized(self) -> int:
         return sum(r.sanitized for r in self.reports.values())
 
     @property
     def downloaded_bytes(self) -> int:
         return sum(r.downloaded_bytes for r in self.reports.values())
+
+
+@dataclass
+class RefreshPlanState:
+    """Cross-round state of a resumable refresh plan.
+
+    A multi-round driver (the trace replay engine,
+    :mod:`repro.workload.replay`) creates one of these and passes it to
+    every :class:`RefreshOrchestrator` round: successive rounds then
+    *extend* the same :class:`~repro.core.pipeline.MirrorDownloadScheduler`
+    schedule (per-mirror channels stay serialized across rounds), see the
+    same in-flight transfer table (a later round rides an earlier round's
+    still-moving blob), and queue behind the same enclave and cache-shard
+    frontiers — instead of every round being rebuilt from a cold, empty
+    plan at time zero.
+    """
+
+    #: Shared download scheduler; created by the first round that runs.
+    scheduler: object | None = None
+    #: Cache shard -> busy-until, carried across rounds.
+    shard_free: dict[int, float] = field(default_factory=dict)
+    #: The serial enclave channel's busy-until, carried across rounds.
+    enclave_free: float = 0.0
+    #: sha256 -> _Source of the transfers currently moving.  Spans the
+    #: tenants of one round and is cleared when the round resolves:
+    #: cross-round reuse must flow through the content-addressed cache,
+    #: which owns eviction — a long-gone transfer must never serve bytes
+    #: the cache has since evicted.
+    inflight: dict[str, "_Source"] = field(default_factory=dict)
+    #: Index-wave channel sequence (keeps channels unique across rounds).
+    idx_seq: int = 0
+    #: Concatenated enclave timeline of all rounds.
+    timeline: list[tuple[str, str, float, float]] = field(default_factory=list)
+    rounds: int = 0
 
 
 @dataclass(eq=False)
@@ -171,6 +214,7 @@ class _TenantPlan:
     shared_sanitize: int = 0
     interleaved_downloads: int = 0
     evicted_redownloads: int = 0
+    prescanned: int = 0
     sanitized_early: int = 0
     rejected: list[tuple[str, str]] = field(default_factory=list)
     results: list[SanitizationResult] = field(default_factory=list)
@@ -181,16 +225,29 @@ class RefreshOrchestrator:
     """Plans and executes one multi-tenant refresh on a shared timeline."""
 
     def __init__(self, service, repo_ids: list[str],
-                 max_streams: int | None = None, interleave: bool = True):
+                 max_streams: int | None = None, interleave: bool = True,
+                 origin: float = 0.0,
+                 plan_state: RefreshPlanState | None = None,
+                 advance_clock: bool | None = None):
         if not repo_ids:
             raise ValueError("orchestrator needs at least one repository")
         if len(set(repo_ids)) != len(repo_ids):
             raise ValueError(f"duplicate repository ids: {repo_ids}")
         if max_streams is not None and max_streams < 1:
             raise ValueError("max_streams must be >= 1")
+        if origin < 0:
+            raise ValueError(f"plan origin must be >= 0: {origin}")
         self._service = service
         self._network = service._network
         self._interleave = interleave
+        #: Plan-time offset this round's first quorum waves start at.
+        self._origin = origin
+        self._plan_state = plan_state
+        #: Standalone rounds advance the clock by their own makespan; a
+        #: multi-round driver owns the clock and advances it once at the
+        #: end of the whole trace.
+        self._advance_clock = (advance_clock if advance_clock is not None
+                               else plan_state is None)
         self._plans: list[_TenantPlan] = []
         for index, repo_id in enumerate(repo_ids):
             config = service.repo_config(repo_id)
@@ -205,20 +262,38 @@ class RefreshOrchestrator:
                 ordered=ordered,
                 fanout=ordered[:streams],
                 needed=config.quorum_needed,
+                frontier=origin,
             ))
+        state = plan_state or RefreshPlanState()
         #: sha256 -> _Source for every transfer issued by this plan.
-        self._inflight: dict[str, _Source] = {}
+        self._inflight: dict[str, _Source] = state.inflight
         #: Cache shard -> busy-until (shared across all tenants' disk I/O).
-        self._shard_free: dict[int, float] = {}
+        self._shard_free: dict[int, float] = state.shard_free
         self._timeline: list[tuple[str, str, float, float]] = []
-        self._idx_seq = 0
+        self._idx_seq = state.idx_seq
+        #: Enclave busy-until while pre-scans run during quorum widening.
+        self._enclave_busy = state.enclave_free
+        self._prescanned: set[str] = set()
+        #: Batches issued by THIS round.  On a shared multi-round
+        #: scheduler, materialization must never walk earlier rounds'
+        #: dead batches — that would resurrect blobs the cache has since
+        #: evicted (and grow each round's work with plan length).
+        self._round_batches: list = []
 
     # -- public entry -------------------------------------------------------
 
     def run(self) -> MultiTenantRefreshReport:
-        """Execute the whole plan; advances the clock by its makespan."""
-        scheduler = MirrorDownloadScheduler(
-            self._service, channel_key=lambda hostname: ("dl", hostname))
+        """Execute the whole plan; advances the clock by its makespan
+        (standalone rounds only — plan-state rounds leave the clock to
+        the multi-round driver)."""
+        state = self._plan_state
+        if state is not None and state.scheduler is not None:
+            scheduler = state.scheduler
+        else:
+            scheduler = MirrorDownloadScheduler(
+                self._service, channel_key=lambda hostname: ("dl", hostname))
+            if state is not None:
+                state.scheduler = scheduler
         enclave = self._service._enclave
         enclave.ecall("begin_shared_refresh")
         try:
@@ -237,20 +312,32 @@ class RefreshOrchestrator:
         self._service._seal_state()
 
         makespan = max([
+            self._origin,
             enclave_free,
             *(plan.end for plan in self._plans),
             *self._shard_free.values(),
         ])
-        self._network.clock.advance(makespan)
+        if state is not None:
+            state.enclave_free = enclave_free
+            state.idx_seq = self._idx_seq
+            state.timeline.extend(self._timeline)
+            state.rounds += 1
+        # Every batch resolved: later rounds read landed blobs from the
+        # content store (eviction-aware), not from dead _Source records.
+        self._inflight.clear()
+        if self._advance_clock:
+            self._network.clock.advance(makespan - self._origin)
         reports = {
             plan.repo_id: self._report_for(plan) for plan in self._plans
         }
         return MultiTenantRefreshReport(
             reports=reports,
-            wall_elapsed=makespan,
+            wall_elapsed=makespan - self._origin,
             orchestrated=True,
             enclave_timeline=list(self._timeline),
             memo_stats=memo_stats,
+            origin=self._origin,
+            finished_at=makespan,
         )
 
     # -- quorum phase -------------------------------------------------------
@@ -305,7 +392,8 @@ class RefreshOrchestrator:
         for plan in self._plans:
             first = plan.ordered[:plan.needed]
             plan.cursor = len(first)
-            waves[plan] = self._issue_index_wave(plan, first, 0.0, scheduler)
+            waves[plan] = self._issue_index_wave(plan, first, self._origin,
+                                                 scheduler)
         active = list(self._plans)
         while active:
             timings = scheduler.schedule.solve()
@@ -340,7 +428,13 @@ class RefreshOrchestrator:
             waves = next_waves
 
     def _launch_optimistic(self, plan: _TenantPlan, scheduler):
-        """Start downloads for entries the partial quorum already pins."""
+        """Start downloads for entries the partial quorum already pins.
+
+        Entries whose blob is *already local* need no transfer; instead
+        their content-determined analysis is pre-scanned on the enclave
+        while the quorum keeps widening (zero network), so incremental
+        rounds hit a warm memo when the sanitize phase opens.
+        """
         cache = self._service.cache
         agreed = entry_agreement(plan.valid_indexes, plan.needed)
         names: list[str] = []
@@ -353,12 +447,18 @@ class RefreshOrchestrator:
             if name in plan.optimistic_names or sha in self._inflight:
                 continue
             if cache.has_content(sha):
+                blob = cache.get_content(sha)
+                if blob is not None and matches_expected(blob, entry):
+                    self._prescan(plan, sha, blob,
+                                  cache.content_shard_index(sha))
                 continue
             # A named original only satisfies the entry when it matches
             # the *agreed* hash — a stale cached version of an updated
             # package must not suppress its interleaved download.
             cached = cache.get_original(plan.repo_id, name)
             if cached is not None and matches_expected(cached, entry):
+                self._prescan(plan, sha, cached,
+                              cache.shard_index(plan.repo_id, name))
                 continue
             names.append(name)
             expected[name] = dict(entry)
@@ -367,11 +467,35 @@ class RefreshOrchestrator:
         batch = scheduler.add_batch(
             names, expected, mirrors=list(plan.ordered),
             fanout=plan.fanout, not_before=plan.frontier, best_effort=True)
+        self._round_batches.append(batch)
         for name in names:
             self._inflight[expected[name]["sha256"]] = _Source(
                 batch=batch, name=name, owner=plan.repo_id, optimistic=True)
             plan.optimistic_names.add(name)
         plan.interleaved_downloads += len(names)
+
+    def _prescan(self, plan: _TenantPlan, sha: str, blob: bytes, shard: int):
+        """Warm the enclave's shared analysis memo for one cached blob.
+
+        Runs during quorum widening, so the analysis cost is paid on the
+        otherwise-idle enclave ahead of the sanitize phase; sanitizing the
+        same blob later replays the memo (:meth:`TsrProgram.analyze_blob`
+        cannot change verdicts or bytes — only the schedule).
+        """
+        if sha in self._prescanned:
+            return
+        self._prescanned.add(sha)
+        info = self._service._enclave.ecall("analyze_blob", plan.repo_id,
+                                            blob)
+        plan.prescanned += 1
+        if info["deduped"]:
+            return
+        # Disk read off the blob's shard, then the serial enclave channel.
+        ready = self._charge_shard(shard, len(blob), plan.frontier)
+        duration = self._service.epc_model.simulated_duration(
+            info["native"], info["working_set"]
+        ) if self._service.sgx_enabled else info["native"]
+        self._enclave_busy = max(self._enclave_busy, ready) + duration
 
     # -- download phase -----------------------------------------------------
 
@@ -411,6 +535,7 @@ class RefreshOrchestrator:
                     to_fetch, {n: expected[n] for n in to_fetch},
                     mirrors=list(plan.ordered), fanout=plan.fanout,
                     not_before=plan.quorum_elapsed)
+                self._round_batches.append(batch)
                 for name in to_fetch:
                     source = _Source(batch=batch, name=name,
                                      owner=plan.repo_id)
@@ -449,6 +574,7 @@ class RefreshOrchestrator:
                     names, {n: expected[n] for n in names},
                     mirrors=list(plan.ordered), fanout=plan.fanout,
                     not_before=detect)
+                self._round_batches.append(batch)
                 for name in names:
                     source = _Source(batch=batch, name=name,
                                      owner=plan.repo_id)
@@ -459,10 +585,12 @@ class RefreshOrchestrator:
     def _materialize(self, scheduler):
         """Turn resolved acquisitions into sanitize jobs + accounting."""
         cache = self._service.cache
-        # Every fetched blob enters the content-addressed store once,
-        # charged to its landing shard as it completes.
+        # Every blob fetched by THIS round enters the content-addressed
+        # store once, charged to its landing shard as it completes.  On a
+        # shared multi-round scheduler, earlier rounds' batches are dead:
+        # walking them would resurrect blobs the cache evicted since.
         written: set[str] = set()
-        for batch in scheduler.batches:
+        for batch in self._round_batches:
             for name, blob in batch.fetched.items():
                 sha = batch.expected[name]["sha256"]
                 if sha in written or cache.has_content(sha):
@@ -535,7 +663,7 @@ class RefreshOrchestrator:
                 avail = (max(plan.barrier, job.ready) if job.needs_catalog
                          else job.ready)
                 heapq.heappush(heap, (avail, plan.index, name))
-        enclave_free = 0.0
+        enclave_free = self._enclave_busy
         cache = self._service.cache
         while heap:
             avail, plan_index, name = heapq.heappop(heap)
@@ -587,12 +715,12 @@ class RefreshOrchestrator:
             sanitized=len(plan.results),
             rejected=plan.rejected,
             downloaded_bytes=plan.downloaded_bytes,
-            quorum_elapsed=plan.quorum_elapsed,
+            quorum_elapsed=plan.quorum_elapsed - self._origin,
             download_elapsed=plan.download_elapsed,
             sanitize_elapsed=plan.sanitize_elapsed,
             insecure_findings=plan.catalog_info["insecure_findings"],
             results=plan.results,
-            wall_elapsed=plan.end,
+            wall_elapsed=plan.end - self._origin,
             pipelined=True,
             orchestrated=True,
             mirror_assignments=plan.mirror_assignments,
@@ -603,4 +731,5 @@ class RefreshOrchestrator:
             shared_sanitize=plan.shared_sanitize,
             interleaved_downloads=plan.interleaved_downloads,
             evicted_redownloads=plan.evicted_redownloads,
+            prescanned=plan.prescanned,
         )

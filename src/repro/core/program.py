@@ -249,6 +249,51 @@ class TsrProgram:
             shared.scan_misses += 1
         return record, False
 
+    def analyze_blob(self, repo_id: str, blob: bytes) -> dict:
+        """Optimistic pre-scan: warm the shared memos for a local blob.
+
+        Called by the orchestrator while a quorum is still *widening*, for
+        f+1-agreed index entries whose original blob is already in the
+        package cache — zero network, and the parse/verify/classify work
+        moves off the sanitize-phase queue head.  Only the
+        content-determined halves run: nothing is verified against an
+        accepted index (there is none yet) and no per-repository state is
+        touched, so a pre-scan can never change verdicts or output bytes.
+        A wrong blob fed by a malicious host memoizes under *its own*
+        hash, which the real sanitize pass then never looks up.
+
+        Returns the simulated-cost inputs for the enclave channel:
+        ``native`` seconds of analysis work actually performed (0.0 on a
+        memo hit) and the analysis working-set estimate.
+        """
+        if self._shared is None:
+            raise PolicyError(
+                "analyze_blob requires an open shared refresh window"
+            )
+        state = self._repo(repo_id)
+        blob = bytes(blob)
+        shared = self._shared
+        record, scan_hit = self._scan_record(blob)
+        del record  # memoized for later scan_package calls; not applied
+        key = (
+            sha256_hex(blob),
+            tuple(k.fingerprint() for k in state.policy.signers_keys),
+        )
+        analysis = shared.analysis_memo.get(key)
+        if analysis is not None:
+            return {"deduped": True, "native": 0.0, "working_set": 0}
+        if state.early_sanitizer is None:
+            state.early_sanitizer = state.build_sanitizer()
+        analysis = state.early_sanitizer.analyze_blob(blob)
+        shared.analysis_memo[key] = analysis
+        shared.analysis_misses += 1
+        uncompressed = sum(len(f.content) for f in analysis.package.files)
+        return {
+            "deduped": False,
+            "native": analysis.timings.total,
+            "working_set": analysis.original_size + uncompressed,
+        }
+
     # -- catalog & sanitization -------------------------------------------------------
 
     def scan_for_accounts(self, repo_id: str, blob: bytes):

@@ -80,6 +80,9 @@ class RefreshReport:
     interleaved_downloads: int = 0
     #: Re-downloads forced because the cached blob had been evicted.
     evicted_redownloads: int = 0
+    #: Cached blobs whose content analysis was pre-scanned on the enclave
+    #: while this repository's quorum was still widening (zero network).
+    prescanned: int = 0
 
     @property
     def phase_sum(self) -> float:
@@ -97,6 +100,31 @@ class RefreshReport:
     def overlap_saved(self) -> float:
         """Seconds the pipeline saved versus running the phases back to back."""
         return max(0.0, self.phase_sum - self.total_elapsed)
+
+
+@dataclass
+class Publication:
+    """One tenant repository's served state, frozen at a plan instant.
+
+    The multi-round trace replay (:mod:`repro.workload.replay`) measures
+    *staleness*: clients pulling at plan time T must see the newest signed
+    index whose refresh had **finished** by T — not whatever the enclave
+    happens to hold while a later round is still in flight.  Refresh
+    rounds therefore :meth:`~TrustedSoftwareRepository.record_publication`
+    their outputs with the round's completion offset, and time-stamped
+    client requests (``as_of``) are served from the publication log.
+    Blob maps share unchanged entries with the previous publication, so a
+    20-round log does not copy the repository 20 times.
+    """
+
+    available_at: float
+    serial: int
+    index_bytes: bytes
+    #: package name -> (size, sha256) pinned by the signed index.
+    entries: dict[str, tuple[int, str]]
+    #: package name -> sanitized blob (entries absent when the blob was
+    #: already evicted at capture time — those fail closed when served).
+    blobs: dict[str, bytes]
 
 
 @dataclass(frozen=True)
@@ -143,6 +171,13 @@ class TrustedSoftwareRepository:
         self.epc_model = epc_model or EpcModel()
         self.cache = cache or PackageCache()
         self._repo_configs: dict[str, RepoConfig] = {}
+        #: repo_id -> publications ordered by ``available_at`` (replay).
+        self._publications: dict[str, list[Publication]] = {}
+        #: Time-stamped serving: cache hits vs publication-copy fallbacks
+        #: (a fallback is a serve the cache could not satisfy — evicted or
+        #: already overwritten by a newer round).
+        self.serve_cache_hits = 0
+        self.serve_fallbacks = 0
         self._freshness = FreshnessManager(tpm)
         self._enclave = Enclave(cpu, TsrProgram, key_bits=key_bits)
         network.add_host(Host(
@@ -158,12 +193,20 @@ class TrustedSoftwareRepository:
             response = self.deploy_policy(str(payload))
             return response, 2048
         if operation == "get_index":
-            blob = self._enclave.ecall("sanitized_index_bytes", str(payload))
+            if isinstance(payload, dict) and payload.get("as_of") is not None:
+                blob = self.index_bytes_at(payload["repo"], payload["as_of"])
+            else:
+                repo_id = (payload["repo"] if isinstance(payload, dict)
+                           else str(payload))
+                blob = self._enclave.ecall("sanitized_index_bytes", repo_id)
             return blob, len(blob)
         if operation == "get_package":
             repo_id = payload["repo"]
             name = payload["name"]
-            blob = self.serve_package(repo_id, name)
+            if payload.get("as_of") is not None:
+                blob = self.serve_package_at(repo_id, name, payload["as_of"])
+            else:
+                blob = self.serve_package(repo_id, name)
             return blob, len(blob)
         if operation == "attest":
             return self._enclave.ecall("quote_for_repo", str(payload)), 2048
@@ -479,6 +522,117 @@ class TrustedSoftwareRepository:
 
     def get_index_bytes(self, repo_id: str) -> bytes:
         return self._enclave.ecall("sanitized_index_bytes", repo_id)
+
+    # -- versioned publications (multi-round replay) -------------------------
+
+    def record_publication(self, repo_id: str,
+                           available_at: float) -> Publication:
+        """Freeze the repository's current served state at a plan instant.
+
+        Captures the signed sanitized index plus the sanitized blobs it
+        pins (sharing unchanged blob objects with the previous
+        publication; reads bypass recency so snapshotting does not skew
+        eviction).  ``available_at`` is clamped monotonic: a round that
+        finished out of order can never publish *before* its predecessor.
+        """
+        from repro.archive.index import RepositoryIndex
+
+        log = self._publications.setdefault(repo_id, [])
+        index_bytes = self._enclave.ecall("sanitized_index_bytes", repo_id)
+        index = RepositoryIndex.from_bytes(index_bytes)
+        previous = log[-1] if log else None
+        blobs: dict[str, bytes] = {}
+        for name, entry in index.entries.items():
+            if previous is not None:
+                kept = previous.blobs.get(name)
+                if kept is not None and previous.entries.get(name) == \
+                        (entry.size, entry.sha256):
+                    blobs[name] = kept
+                    continue
+            blob = self.cache.peek_sanitized(repo_id, name)
+            if blob is not None and len(blob) == entry.size \
+                    and sha256_hex(blob) == entry.sha256:
+                blobs[name] = blob
+        if previous is not None:
+            available_at = max(available_at, previous.available_at)
+        publication = Publication(
+            available_at=available_at,
+            serial=index.serial,
+            index_bytes=index_bytes,
+            entries={name: (e.size, e.sha256)
+                     for name, e in index.entries.items()},
+            blobs=blobs,
+        )
+        log.append(publication)
+        return publication
+
+    def publication_at(self, repo_id: str,
+                       as_of: float) -> Publication | None:
+        """Newest recorded publication available at plan time ``as_of``."""
+        best = None
+        for publication in self._publications.get(repo_id, []):
+            if publication.available_at <= as_of:
+                best = publication
+            else:
+                break
+        return best
+
+    def publications(self, repo_id: str) -> list[Publication]:
+        return list(self._publications.get(repo_id, []))
+
+    def index_bytes_at(self, repo_id: str, as_of: float) -> bytes:
+        publication = self.publication_at(repo_id, as_of)
+        if publication is None:
+            raise NetworkError(
+                f"repository {repo_id!r} has no published index at "
+                f"t={as_of:.3f}"
+            )
+        return publication.index_bytes
+
+    def serve_package_at(self, repo_id: str, name: str,
+                         as_of: float) -> bytes:
+        """Serve a sanitized package as of a plan instant.
+
+        Reads *through the disk cache* first — serving is the cache's hot
+        traffic, and its hit pattern under concurrent refresh churn is
+        what the LRU/LRU-2 ablation measures — and only falls back to the
+        publication's captured copy when the cached blob was evicted or
+        replaced by a later round (``serve_fallbacks`` counts these; a
+        real TSR would be re-sanitizing here).  Either path is verified
+        against the publication's signed index, so the served bytes are
+        identical regardless of cache state.
+        """
+        publication = self.publication_at(repo_id, as_of)
+        if publication is None:
+            raise NetworkError(
+                f"repository {repo_id!r} has no publication at t={as_of:.3f}"
+            )
+        expected = publication.entries.get(name)
+        if expected is None:
+            raise NetworkError(
+                f"package {name!r} not in the t="
+                f"{publication.available_at:.3f} publication"
+            )
+        # No clock advance here: as_of-stamped serves belong to a replay
+        # plan whose driver advances the scenario clock exactly once, at
+        # the end — the transfer itself is accounted on the plan schedule.
+        cached = self.cache.get_sanitized(repo_id, name)
+        if cached is not None and len(cached) == expected[0] \
+                and sha256_hex(cached) == expected[1]:
+            self.serve_cache_hits += 1
+            return cached
+        blob = publication.blobs.get(name)
+        if blob is None:
+            raise NetworkError(
+                f"package {name!r} not available from the t="
+                f"{publication.available_at:.3f} publication"
+            )
+        if len(blob) != expected[0] or sha256_hex(blob) != expected[1]:
+            raise NetworkError(
+                f"published package {name!r} does not match its signed index"
+            )
+        self.serve_fallbacks += 1
+        return blob
 
     # -- restart & freshness ---------------------------------------------------------------------
 

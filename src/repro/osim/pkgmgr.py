@@ -76,6 +76,12 @@ class PackageManager:
         #: consumed (and verified) by ``_download_verified``.
         self._prefetched: dict[str, bytes] = {}
 
+    @property
+    def client(self) -> RepositoryClient:
+        """The repository client this manager downloads through (fleet
+        drivers re-route it across sessions / time-stamp its requests)."""
+        return self._client
+
     # -- index handling -----------------------------------------------------------
 
     def _authenticate_index(self, blob: bytes) -> RepositoryIndex:

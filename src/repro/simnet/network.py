@@ -371,3 +371,102 @@ class ScheduledFetchSession:
         timings = self.solve()
         return max((t.finish for t in timings.values()),
                    default=self._solved_at)
+
+
+class PlanFetchSession:
+    """Multi-wave client fetches over an externally owned schedule.
+
+    Where :class:`ScheduledFetchSession` models *one* fan-out wave on its
+    own private schedule (solve once, then read timings), this session
+    composes client pulls onto a plan-wide
+    :class:`ParallelTransferSchedule` shared with other traffic — a
+    multi-round refresh plan's mirror downloads and quorum reads — and
+    supports *successive waves at increasing start offsets* on the same
+    persistent per-client channels.
+
+    :meth:`begin_wave` pins the wave instant against the schedule's
+    *solved* state: the first fetch of each channel in the wave carries a
+    setup gap of ``max(0, wave_at - channel_free)``, and the solver's
+    monotonicity (added load never makes an existing stream finish
+    earlier) keeps the pin valid as later rounds pile more traffic onto
+    the link.  Final timings are read by whoever owns the schedule, after
+    all waves and rounds are enqueued — per-item keys are returned by
+    :meth:`fetch` / :meth:`last_key` for that purpose.
+
+    Per-client NIC downlinks layer onto the schedule exactly as in the
+    single-wave session (``min(peer bandwidth, NIC, fair share)``), and a
+    failed fetch charges the network timeout to its channel and re-raises.
+    """
+
+    def __init__(self, network: Network, schedule: ParallelTransferSchedule):
+        self._network = network
+        self._schedule = schedule
+        self._sequence = 0
+        self._wave_at = 0.0
+        self._channel_items: dict[object, list[object]] = {}
+        #: Channels whose first fetch of the current wave already pinned
+        #: the wave gap.
+        self._pinned: set[object] = set()
+        #: Per-channel busy-until at the last ``begin_wave`` solve.
+        self._frees: dict[object, float] = {}
+
+    @property
+    def schedule(self) -> ParallelTransferSchedule:
+        return self._schedule
+
+    def begin_wave(self, at: float):
+        """Open a pull wave whose channels start no earlier than ``at``."""
+        if at < self._wave_at:
+            raise NetworkError(
+                f"plan waves must be issued in time order: {at} < "
+                f"{self._wave_at}"
+            )
+        self._wave_at = at
+        self._pinned = set()
+        if any(self._channel_items.values()):
+            timings = self._schedule.solve()
+            self._frees = {
+                channel: max((timings[key].finish for key in items),
+                             default=0.0)
+                for channel, items in self._channel_items.items()
+            }
+        else:
+            self._frees = {}
+
+    def fetch(self, src_name: str, request: Request,
+              channel: object = None) -> object:
+        """Resolve one request now; account its transfer on the plan."""
+        channel = src_name if channel is None else channel
+        key = ("pull", channel, self._sequence)
+        self._sequence += 1
+        try:
+            nic = self._network.host(src_name).downlink_bandwidth
+        except NetworkError:
+            nic = None  # unknown src: let probe() report it below
+        if nic is not None:
+            self._schedule.limit_channel(channel, nic)
+        extra_wait = 0.0
+        if channel not in self._pinned:
+            self._pinned.add(channel)
+            extra_wait = max(0.0, self._wave_at
+                             - self._frees.get(channel, 0.0))
+        try:
+            probe = self._network.probe(src_name, request)
+        except NetworkError:
+            # The client burned the timeout waiting before giving up.
+            self._schedule.enqueue(channel, key,
+                                   extra_wait + self._network.timeout, 0, 1.0)
+            self._channel_items.setdefault(channel, []).append(key)
+            raise
+        self._schedule.enqueue(channel, key, extra_wait + probe.setup,
+                               probe.size_bytes, probe.bandwidth)
+        self._channel_items.setdefault(channel, []).append(key)
+        return probe.payload
+
+    def last_key(self, channel: object) -> object | None:
+        """Schedule key of the channel's most recent fetch (None if idle)."""
+        items = self._channel_items.get(channel)
+        return items[-1] if items else None
+
+    def channel_keys(self, channel: object) -> list[object]:
+        return list(self._channel_items.get(channel, []))

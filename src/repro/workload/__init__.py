@@ -5,34 +5,60 @@ The paper evaluates on Alpine v3.11 main + community: 11,581 packages,
 distributions behind Figs. 8-9.  This package samples synthetic package
 populations from those published distributions (details in EXPERIMENTS.md);
 ``scale`` shrinks the population while preserving proportions.
+
+Beyond single rounds, :mod:`repro.workload.generator` also builds
+timestamped multi-round :class:`Trace` event streams and
+:mod:`repro.workload.replay` replays them — serially or as one plan-wide
+interleaved schedule — measuring per-client staleness and update
+availability (EXPERIMENTS.md §7).
 """
 
 from repro.workload.generator import (
     GeneratedWorkload,
+    Trace,
+    TraceEvent,
     WorkloadExpectation,
+    evolve_packages,
+    generate_trace,
     generate_workload,
     generate_update_batch,
     PAPER_TOTALS,
 )
+from repro.workload.replay import (
+    TraceReplay,
+    TraceReplayReport,
+    replay_trace,
+)
 from repro.workload.scenario import (
+    ClientFleet,
     FleetRefreshReport,
     Scenario,
     build_multi_tenant_scenario,
     build_scenario,
     fleet_refresh,
     multi_tenant_refresh,
+    run_pull_wave,
 )
 
 __all__ = [
     "GeneratedWorkload",
+    "Trace",
+    "TraceEvent",
     "WorkloadExpectation",
+    "evolve_packages",
+    "generate_trace",
     "generate_workload",
     "generate_update_batch",
     "PAPER_TOTALS",
+    "TraceReplay",
+    "TraceReplayReport",
+    "replay_trace",
+    "ClientFleet",
     "FleetRefreshReport",
     "Scenario",
     "build_multi_tenant_scenario",
     "build_scenario",
     "fleet_refresh",
     "multi_tenant_refresh",
+    "run_pull_wave",
 ]

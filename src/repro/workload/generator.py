@@ -240,12 +240,169 @@ def generate_update_batch(workload: GeneratedWorkload, fraction: float = 0.05,
     return updated
 
 
+def evolve_packages(population: dict[str, ApkPackage], fraction: float,
+                    rng: random.Random) -> list[ApkPackage]:
+    """One upstream release over an *evolving* population.
+
+    Unlike :func:`generate_update_batch` — which always derives release
+    ``r+1`` from the workload's original packages, so a twice-updated
+    package keeps the same version string — this samples from the
+    *current* population (name -> latest :class:`ApkPackage`) and bumps
+    each chosen package's release once more, mutating its payload.  The
+    multi-round trace replay threads its own :class:`random.Random`
+    through here, so a whole trace's upstream evolution is reproducible
+    independently of any other trace replayed in the same process.
+
+    Returns the new releases; the caller is expected to fold them back
+    into ``population`` and publish them.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction out of range: {fraction}")
+    if not population:
+        raise ValueError("cannot evolve an empty population")
+    names = sorted(population)
+    chosen = rng.sample(names, max(1, int(len(names) * fraction)))
+    updated = []
+    for name in chosen:
+        package = population[name]
+        files = [PackageFile(
+            path=f.path,
+            content=_mutate(f.content, rng),
+            mode=f.mode,
+        ) for f in package.files]
+        core, _, release = package.version.rpartition("-r")
+        updated.append(ApkPackage(
+            name=package.name,
+            version=f"{core}-r{int(release) + 1}",
+            description=package.description,
+            depends=list(package.depends),
+            scripts=dict(package.scripts),
+            files=files,
+        ))
+    return updated
+
+
 def _mutate(content: bytes, rng: random.Random) -> bytes:
     if not content:
         return b"\x01"
     position = rng.randrange(len(content))
     patch = bytes([content[position] ^ 0xA5])
     return content[:position] + patch + content[position + 1:]
+
+
+# -- multi-round traces --------------------------------------------------------
+
+#: Stable processing order for events sharing a timestamp: upstream state
+#: changes first, then mirror propagation, then TSR refreshes, then pulls.
+TRACE_KINDS = ("publish", "mirror_sync", "refresh", "fleet_pull")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped step of a multi-round update workload.
+
+    ``at`` is plan time (seconds from the trace start).  Field use by
+    kind:
+
+    * ``publish`` — upstream releases a batch: ``fraction`` of the
+      evolving population, sampled by an event-local RNG derived from
+      ``seed`` (so the published bytes are identical no matter which
+      replay mode consumes the trace);
+    * ``mirror_sync`` — the named ``mirrors`` pull the origin's latest
+      snapshot (``None`` = every mirror); lagging or frozen replicas are
+      modelled by *when* (or whether) their sync events appear;
+    * ``refresh`` — the TSR refreshes ``tenants`` (``None`` = all) as one
+      orchestrated round;
+    * ``fleet_pull`` — the client fleet (indices ``clients``, ``None`` =
+      all) refreshes indexes and installs ``installs_per_client``
+      packages each; install choices are drawn from an event-local RNG
+      derived from the trace seed and this event's ``seed``.
+    """
+
+    at: float
+    kind: str
+    fraction: float = 0.05
+    seed: int = 0
+    mirrors: tuple[str, ...] | None = None
+    tenants: tuple[str, ...] | None = None
+    clients: tuple[int, ...] | None = None
+    installs_per_client: int = 1
+
+    def __post_init__(self):
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(f"unknown trace event kind: {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"trace events cannot predate the trace: {self}")
+
+
+@dataclass
+class Trace:
+    """A timestamped event stream driving one multi-round scenario."""
+
+    events: list[TraceEvent]
+    #: Observation horizon (seconds); staleness integrates over
+    #: ``[0, max(horizon, last activity)]``.
+    horizon: float
+    seed: int = 0
+
+    def ordered(self) -> list[TraceEvent]:
+        """Events in processing order: by time, ties by kind causality."""
+        rank = {kind: i for i, kind in enumerate(TRACE_KINDS)}
+        return sorted(self.events, key=lambda e: (e.at, rank[e.kind]))
+
+    def rounds(self) -> int:
+        return sum(1 for e in self.events if e.kind == "refresh")
+
+
+def generate_trace(rounds: int, interval: float, *,
+                   publish_fraction: float = 0.1,
+                   sync_lag: float = 0.2,
+                   refresh_lag: float = 0.4,
+                   pull_lag: float = 0.8,
+                   installs_per_client: int = 1,
+                   mirror_names: list[str] | None = None,
+                   lagging_mirrors: dict[str, float] | None = None,
+                   frozen_mirrors: tuple[str, ...] = (),
+                   seed: int = 0) -> Trace:
+    """A publish → sync → refresh → pull cycle repeated ``rounds`` times.
+
+    Every round ``r`` starts at ``r * interval``: upstream publishes a
+    batch, honest mirrors sync after ``sync_lag`` (per-mirror extra lag
+    via ``lagging_mirrors``; ``frozen_mirrors`` never sync — the freeze
+    attack as a trace property), the TSR runs a publish-triggered refresh
+    at ``refresh_lag``, and the fleet pulls at ``pull_lag``.  Pass
+    ``mirror_names`` to emit per-mirror sync events (required when lag or
+    freeze is used); with ``None`` one sync event covers every mirror.
+    """
+    if rounds < 1:
+        raise ValueError("a trace needs at least one round")
+    if interval <= 0:
+        raise ValueError(f"round interval must be positive: {interval}")
+    lagging = dict(lagging_mirrors or {})
+    frozen = set(frozen_mirrors)
+    if (lagging or frozen) and mirror_names is None:
+        raise ValueError("per-mirror lag/freeze needs explicit mirror_names")
+    events: list[TraceEvent] = []
+    for r in range(rounds):
+        t0 = r * interval
+        events.append(TraceEvent(at=t0, kind="publish",
+                                 fraction=publish_fraction, seed=seed + r))
+        if mirror_names is None:
+            events.append(TraceEvent(at=t0 + sync_lag, kind="mirror_sync"))
+        else:
+            for mirror in mirror_names:
+                if mirror in frozen:
+                    continue
+                lag = lagging.get(mirror, 0.0)
+                events.append(TraceEvent(at=t0 + sync_lag + lag,
+                                         kind="mirror_sync",
+                                         mirrors=(mirror,)))
+        events.append(TraceEvent(at=t0 + refresh_lag, kind="refresh"))
+        events.append(TraceEvent(at=t0 + pull_lag, kind="fleet_pull",
+                                 installs_per_client=installs_per_client,
+                                 seed=seed + r))
+    return Trace(events=events, horizon=rounds * interval + pull_lag,
+                 seed=seed)
 
 
 # -- pieces -------------------------------------------------------------------

@@ -1,0 +1,466 @@
+"""Multi-round trace replay: publish → refresh → fleet pull as one plan.
+
+The paper evaluates TSR refresh latency for a *single* update round; its
+freshness story — clients keep running stale measurements until the next
+signed index lands — is only sketched.  This module replays a timestamped
+:class:`~repro.workload.generator.Trace` (upstream publishes, mirror syncs
+with lag or freeze, TSR refreshes, client fleet pulls) over one long-lived
+deployment and measures what the paper leaves open: per-client
+**staleness** (time running an index older than the newest upstream
+publish) and end-to-end **update availability** latency, over dozens of
+rounds.
+
+Two composition modes:
+
+* ``mode="serial"`` — today's composition: every event runs to completion
+  before the next may start (``multi_tenant_refresh()`` then a fleet
+  fan-out, repeated), with a barrier carrying the finish frontier across
+  events.  Rounds arriving faster than they drain pile up.
+* ``mode="interleaved"`` — the plan-wide timeline: *every* transfer of
+  the whole trace — quorum index reads, mirror package downloads, and
+  all clients' pull fetches — is a stream of **one**
+  :class:`~repro.simnet.schedule.ParallelTransferSchedule` whose shared
+  capacity models the TSR machine's NIC, refresh rounds extend one
+  resumable :class:`~repro.core.orchestrator.RefreshPlanState` (shared
+  mirror channels, enclave frontier, cache-shard frontiers, in-flight
+  transfer table), and fleet waves are pinned at their trace instants via
+  :class:`~repro.simnet.network.PlanFetchSession`.  Round k+1's quorum
+  widens while round k's fleet pulls still drain the uplink.
+
+Causality across in-flight rounds is kept by *versioned publications*
+(:meth:`~repro.core.service.TrustedSoftwareRepository.record_publication`):
+a refresh round publishes its signed index and sanitized blobs at the
+round's completion offset, and every pull wave is time-stamped
+(``TsrRepositoryClient.as_of``) so a client pulling at plan time T sees
+the newest publication that had **finished** by T — never the output of a
+refresh still in flight, even though the Python call that computed it has
+already returned.  One deployment carries all state across rounds: the
+content-addressed cache dedupes incremental downloads, eviction pressure
+accumulates (LRU vs scan-resistant LRU-2 — ``cache_policy``), and the
+enclave's catalog grows monotonically.
+
+Verdict/byte fidelity is pinned by the differential suite
+(``tests/test_trace_replay.py``): a one-tenant, one-round trace produces
+byte-identical signed indexes and served packages to the literal
+``multi_tenant_refresh(); fleet_refresh()`` composition.  The replay
+bench (``benchmarks/bench_trace_replay.py``) measures the serial-vs-
+interleaved ablation and the staleness/availability curves
+(EXPERIMENTS.md §7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.orchestrator import (
+    MultiTenantRefreshReport,
+    RefreshOrchestrator,
+    RefreshPlanState,
+)
+from repro.core.pipeline import MirrorDownloadScheduler
+from repro.simnet.network import PlanFetchSession
+from repro.simnet.schedule import ParallelTransferSchedule
+from repro.util.errors import PolicyError
+from repro.workload.generator import Trace, TraceEvent, evolve_packages
+from repro.workload.scenario import ClientFleet, Scenario, run_pull_wave
+
+REPLAY_MODES = ("interleaved", "serial")
+
+
+# -- staleness / availability metrics (pure, unit-testable) -------------------
+
+
+def staleness_seconds(publishes: list[tuple[float, int]],
+                      transitions: list[tuple[float, int]],
+                      horizon: float) -> float:
+    """Seconds a client ran an index older than the newest publish.
+
+    ``publishes`` are upstream ``(time, serial)`` bumps; ``transitions``
+    are the client's ``(time, serial)`` index landings.  Both must be
+    time-sorted with nondecreasing serials.  Integration starts at the
+    client's *first* transition (before that the client does not exist
+    for the experiment) and ends at ``horizon``; the client is stale
+    whenever its current serial is older than the newest serial published
+    so far.
+    """
+    if not transitions:
+        return 0.0
+    start = transitions[0][0]
+    events: list[tuple[float, int, str, int]] = []
+    # Tie-break at equal instants: apply the publish first (a client
+    # landing an index at the very moment a newer serial publishes is
+    # already stale), then the client transition.
+    for at, serial in publishes:
+        events.append((at, 0, "pub", serial))
+    for at, serial in transitions:
+        events.append((at, 1, "client", serial))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    newest = 0
+    current: int | None = None
+    stale_since: float | None = None
+    total = 0.0
+    for at, _, kind, serial in events:
+        if at > horizon:
+            break
+        if kind == "pub":
+            newest = max(newest, serial)
+            if (current is not None and current < newest
+                    and stale_since is None):
+                stale_since = at
+        else:
+            current = serial
+            if stale_since is not None and current >= newest:
+                total += at - stale_since
+                stale_since = None
+            elif (stale_since is None and current < newest
+                    and at >= start):
+                stale_since = at
+    if stale_since is not None:
+        total += max(0.0, horizon - max(stale_since, start))
+    return total
+
+
+def availability_latencies(publishes: list[tuple[float, int]],
+                           transitions: list[tuple[float, int]],
+                           ) -> dict[int, float | None]:
+    """Per publish serial: how long until this client caught up.
+
+    Returns ``serial -> seconds`` from the publish instant to the
+    client's first transition with an index at least that new, or
+    ``None`` when the client never caught up within the trace.
+    """
+    latencies: dict[int, float | None] = {}
+    for published_at, serial in publishes:
+        caught = next((at for at, got in transitions
+                       if got >= serial and at >= published_at), None)
+        latencies[serial] = (caught - published_at
+                             if caught is not None else None)
+    return latencies
+
+
+# -- replay data model --------------------------------------------------------
+
+
+@dataclass
+class ClientTimeline:
+    """One client's view of the trace: index landings + derived metrics."""
+
+    name: str
+    repo_id: str
+    #: (plan time the signed index was authenticated, its serial).
+    transitions: list[tuple[float, int]] = field(default_factory=list)
+    staleness: float = 0.0
+    #: publish serial -> catch-up latency (None: never caught up).
+    availability: dict[int, float | None] = field(default_factory=dict)
+
+
+@dataclass
+class TraceReplayReport:
+    """Everything one trace replay measured."""
+
+    mode: str
+    rounds: int
+    clients: int
+    #: Plan time of the last activity (transfers, enclave, disk).
+    wall_elapsed: float
+    #: Observation horizon staleness integrates over.
+    horizon: float
+    installs: int
+    failed_pulls: int
+    failed_installs: int
+    #: Upstream (time, serial) bumps, the trace's ground truth.
+    publishes: list[tuple[float, int]]
+    refresh_rounds: list[MultiTenantRefreshReport]
+    timelines: dict[str, ClientTimeline]
+
+    @property
+    def staleness_per_client(self) -> dict[str, float]:
+        return {name: t.staleness for name, t in self.timelines.items()}
+
+    @property
+    def staleness_mean(self) -> float:
+        if not self.timelines:
+            return 0.0
+        return sum(t.staleness for t in self.timelines.values()) \
+            / len(self.timelines)
+
+    @property
+    def staleness_max(self) -> float:
+        return max((t.staleness for t in self.timelines.values()),
+                   default=0.0)
+
+    @property
+    def availability_mean(self) -> float:
+        """Mean catch-up latency over every (publish, client) pair."""
+        samples = [
+            latency
+            for timeline in self.timelines.values()
+            for latency in timeline.availability.values()
+            if latency is not None
+        ]
+        return sum(samples) / len(samples) if samples else 0.0
+
+    @property
+    def availability_max(self) -> float:
+        return max((latency
+                    for timeline in self.timelines.values()
+                    for latency in timeline.availability.values()
+                    if latency is not None), default=0.0)
+
+    # Aggregates over the refresh rounds (cache behaviour across rounds).
+
+    @property
+    def deduped_downloads(self) -> int:
+        return sum(r.downloads_deduped for r in self.refresh_rounds)
+
+    @property
+    def evicted_redownloads(self) -> int:
+        return sum(r.evicted_redownloads for r in self.refresh_rounds)
+
+    @property
+    def prescans(self) -> int:
+        return sum(r.prescans for r in self.refresh_rounds)
+
+    @property
+    def downloaded_bytes(self) -> int:
+        return sum(r.downloaded_bytes for r in self.refresh_rounds)
+
+
+@dataclass
+class _WaveRecord:
+    """One fleet wave awaiting its final transfer timings."""
+
+    started_at: float
+    #: client name -> (schedule key of the index fetch, serial served).
+    index_marks: dict[str, tuple[object, int]]
+    #: client name -> schedule key of the wave's last fetch.
+    last_keys: dict[str, object]
+    schedule: ParallelTransferSchedule
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+def publish_event(scenario: Scenario, event: TraceEvent,
+                  trace_seed: int) -> list[str]:
+    """Apply one ``publish`` event: evolve + publish an update batch.
+
+    The batch is sampled by an RNG derived *only* from the trace seed and
+    the event seed — never from the replay's shared stream — so both
+    replay modes (and any external caller reproducing the trace, e.g. the
+    differential suite) publish byte-identical releases.
+    """
+    rng = random.Random(f"trace-publish:{trace_seed}:{event.seed}")
+    batch = evolve_packages(scenario.population, event.fraction, rng)
+    scenario.origin.publish_many([(package, None) for package in batch])
+    for package in batch:
+        scenario.population[package.name] = package
+    return [package.name for package in batch]
+
+
+class TraceReplay:
+    """Replays one :class:`Trace` against one deployment.
+
+    The engine owns the plan timeline: the scenario clock is advanced
+    exactly once, at the end, by the replay's wall-clock.  See the module
+    docstring for the two composition modes.
+    """
+
+    def __init__(self, scenario: Scenario, trace: Trace, clients: int = 8,
+                 mode: str = "interleaved",
+                 client_downlink=None,
+                 max_streams: int | None = None,
+                 tenants: list[str] | None = None,
+                 link_bandwidth: float | None = None):
+        if mode not in REPLAY_MODES:
+            raise ValueError(
+                f"unknown replay mode {mode!r} (expected {REPLAY_MODES})"
+            )
+        if not scenario.population:
+            raise ValueError("trace replay needs a published population")
+        self._scenario = scenario
+        self._trace = trace
+        self._mode = mode
+        self._max_streams = max_streams
+        self._tenants = list(tenants or scenario.tenants)
+        #: The shared-NIC capacity every transfer of the plan contends
+        #: for (half-duplex model: refresh downloads and client serving
+        #: share the TSR machine's one NIC in both modes).
+        self._capacity = (
+            link_bandwidth if link_bandwidth is not None
+            else scenario.network.host(scenario.tsr.hostname).bandwidth
+        )
+        self._interleaved = mode == "interleaved"
+        self._clients = clients
+        self._client_downlink = client_downlink
+
+    def _new_round_state(self) -> tuple[ParallelTransferSchedule,
+                                        RefreshPlanState]:
+        schedule = ParallelTransferSchedule(
+            downlink_bandwidth=self._capacity)
+        plan = RefreshPlanState(scheduler=MirrorDownloadScheduler(
+            self._scenario.tsr, schedule=schedule,
+            channel_key=lambda hostname: ("dl", hostname)))
+        return schedule, plan
+
+    def run(self) -> TraceReplayReport:
+        scenario = self._scenario
+        trace = self._trace
+        tsr = scenario.tsr
+
+        if self._interleaved:
+            schedule, plan = self._new_round_state()
+            session = PlanFetchSession(scenario.network, schedule)
+        else:
+            schedule = plan = session = None
+        fleet = ClientFleet(
+            scenario, self._clients, name_prefix=f"replay-{trace.seed}",
+            session=session, client_downlink=self._client_downlink,
+            tenants=self._tenants,
+        )
+
+        #: Baseline: the pre-trace population is "publish zero".
+        publishes: list[tuple[float, int]] = [(0.0, scenario.origin.serial)]
+        for repo_id in self._tenants:
+            try:
+                tsr.get_index_bytes(repo_id)
+            except PolicyError:
+                continue  # tenant not refreshed before the trace
+            tsr.record_publication(repo_id, 0.0)
+
+        refresh_rounds: list[MultiTenantRefreshReport] = []
+        waves: list[_WaveRecord] = []
+        installs = 0
+        failed_pulls = 0
+        failed_installs = 0
+        frontier = 0.0      # serial-mode barrier; last finish in both modes
+
+        for event in trace.ordered():
+            start = (event.at if self._interleaved
+                     else max(event.at, frontier))
+            if event.kind == "publish":
+                publish_event(scenario, event, trace.seed)
+                publishes.append((event.at, scenario.origin.serial))
+            elif event.kind == "mirror_sync":
+                targets = (event.mirrors if event.mirrors is not None
+                           else list(scenario.mirrors))
+                for name in targets:
+                    scenario.mirrors[name].sync()
+            elif event.kind == "refresh":
+                repo_ids = list(event.tenants or self._tenants)
+                if self._interleaved:
+                    round_plan = plan
+                else:
+                    _, round_plan = self._new_round_state()
+                report = RefreshOrchestrator(
+                    tsr, repo_ids, max_streams=self._max_streams,
+                    origin=start, plan_state=round_plan,
+                    advance_clock=False,
+                ).run()
+                refresh_rounds.append(report)
+                for repo_id in repo_ids:
+                    tsr.record_publication(repo_id, report.finished_at)
+                frontier = max(frontier, report.finished_at)
+            elif event.kind == "fleet_pull":
+                clients = (fleet.clients if event.clients is None
+                           else [fleet.clients[i] for i in event.clients])
+                if self._interleaved:
+                    wave_schedule, wave_session = schedule, session
+                else:
+                    wave_schedule = ParallelTransferSchedule(
+                        downlink_bandwidth=self._capacity)
+                    wave_session = PlanFetchSession(scenario.network,
+                                                    wave_schedule)
+                    fleet.use_session(wave_session)
+                fleet.set_as_of(start)
+                wave_session.begin_wave(start)
+                # Event-local RNG (like publish batches): a wave's install
+                # choices depend on the trace seed and the event's own
+                # seed, never on ambient state or other waves' draws.
+                wave_rng = random.Random(
+                    f"trace-pull:{trace.seed}:{event.seed}:{event.at}")
+                outcome = run_pull_wave(
+                    clients, wave_rng, event.installs_per_client,
+                    plan_session=wave_session, tolerate_failures=True,
+                )
+                installs += outcome.installs
+                failed_pulls += outcome.failed_pulls
+                failed_installs += outcome.failed_installs
+                record = _WaveRecord(
+                    started_at=start,
+                    index_marks={
+                        name: (outcome.index_keys.get(name), serial)
+                        for name, serial in outcome.served_serial.items()
+                    },
+                    last_keys=dict(outcome.last_keys),
+                    schedule=wave_schedule,
+                )
+                waves.append(record)
+                if not self._interleaved:
+                    timings = wave_schedule.solve()
+                    wave_end = max(
+                        (timings[key].finish
+                         for key in record.last_keys.values()
+                         if key is not None),
+                        default=start,
+                    )
+                    frontier = max(frontier, wave_end, start)
+
+        # Resolve the plan: one final solve fixes every wave's timings
+        # (monotonicity means mid-flight pins stayed valid lower bounds).
+        timelines = {
+            client.name: ClientTimeline(name=client.name,
+                                        repo_id=client.repo_id)
+            for client in fleet.clients
+        }
+        wall = frontier
+        solved: dict[int, dict] = {}
+        for record in waves:
+            key_id = id(record.schedule)
+            if key_id not in solved:
+                solved[key_id] = record.schedule.solve()
+            timings = solved[key_id]
+            for name, (index_key, serial) in record.index_marks.items():
+                landed = (timings[index_key].finish
+                          if index_key is not None else record.started_at)
+                timelines[name].transitions.append((landed, serial))
+            for key in record.last_keys.values():
+                if key is not None:
+                    wall = max(wall, timings[key].finish)
+        if self._interleaved and schedule is not None:
+            timings = schedule.solve()
+            wall = max([wall, plan.enclave_free,
+                        *plan.shard_free.values(),
+                        *(t.finish for t in timings.values())])
+
+        horizon = max(trace.horizon, wall)
+        for timeline in timelines.values():
+            timeline.transitions.sort()
+            timeline.staleness = staleness_seconds(
+                publishes, timeline.transitions, horizon)
+            timeline.availability = availability_latencies(
+                publishes, timeline.transitions)
+
+        scenario.clock.advance(wall)
+        return TraceReplayReport(
+            mode=self._mode,
+            rounds=len(refresh_rounds),
+            clients=len(fleet.clients),
+            wall_elapsed=wall,
+            horizon=horizon,
+            installs=installs,
+            failed_pulls=failed_pulls,
+            failed_installs=failed_installs,
+            publishes=publishes,
+            refresh_rounds=refresh_rounds,
+            timelines=timelines,
+        )
+
+
+def replay_trace(scenario: Scenario, trace: Trace, clients: int = 8,
+                 mode: str = "interleaved", **kwargs) -> TraceReplayReport:
+    """Convenience wrapper: build a :class:`TraceReplay` and run it."""
+    return TraceReplay(scenario, trace, clients=clients, mode=mode,
+                       **kwargs).run()

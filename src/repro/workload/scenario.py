@@ -55,6 +55,9 @@ class Scenario:
     monitor: MonitoringSystem | None = None
     nodes: dict[str, IntegrityEnforcedOS] = field(default_factory=dict)
     workload: GeneratedWorkload | None = None
+    #: Latest published release of every package (name -> ApkPackage);
+    #: multi-round traces evolve this population release by release.
+    population: dict[str, object] = field(default_factory=dict)
     #: Every deployed repository id, in deployment order (the first is
     #: ``repo_id``, the default tenant).
     tenants: list[str] = field(default_factory=list)
@@ -74,6 +77,7 @@ class Scenario:
                  use_tsr: bool = True,
                  session: ScheduledFetchSession | None = None,
                  downlink_bandwidth: float | None = None,
+                 repo_id: str | None = None,
                  ) -> tuple[IntegrityEnforcedOS, PackageManager]:
         """Boot a node and attach a package manager (TSR or mirror-direct).
 
@@ -81,7 +85,9 @@ class Scenario:
         schedule (see :func:`fleet_refresh`) instead of the per-call clock.
         ``downlink_bandwidth`` models the node's NIC: on a scheduled
         session the node's channel is capped at it (layered under the
-        shared-uplink fair share).
+        shared-uplink fair share).  ``repo_id`` picks the tenant
+        repository the node subscribes to (default: the scenario's
+        primary tenant).
         """
         self._node_count += 1
         name = name or f"node-{self._node_count:03d}"
@@ -94,11 +100,13 @@ class Scenario:
         self.network.add_host(Host(name=name, continent=continent,
                                    downlink_bandwidth=downlink_bandwidth))
         if use_tsr:
+            tenant = repo_id if repo_id is not None else self.repo_id
+            key = self.tenant_keys.get(tenant, self.tsr_public_key)
             client = TsrRepositoryClient(self.network, name,
-                                         self.tsr.hostname, self.repo_id,
+                                         self.tsr.hostname, tenant,
                                          session=session)
-            trusted = [self.tsr_public_key]
-            node.ima.trust_key(self.tsr_public_key)
+            trusted = [key]
+            node.ima.trust_key(key)
         else:
             from repro.core.client import MirrorRepositoryClient
             first_mirror = next(iter(self.mirrors))
@@ -183,13 +191,15 @@ def build_scenario(workload: GeneratedWorkload | None = None,
                    seed: int = 99,
                    package_whitelist=None,
                    cache_budget_bytes: int | None = None,
-                   cache_shards: int | None = None) -> Scenario:
+                   cache_shards: int | None = None,
+                   cache_policy: str | None = None) -> Scenario:
     """Assemble origin + mirrors + TSR (+ monitor), deploy the default
     policy, and optionally run the first refresh.
 
     ``package_whitelist`` restricts the default tenant's policy;
-    ``cache_budget_bytes``/``cache_shards`` configure the TSR package
-    cache (per-shard LRU byte budgets — see :class:`PackageCache`).
+    ``cache_budget_bytes``/``cache_shards``/``cache_policy`` configure
+    the TSR package cache (per-shard byte budgets and LRU/LRU-2 eviction
+    — see :class:`PackageCache`).
     """
     network = Network()
     distro_key = generate_keypair(key_bits, seed=seed)
@@ -206,10 +216,12 @@ def build_scenario(workload: GeneratedWorkload | None = None,
     if epc_bytes is None and workload is not None:
         epc_bytes = workload.suggested_epc_bytes
     cache = None
-    if cache_budget_bytes is not None or cache_shards is not None:
+    if (cache_budget_bytes is not None or cache_shards is not None
+            or cache_policy is not None):
         cache = PackageCache(
             shards=cache_shards if cache_shards is not None else 8,
             shard_budget_bytes=cache_budget_bytes,
+            policy=cache_policy if cache_policy is not None else "lru2",
         )
     tsr = TrustedSoftwareRepository(
         "tsr.example", network, cpu, tpm,
@@ -246,6 +258,7 @@ def build_scenario(workload: GeneratedWorkload | None = None,
         tsr_public_key=tsr_public_key,
         monitor=monitor,
         workload=workload,
+        population={package.name: package for package in to_publish},
         tenants=[repo_id],
         tenant_keys={repo_id: tsr_public_key},
     )
@@ -261,6 +274,7 @@ def build_multi_tenant_scenario(tenants: int = 2, overlap: float = 0.5,
                                 key_bits: int = 1024,
                                 cache_budget_bytes: int | None = None,
                                 cache_shards: int | None = None,
+                                cache_policy: str | None = None,
                                 seed: int = 99) -> Scenario:
     """N tenant repositories over one origin with overlapping catalogs.
 
@@ -289,6 +303,7 @@ def build_multi_tenant_scenario(tenants: int = 2, overlap: float = 0.5,
         key_bits=key_bits, refresh=False, with_monitor=False, seed=seed,
         package_whitelist=frozenset(core + slices[0]),
         cache_budget_bytes=cache_budget_bytes, cache_shards=cache_shards,
+        cache_policy=cache_policy,
     )
     for i in range(1, tenants):
         scenario.add_tenant(package_whitelist=frozenset(core + slices[i]))
@@ -329,6 +344,168 @@ def multi_tenant_refresh(scenario: Scenario,
 
 
 @dataclass
+class FleetClient:
+    """One fleet node: OS + package manager bound to a tenant repository."""
+
+    name: str
+    repo_id: str
+    node: IntegrityEnforcedOS
+    manager: PackageManager
+
+
+class ClientFleet:
+    """N update clients wired for scheduled fan-out, reusable across waves.
+
+    Construction boots the nodes once (names ``{prefix}-{i:03d}``), wires
+    their package managers onto ``session`` (a
+    :class:`~repro.simnet.network.ScheduledFetchSession` for a one-shot
+    fan-out, a :class:`~repro.simnet.network.PlanFetchSession` for
+    multi-wave replay, or ``None`` for clock-serialized clients) and
+    spreads them round-robin over ``tenants``.  ``client_downlink``
+    models per-node NICs exactly as in :func:`fleet_refresh` (scalar, or
+    a sequence cycled across the fleet).
+    """
+
+    def __init__(self, scenario: Scenario, clients: int,
+                 name_prefix: str = "fleet",
+                 session=None, client_downlink=None,
+                 tenants: list[str] | None = None):
+        if clients < 1:
+            raise ValueError("fleet needs at least one client")
+        if (client_downlink is not None
+                and not isinstance(client_downlink, (int, float))
+                and not len(client_downlink)):
+            raise ValueError("client_downlink sequence must be non-empty")
+        self.scenario = scenario
+        tenants = list(tenants) if tenants else [scenario.repo_id]
+        self.clients: list[FleetClient] = []
+        for i in range(clients):
+            name = f"{name_prefix}-{i:03d}"
+            repo_id = tenants[i % len(tenants)]
+            node, manager = scenario.new_node(
+                name, session=session, repo_id=repo_id,
+                downlink_bandwidth=self._nic(client_downlink, i))
+            self.clients.append(FleetClient(name=name, repo_id=repo_id,
+                                            node=node, manager=manager))
+
+    @staticmethod
+    def _nic(client_downlink, i: int) -> float | None:
+        if client_downlink is None:
+            return None
+        if isinstance(client_downlink, (int, float)):
+            return float(client_downlink)
+        return float(client_downlink[i % len(client_downlink)])
+
+    def use_session(self, session):
+        for client in self.clients:
+            client.manager.client.use_session(session)
+
+    def set_as_of(self, as_of: float | None):
+        """Time-stamp every client's next requests on the plan timeline."""
+        for client in self.clients:
+            client.manager.client.as_of = as_of
+
+
+@dataclass
+class FleetWaveOutcome:
+    """What one pull wave did (before transfer timings are resolved)."""
+
+    installs: int = 0
+    #: client name -> authenticated index serial this wave served.
+    served_serial: dict[str, int] = field(default_factory=dict)
+    #: client name -> schedule key of the index fetch (plan sessions
+    #: only) — the transfer whose completion is the client's staleness
+    #: transition instant.
+    index_keys: dict[str, object] = field(default_factory=dict)
+    #: client name -> the wave's last schedule key (plan sessions only).
+    last_keys: dict[str, object] = field(default_factory=dict)
+    #: client name -> clock-measured elapsed (unscheduled clients only).
+    client_elapsed: dict[str, float] = field(default_factory=dict)
+    #: Clients whose index pull failed (no publication visible yet).
+    failed_pulls: int = 0
+    #: Install attempts that failed at the transfer layer (tolerant waves
+    #: only — e.g. a blob the publication could no longer serve because
+    #: eviction pressure removed it before capture).
+    failed_installs: int = 0
+
+
+def run_pull_wave(clients: list[FleetClient], rng: random.Random,
+                  installs_per_client: int,
+                  installable: list[str] | None = None,
+                  measure_clock=None,
+                  plan_session=None,
+                  tolerate_failures: bool = False) -> FleetWaveOutcome:
+    """Drive one pull wave: every client updates its index and installs.
+
+    The wave planner behind both :func:`fleet_refresh` (one wave on a
+    private session) and the trace replay (many waves composed onto one
+    plan-wide schedule).  Install choices flow through the *explicit*
+    ``rng`` — no module or ambient RNG state — so interleaving two
+    replays in one process cannot couple their randomness.
+
+    ``installable`` restricts choices to packages known servable (empty /
+    ``None`` falls back to each client's own index).  ``measure_clock``
+    (a :class:`SimClock`) records per-client elapsed for clock-serialized
+    clients; ``plan_session`` records each client's last schedule key so
+    the replay can resolve wave completion offsets after the full plan is
+    solved.  ``tolerate_failures`` turns an unanswerable index pull into
+    a counted failure instead of an exception (a replay client pulling
+    before the first publication exists simply stays stale).
+    """
+    from repro.util.errors import NetworkError
+
+    outcome = FleetWaveOutcome()
+    for client in clients:
+        start = measure_clock.now() if measure_clock is not None else None
+        try:
+            index = client.manager.update()
+        except NetworkError:
+            if not tolerate_failures:
+                raise
+            outcome.failed_pulls += 1
+            if plan_session is not None:
+                key = plan_session.last_key(client.name)
+                if key is not None:
+                    outcome.last_keys[client.name] = key
+            continue
+        outcome.served_serial[client.name] = index.serial
+        if plan_session is not None:
+            key = plan_session.last_key(client.name)
+            if key is not None:
+                outcome.index_keys[client.name] = key
+        choices = list(installable or index.package_names())
+        rng.shuffle(choices)
+        done = 0
+        for pkg_name in choices:
+            if done >= installs_per_client:
+                break
+            try:
+                client.manager.install(pkg_name)
+            except PackageManagerError:
+                # Closure includes a package TSR rejected — not installable
+                # through the sanitized repository; pick another.
+                continue
+            except NetworkError:
+                # A blob this publication can no longer serve (evicted
+                # before capture): tolerant clients move on, strict
+                # callers (fleet_refresh) keep the historical raise.
+                if not tolerate_failures:
+                    raise
+                outcome.failed_installs += 1
+                continue
+            done += 1
+            outcome.installs += 1
+        if measure_clock is not None:
+            outcome.client_elapsed[client.name] = \
+                measure_clock.now() - start
+        if plan_session is not None:
+            key = plan_session.last_key(client.name)
+            if key is not None:
+                outcome.last_keys[client.name] = key
+    return outcome
+
+
+@dataclass
 class FleetRefreshReport:
     """One fleet-refresh round: a repository refresh plus N client updates."""
 
@@ -358,14 +535,19 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
                   pipelined: bool = True,
                   seed: int = 11,
                   scheduled: bool = True,
-                  client_downlink=None) -> FleetRefreshReport:
+                  client_downlink=None,
+                  rng: random.Random | None = None) -> FleetRefreshReport:
     """Publish an update batch, refresh TSR, and drive a client fleet.
 
     The flow the north star cares about: upstream releases land, the
     (pipelined) refresh engine re-sanitizes them, and ``clients`` nodes
     update their indexes and install from the refreshed repository.  The
     report separates refresh latency from fan-out latency so benches can
-    show where pipelining moves the needle.
+    show where pipelining moves the needle.  The fleet machinery itself
+    — node construction (:class:`ClientFleet`) and the pull wave
+    (:func:`run_pull_wave`) — is shared with the multi-round trace
+    replay (:mod:`repro.workload.replay`), which composes many such
+    waves onto one plan-wide schedule; this function runs exactly one.
 
     With ``scheduled`` (the default) every client's fetches run as one
     channel on a shared :class:`ScheduledFetchSession` whose capacity is
@@ -383,9 +565,12 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
     ``min(TSR bandwidth, client NIC, fair uplink share)``.
 
     The fleet's own randomness (install choices) flows through one
-    ``random.Random(seed)`` instance; ``generate_update_batch`` seeds its
-    internal RNG from the same ``seed``.  Repeated calls with equal
-    arguments on identically built scenarios are therefore reproducible.
+    *explicit* ``random.Random`` — ``rng``, defaulting to
+    ``random.Random(seed)`` — never through module-level RNG state, so
+    concurrent scenarios in one process stay independently reproducible;
+    ``generate_update_batch`` seeds its internal RNG from the same
+    ``seed``.  Repeated calls with equal arguments on identically built
+    scenarios are therefore reproducible.
     """
     from repro.workload.generator import generate_update_batch
 
@@ -395,21 +580,15 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
             and not isinstance(client_downlink, (int, float))
             and not len(client_downlink)):
         raise ValueError("client_downlink sequence must be non-empty")
-
-    def client_nic(i: int) -> float | None:
-        if client_downlink is None:
-            return None
-        if isinstance(client_downlink, (int, float)):
-            return float(client_downlink)
-        return float(client_downlink[i % len(client_downlink)])
-
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     workload = getattr(scenario, "workload", None)
     updated: list[str] = []
     if workload is not None:
         batch = generate_update_batch(workload, fraction=update_fraction,
                                       seed=seed)
         scenario.origin.publish_many([(package, None) for package in batch])
+        for package in batch:
+            scenario.population[package.name] = package
         updated = [package.name for package in batch]
         scenario.sync_mirrors()
 
@@ -425,45 +604,27 @@ def fleet_refresh(scenario: Scenario, clients: int = 8,
         uplink = scenario.network.host(scenario.tsr.hostname).bandwidth
         session = ScheduledFetchSession(scenario.network,
                                         shared_bandwidth=uplink)
-    installs = 0
-    client_names: list[str] = []
-    client_elapsed: list[float] = []
     fanout_start = scenario.clock.now()
-    for i in range(clients):
-        name = f"fleet-{seed}-{i:03d}"
-        node, manager = scenario.new_node(name, session=session,
-                                          downlink_bandwidth=client_nic(i))
-        client_names.append(name)
-        client_start = scenario.clock.now()
-        manager.update()
-        choices = list(installable or manager.index.package_names())
-        rng.shuffle(choices)
-        done = 0
-        for pkg_name in choices:
-            if done >= installs_per_client:
-                break
-            try:
-                manager.install(pkg_name)
-            except PackageManagerError:
-                # Closure includes a package TSR rejected — not installable
-                # through the sanitized repository; pick another.
-                continue
-            done += 1
-            installs += 1
-        if not scheduled:
-            client_elapsed.append(scenario.clock.now() - client_start)
+    fleet = ClientFleet(scenario, clients, name_prefix=f"fleet-{seed}",
+                        session=session, client_downlink=client_downlink)
+    wave = run_pull_wave(
+        fleet.clients, rng, installs_per_client, installable=installable,
+        measure_clock=None if scheduled else scenario.clock,
+    )
     if scheduled:
         session.solve()
-        client_elapsed = [session.channel_finish(name)
-                          for name in client_names]
+        client_elapsed = [session.channel_finish(client.name)
+                          for client in fleet.clients]
         fanout_elapsed = session.makespan
         scenario.clock.advance(fanout_elapsed)
     else:
+        client_elapsed = [wave.client_elapsed[client.name]
+                          for client in fleet.clients]
         fanout_elapsed = scenario.clock.now() - fanout_start
     return FleetRefreshReport(
         refresh=report,
         clients=clients,
-        installs=installs,
+        installs=wave.installs,
         updated_packages=updated,
         wall_elapsed=scenario.clock.now() - start,
         client_elapsed=client_elapsed,

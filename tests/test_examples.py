@@ -39,3 +39,10 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "cross-tenant dedupe" in result.stdout
         assert "multi-tenant orchestrated refresh complete" in result.stdout
+
+    def test_trace_replay(self):
+        result = _run("trace_replay.py")
+        assert result.returncode == 0, result.stderr
+        assert "per-client staleness" in result.stdout
+        assert "plan-wide interleaving" in result.stdout
+        assert "trace replay complete." in result.stdout
