@@ -26,7 +26,7 @@ from repro.archive.apk import ApkPackage, PackageFile
 from repro.bench.report import PaperTable, record_table
 from repro.mirrors.builder import MirrorSpec
 from repro.simnet.latency import Continent
-from repro.util.stats import human_duration
+from repro.util.stats import human_bytes, human_duration
 from repro.workload.generator import generate_trace
 from repro.workload.replay import replay_trace
 from repro.workload.scenario import (
@@ -135,7 +135,8 @@ def test_trace_replay_ablation(benchmark):
         title=f"{ROUNDS}-round / {TENANTS}-tenant / {CLIENTS}-client trace: "
               "serial composition vs plan-wide interleaving",
         columns=["mode", "wall", "staleness mean", "staleness max",
-                 "avail mean", "avail max", "installs", "prescans"],
+                 "avail mean", "avail max", "installs", "prescans",
+                 "wire/client/round"],
     )
     for mode, report in results.items():
         table.add_row(
@@ -147,6 +148,7 @@ def test_trace_replay_ablation(benchmark):
             human_duration(report.availability_max),
             report.installs,
             report.prescans,
+            human_bytes(report.bytes_per_client_per_round),
         )
     table.note(f"interleaved speedup: {speedup:.2f}x simulated wall-clock "
                "(same published bytes, same refresh verdicts; one frozen "
@@ -159,6 +161,10 @@ def test_trace_replay_ablation(benchmark):
         assert report.installs > 0
         _assert_consistent(report)
     assert serial.installs == interleaved.installs
+    # Wire accounting engaged in both modes (modes may pull *different*
+    # bytes: serial's delayed waves can see newer publications).
+    assert serial.client_wire_bytes > 0
+    assert interleaved.client_wire_bytes > 0
     # The headline: plan-wide interleaving >= 1.3x over serial composition.
     assert speedup >= 1.3, f"interleaved speedup only {speedup:.2f}x"
     # Interleaving also shortens the update-availability window.

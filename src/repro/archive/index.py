@@ -33,6 +33,33 @@ class IndexEntry:
         return f"{self.name}-{self.version}"
 
 
+def format_entry_line(entry: IndexEntry) -> str:
+    """The canonical ``P:|V:|S:|H:|D:`` body line for one entry.
+
+    Shared by the signed index body and the index-delta envelope
+    (:mod:`repro.core.delta`), so a delta's ``U:`` records splice into a
+    reconstructed body byte-identically.
+    """
+    deps = ",".join(entry.depends)
+    return (f"P:{entry.name}|V:{entry.version}|S:{entry.size}"
+            f"|H:{entry.sha256}|D:{deps}")
+
+
+def parse_entry_line(line: str) -> IndexEntry:
+    """Parse one canonical body line (inverse of :func:`format_entry_line`)."""
+    try:
+        fields = dict(part.split(":", 1) for part in line.split("|"))
+        return IndexEntry(
+            name=fields["P"],
+            version=fields["V"],
+            size=int(fields["S"]),
+            sha256=fields["H"],
+            depends=tuple(d for d in fields["D"].split(",") if d),
+        )
+    except (KeyError, ValueError) as exc:
+        raise PackagingError(f"malformed index line {line!r}: {exc}") from exc
+
+
 @dataclass
 class RepositoryIndex:
     """A signed snapshot of the repository contents.
@@ -66,12 +93,7 @@ class RepositoryIndex:
         """Canonical serialized body that the signature covers."""
         lines = [f"serial:{self.serial}"]
         for name in sorted(self.entries):
-            entry = self.entries[name]
-            deps = ",".join(entry.depends)
-            lines.append(
-                f"P:{entry.name}|V:{entry.version}|S:{entry.size}"
-                f"|H:{entry.sha256}|D:{deps}"
-            )
+            lines.append(format_entry_line(self.entries[name]))
         return ("\n".join(lines) + "\n").encode()
 
     def body_hash(self) -> str:
@@ -110,19 +132,7 @@ class RepositoryIndex:
         for line in lines[2:]:
             if not line.strip():
                 continue
-            fields = dict(
-                part.split(":", 1) for part in line.split("|")
-            )
-            try:
-                entry = IndexEntry(
-                    name=fields["P"],
-                    version=fields["V"],
-                    size=int(fields["S"]),
-                    sha256=fields["H"],
-                    depends=tuple(d for d in fields["D"].split(",") if d),
-                )
-            except (KeyError, ValueError) as exc:
-                raise PackagingError(f"malformed index line {line!r}: {exc}") from exc
+            entry = parse_entry_line(line)
             index.entries[entry.key()] = entry
         index.signature = signature
         return index

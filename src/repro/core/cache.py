@@ -64,6 +64,7 @@ from repro.util.errors import FileSystemError
 ORIGINAL_PREFIX = "/var/cache/tsr/original"
 SANITIZED_PREFIX = "/var/cache/tsr/sanitized"
 CONTENT_PREFIX = "/var/cache/tsr/content"
+CHUNK_PREFIX = "/var/cache/tsr/chunks"
 
 DEFAULT_SHARDS = 8
 
@@ -122,6 +123,12 @@ class PackageCache:
         self._used = [0] * shards
         #: Paths evicted and not yet re-queried (re-download attribution).
         self._evicted_paths: set[str] = set()
+        #: Chunk-manifest traffic (kept out of :class:`ShardStats` — the
+        #: shard counters feed the eviction experiments, and manifests
+        #: are untracked metadata, not blob traffic).
+        self.manifest_writes = 0
+        self.manifest_hits = 0
+        self.manifest_misses = 0
 
     @property
     def shard_count(self) -> int:
@@ -369,6 +376,42 @@ class PackageCache:
     def has_content(self, sha256: str) -> bool:
         index = self.content_shard_index(sha256)
         return self._shards[index].isfile(self._content_path(sha256))
+
+    # -- chunk manifests (delta-update retention) ----------------------------
+
+    def put_chunk_manifest(self, sha256: str, manifest: bytes):
+        """Retain a blob's chunk manifest, keyed by the blob's SHA-256.
+
+        Manifests are what lets the TSR serve a chunk delta against a
+        *prior* publication whose blob bytes may long be evicted: a
+        manifest is a few hundred bytes of chunk ids, so retention is
+        deliberately **outside** the byte-budget recency queues — keeping
+        every base's manifest alive for the next round must not perturb
+        the LRU/LRU-2 eviction dynamics the replay experiments measure
+        (and a manifest is never worth evicting to fit one more blob).
+        """
+        index = self.content_shard_index(sha256)
+        self._shards[index].write_file(self._manifest_path(sha256), manifest)
+        self.manifest_writes += 1
+
+    def get_chunk_manifest(self, sha256: str) -> bytes | None:
+        index = self.content_shard_index(sha256)
+        try:
+            manifest = self._shards[index].read_file(
+                self._manifest_path(sha256))
+        except FileSystemError:
+            self.manifest_misses += 1
+            return None
+        self.manifest_hits += 1
+        return manifest
+
+    def has_chunk_manifest(self, sha256: str) -> bool:
+        index = self.content_shard_index(sha256)
+        return self._shards[index].isfile(self._manifest_path(sha256))
+
+    @staticmethod
+    def _manifest_path(sha256: str) -> str:
+        return f"{CHUNK_PREFIX}/{sha256}.manifest"
 
     # -- adversary surface -------------------------------------------------------
 

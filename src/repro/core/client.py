@@ -178,6 +178,31 @@ class TsrRepositoryClient(_ScheduledClientBase):
             payload["as_of"] = self.as_of
         return Request(self._tsr, "get_package", payload=payload)
 
+    # -- delta-update surface (TSR-only; mirror clients lack it, which is
+    # how the package manager detects delta capability) ----------------------
+
+    def fetch_index_delta(self, base_serial: int) -> bytes:
+        """Fetch a signed index diff from ``base_serial`` to the newest
+        publication at this client's ``as_of`` instant (or the newest
+        overall for live clients).  Returns a delta envelope — see
+        :mod:`repro.core.delta` for the kinds and fallback rules."""
+        payload: dict = {"repo": self.repo_id, "base_serial": base_serial}
+        if self.as_of is not None:
+            payload["as_of"] = self.as_of
+        return self._fetch(Request(self._tsr, "get_index_delta",
+                                   payload=payload))
+
+    def fetch_package_delta(self, name: str, base_sha256: str) -> bytes:
+        """Fetch one package as a chunk delta against the cached base blob
+        identified by ``base_sha256`` (server may answer with a tagged
+        full blob when no usable delta exists)."""
+        payload: dict = {"repo": self.repo_id, "name": name,
+                         "base_sha256": base_sha256}
+        if self.as_of is not None:
+            payload["as_of"] = self.as_of
+        return self._fetch(Request(self._tsr, "get_package_delta",
+                                   payload=payload))
+
 
 class MirrorRepositoryClient(_ScheduledClientBase):
     """Direct-to-mirror client: the conventional (baseline) configuration."""

@@ -159,7 +159,8 @@ class TrustedSoftwareRepository:
     def __init__(self, hostname: str, network: Network, cpu: SgxCpu, tpm: Tpm,
                  continent=None, key_bits: int = 1024,
                  sgx_enabled: bool = True, epc_model: EpcModel | None = None,
-                 cache: PackageCache | None = None):
+                 cache: PackageCache | None = None,
+                 delta_log_depth: int = 8):
         from repro.simnet.latency import Continent
 
         self.hostname = hostname
@@ -178,6 +179,26 @@ class TrustedSoftwareRepository:
         #: already overwritten by a newer round).
         self.serve_cache_hits = 0
         self.serve_fallbacks = 0
+        #: How many publications back the delta endpoints will diff
+        #: against (the publication-log depth bound: clients further
+        #: behind get a full pull).  ``0`` disables delta serving.
+        self.delta_log_depth = delta_log_depth
+        #: Delta-serving accounting: envelopes served by kind, fallback
+        #: reasons, and the wire bytes deltas saved vs full responses.
+        self.delta_index_serves = 0
+        self.delta_index_unchanged = 0
+        self.delta_index_fallbacks: dict[str, int] = {}
+        self.delta_package_serves = 0
+        self.delta_package_fallbacks: dict[str, int] = {}
+        self.delta_bytes_saved = 0
+        #: (repo_id, base_serial, target_serial) -> index delta envelope;
+        #: (base_sha, target_sha) -> package delta envelope.  N clients at
+        #: the same base cost one diff computation per round, not N.
+        self._index_delta_memo: dict[tuple[str, int, int], bytes] = {}
+        self._package_delta_memo: dict[tuple[str, str], bytes | None] = {}
+        #: (repo_id, log position) -> parsed publication index (diffing
+        #: needs entries; publications are append-only so this is stable).
+        self._publication_indexes: dict[tuple[str, int], object] = {}
         self._freshness = FreshnessManager(tpm)
         self._enclave = Enclave(cpu, TsrProgram, key_bits=key_bits)
         network.add_host(Host(
@@ -207,6 +228,15 @@ class TrustedSoftwareRepository:
                 blob = self.serve_package_at(repo_id, name, payload["as_of"])
             else:
                 blob = self.serve_package(repo_id, name)
+            return blob, len(blob)
+        if operation == "get_index_delta":
+            blob = self.index_delta_at(payload["repo"], payload["base_serial"],
+                                       payload.get("as_of"))
+            return blob, len(blob)
+        if operation == "get_package_delta":
+            blob = self.package_delta_at(payload["repo"], payload["name"],
+                                         payload["base_sha256"],
+                                         payload.get("as_of"))
             return blob, len(blob)
         if operation == "attest":
             return self._enclave.ecall("quote_for_repo", str(payload)), 2048
@@ -553,6 +583,12 @@ class TrustedSoftwareRepository:
             if blob is not None and len(blob) == entry.size \
                     and sha256_hex(blob) == entry.sha256:
                 blobs[name] = blob
+        if self.delta_log_depth > 0:
+            # Retain chunk manifests of everything this publication pins:
+            # the next round's delta serving diffs against these even
+            # after the blobs themselves age out of the cache.
+            for name, blob in blobs.items():
+                self._ensure_manifest(index.entries[name].sha256, blob)
         if previous is not None:
             available_at = max(available_at, previous.available_at)
         publication = Publication(
@@ -613,9 +649,15 @@ class TrustedSoftwareRepository:
                 f"package {name!r} not in the t="
                 f"{publication.available_at:.3f} publication"
             )
-        # No clock advance here: as_of-stamped serves belong to a replay
-        # plan whose driver advances the scenario clock exactly once, at
-        # the end — the transfer itself is accounted on the plan schedule.
+        return self._publication_blob(repo_id, name, publication, expected)
+
+    def _publication_blob(self, repo_id: str, name: str,
+                          publication: Publication,
+                          expected: tuple[int, str]) -> bytes:
+        """Cache-first publication serve (no clock advance: as_of-stamped
+        serves belong to a replay plan whose driver advances the scenario
+        clock exactly once, at the end — the transfer itself is accounted
+        on the plan schedule)."""
         cached = self.cache.get_sanitized(repo_id, name)
         if cached is not None and len(cached) == expected[0] \
                 and sha256_hex(cached) == expected[1]:
@@ -633,6 +675,159 @@ class TrustedSoftwareRepository:
             )
         self.serve_fallbacks += 1
         return blob
+
+    # -- delta serving (publication-log diffs) --------------------------------
+
+    def _ensure_manifest(self, sha256: str, blob: bytes):
+        """Retain the chunk manifest of a served/published blob so it can
+        act as a delta base next round (idempotent, fails open)."""
+        if self.cache.has_chunk_manifest(sha256):
+            return
+        from repro.core.delta import blob_manifest
+        from repro.util.errors import DeltaError, PackagingError
+        try:
+            self.cache.put_chunk_manifest(sha256, blob_manifest(blob))
+        except (DeltaError, PackagingError):
+            pass  # unmanifestable blob: delta requests fall back to full
+
+    def _delta_target(self, repo_id: str,
+                      as_of: float | None) -> Publication | None:
+        """The publication a delta request resolves against.
+
+        Time-stamped requests see the newest publication at ``as_of``
+        (raising like the full path when none exists yet); live requests
+        see the newest publication overall, or ``None`` when the
+        repository has never recorded one (delta serving is publication-
+        backed — callers then fall back to the live enclave state).
+        """
+        if as_of is not None:
+            publication = self.publication_at(repo_id, as_of)
+            if publication is None:
+                raise NetworkError(
+                    f"repository {repo_id!r} has no publication at "
+                    f"t={as_of:.3f}"
+                )
+            return publication
+        log = self._publications.get(repo_id, [])
+        return log[-1] if log else None
+
+    def _publication_index(self, repo_id: str, position: int):
+        """Parsed index of one publication (cached; the log is append-only)."""
+        from repro.archive.index import RepositoryIndex
+
+        cached = self._publication_indexes.get((repo_id, position))
+        if cached is None:
+            cached = RepositoryIndex.from_bytes(
+                self._publications[repo_id][position].index_bytes)
+            self._publication_indexes[(repo_id, position)] = cached
+        return cached
+
+    def _count_fallback(self, counters: dict[str, int], reason: str):
+        counters[reason] = counters.get(reason, 0) + 1
+
+    def index_delta_at(self, repo_id: str, base_serial: int,
+                       as_of: float | None = None) -> bytes:
+        """Serve a signed index diff from ``base_serial`` to the newest
+        publication at ``as_of`` (see :mod:`repro.core.delta` for the
+        envelope kinds and fallback rules)."""
+        from repro.core.delta import (
+            build_index_delta,
+            index_body_sha256,
+            index_full_envelope,
+            index_unchanged_envelope,
+        )
+
+        target = self._delta_target(repo_id, as_of)
+        if target is None:
+            blob = self._enclave.ecall("sanitized_index_bytes", repo_id)
+            self._count_fallback(self.delta_index_fallbacks, "no-publication")
+            return index_full_envelope("no-publication", blob)
+        if self.delta_log_depth <= 0:
+            self._count_fallback(self.delta_index_fallbacks, "disabled")
+            return index_full_envelope("disabled", target.index_bytes)
+        if target.serial == base_serial:
+            self.delta_index_unchanged += 1
+            envelope = index_unchanged_envelope(
+                base_serial, index_body_sha256(target.index_bytes))
+            self.delta_bytes_saved += max(
+                0, len(target.index_bytes) - len(envelope))
+            return envelope
+        log = self._publications[repo_id]
+        target_pos = next(i for i in range(len(log) - 1, -1, -1)
+                          if log[i] is target)
+        base_pos = next((i for i in range(target_pos, -1, -1)
+                         if log[i].serial == base_serial), None)
+        if base_pos is None:
+            self._count_fallback(self.delta_index_fallbacks, "unknown-base")
+            return index_full_envelope("unknown-base", target.index_bytes)
+        if target_pos - base_pos > self.delta_log_depth:
+            self._count_fallback(self.delta_index_fallbacks, "depth")
+            return index_full_envelope("depth", target.index_bytes)
+        memo_key = (repo_id, base_serial, target.serial)
+        envelope = self._index_delta_memo.get(memo_key)
+        if envelope is None:
+            envelope = build_index_delta(
+                self._publication_index(repo_id, base_pos),
+                self._publication_index(repo_id, target_pos),
+            )
+            self._index_delta_memo[memo_key] = envelope
+        if len(envelope) >= len(target.index_bytes):
+            self._count_fallback(self.delta_index_fallbacks, "not-smaller")
+            return index_full_envelope("not-smaller", target.index_bytes)
+        self.delta_index_serves += 1
+        self.delta_bytes_saved += len(target.index_bytes) - len(envelope)
+        return envelope
+
+    def package_delta_at(self, repo_id: str, name: str, base_sha256: str,
+                         as_of: float | None = None) -> bytes:
+        """Serve one package as a chunk delta against the client's cached
+        base (identified by its SHA-256), or as a tagged full blob when no
+        usable delta exists."""
+        from repro.core.delta import build_package_delta, package_full_envelope
+        from repro.util.errors import DeltaError
+
+        target = self._delta_target(repo_id, as_of)
+        if target is None:
+            blob = self.serve_package(repo_id, name)
+            self._count_fallback(self.delta_package_fallbacks,
+                                 "no-publication")
+            return package_full_envelope("no-publication", blob)
+        expected = target.entries.get(name)
+        if expected is None:
+            raise NetworkError(
+                f"package {name!r} not in the t="
+                f"{target.available_at:.3f} publication"
+            )
+        blob = self._publication_blob(repo_id, name, target, expected)
+        new_sha = expected[1]
+        if self.delta_log_depth <= 0:
+            self._count_fallback(self.delta_package_fallbacks, "disabled")
+            return package_full_envelope("disabled", blob)
+        # This serve's target is the fleet's next-round base: retain its
+        # manifest now, whatever this request ends up being served as.
+        self._ensure_manifest(new_sha, blob)
+        if base_sha256 == new_sha:
+            self._count_fallback(self.delta_package_fallbacks, "same")
+            return package_full_envelope("same", blob)
+        manifest = self.cache.get_chunk_manifest(base_sha256)
+        if manifest is None:
+            self._count_fallback(self.delta_package_fallbacks, "unknown-base")
+            return package_full_envelope("unknown-base", blob)
+        memo_key = (base_sha256, new_sha)
+        if memo_key in self._package_delta_memo:
+            envelope = self._package_delta_memo[memo_key]
+        else:
+            try:
+                envelope = build_package_delta(manifest, blob)
+            except DeltaError:
+                envelope = None
+            self._package_delta_memo[memo_key] = envelope
+        if envelope is None:
+            self._count_fallback(self.delta_package_fallbacks, "not-smaller")
+            return package_full_envelope("not-smaller", blob)
+        self.delta_package_serves += 1
+        self.delta_bytes_saved += len(blob) - len(envelope)
+        return envelope
 
     # -- restart & freshness ---------------------------------------------------------------------
 

@@ -20,6 +20,12 @@ from typing import Protocol
 
 from repro.archive.apk import ApkPackage, ParsedApk
 from repro.archive.index import IndexEntry, RepositoryIndex
+from repro.core.delta import (
+    apply_index_delta,
+    apply_package_delta,
+    parse_index_delta_envelope,
+    parse_package_delta_envelope,
+)
 from repro.crypto.hashes import sha256_hex
 from repro.crypto.rsa import RsaPublicKey
 from repro.osim.os import IntegrityEnforcedOS
@@ -27,8 +33,11 @@ from repro.osim.pkgdb import InstalledPackage
 from repro.osim.version import is_newer
 from repro.scripts.interpreter import Interpreter
 from repro.util.errors import (
+    DeltaError,
     IntegrityError,
     PackageManagerError,
+    PackagingError,
+    RollbackError,
     SignatureError,
 )
 
@@ -59,14 +68,79 @@ class InstallStats:
     xattrs_written: int = 0
     scripts_run: int = 0
     bytes_downloaded: int = 0
+    #: Bytes that actually crossed the network for this operation.  Equal
+    #: to ``bytes_downloaded`` (logical blob bytes) for full pulls;
+    #: smaller when delta updates reconstructed blobs from deltas.
+    bytes_on_wire: int = 0
     operations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class DeltaStats:
+    """One package manager's delta-update accounting across operations.
+
+    Fallback dicts count full pulls by reason — the server-tagged reasons
+    (``depth``, ``unknown-base``, ``not-smaller``, …) plus the client-side
+    ``no-base`` (nothing cached to delta against) and ``rejected`` (an
+    envelope that failed to apply or verify; the adversarial tests pin
+    that every rejection is followed by a clean full-pull recovery).
+    """
+
+    index_deltas: int = 0
+    index_unchanged: int = 0
+    index_rejected: int = 0
+    index_rollbacks: int = 0
+    index_full: dict[str, int] = field(default_factory=dict)
+    package_deltas: int = 0
+    package_rejected: int = 0
+    package_full: dict[str, int] = field(default_factory=dict)
+    #: Installs satisfied by the cached base without any transfer.
+    base_reuses: int = 0
+    index_wire_bytes: int = 0
+    package_wire_bytes: int = 0
+
+    @staticmethod
+    def _bump(counter: dict[str, int], reason: str):
+        counter[reason] = counter.get(reason, 0) + 1
+
+    def merge(self, other: "DeltaStats"):
+        self.index_deltas += other.index_deltas
+        self.index_unchanged += other.index_unchanged
+        self.index_rejected += other.index_rejected
+        self.index_rollbacks += other.index_rollbacks
+        self.package_deltas += other.package_deltas
+        self.package_rejected += other.package_rejected
+        self.base_reuses += other.base_reuses
+        self.index_wire_bytes += other.index_wire_bytes
+        self.package_wire_bytes += other.package_wire_bytes
+        for reason, count in other.index_full.items():
+            self.index_full[reason] = self.index_full.get(reason, 0) + count
+        for reason, count in other.package_full.items():
+            self.package_full[reason] = \
+                self.package_full.get(reason, 0) + count
+
+    def as_dict(self) -> dict:
+        return {
+            "index_deltas": self.index_deltas,
+            "index_unchanged": self.index_unchanged,
+            "index_rejected": self.index_rejected,
+            "index_rollbacks": self.index_rollbacks,
+            "index_full": dict(self.index_full),
+            "package_deltas": self.package_deltas,
+            "package_rejected": self.package_rejected,
+            "package_full": dict(self.package_full),
+            "base_reuses": self.base_reuses,
+            "index_wire_bytes": self.index_wire_bytes,
+            "package_wire_bytes": self.package_wire_bytes,
+        }
 
 
 class PackageManager:
     """The OS-side update client."""
 
     def __init__(self, node: IntegrityEnforcedOS, client: RepositoryClient,
-                 trusted_keys: list[RsaPublicKey]):
+                 trusted_keys: list[RsaPublicKey],
+                 delta_updates: bool = False):
         self._node = node
         self._client = client
         self.trusted_keys = list(trusted_keys)
@@ -75,6 +149,14 @@ class PackageManager:
         #: Blobs downloaded ahead of time by :meth:`install_batch`;
         #: consumed (and verified) by ``_download_verified``.
         self._prefetched: dict[str, bytes] = {}
+        #: Delta updates: fetch index diffs and chunked package patches
+        #: against locally cached bases when the client supports it,
+        #: falling back to full pulls whenever a delta is unavailable or
+        #: fails to verify.  Installed bytes are identical either way.
+        self.delta_updates = delta_updates
+        self.delta_stats = DeltaStats()
+        #: Last verified full blob per package name — the patch bases.
+        self._delta_bases: dict[str, bytes] = {}
 
     @property
     def client(self) -> RepositoryClient:
@@ -92,8 +174,66 @@ class PackageManager:
         return index
 
     def update(self) -> RepositoryIndex:
-        """``apk update``: fetch and authenticate the metadata index."""
+        """``apk update``: fetch and authenticate the metadata index.
+
+        With :attr:`delta_updates` enabled, asks the repository for a
+        signed diff against the currently held index serial instead of
+        the full index; any envelope that is stale, malformed, or fails
+        signature verification falls back to a full pull, so an update
+        never ends worse than the baseline.
+        """
+        if self.delta_updates:
+            return self._update_delta()
         return self._authenticate_index(self._client.fetch_index())
+
+    def _update_full(self, reason: str) -> RepositoryIndex:
+        """Delta-mode full-index fallback, counted under ``reason``."""
+        DeltaStats._bump(self.delta_stats.index_full, reason)
+        blob = self._client.fetch_index()
+        self.delta_stats.index_wire_bytes += len(blob)
+        return self._authenticate_index(blob)
+
+    def _update_delta(self) -> RepositoryIndex:
+        fetch_delta = getattr(self._client, "fetch_index_delta", None)
+        if fetch_delta is None or self._index is None:
+            return self._update_full("no-base")
+        base = self._index
+        payload = fetch_delta(base.serial)
+        self.delta_stats.index_wire_bytes += len(payload)
+        try:
+            envelope = parse_index_delta_envelope(payload)
+        except DeltaError:
+            self.delta_stats.index_rejected += 1
+            return self._update_full("rejected")
+        if envelope.kind == "full":
+            # Server-side fallback: the tagged full index authenticates
+            # exactly like a baseline pull (failures propagate).
+            DeltaStats._bump(self.delta_stats.index_full,
+                             envelope.reason or "server")
+            return self._authenticate_index(envelope.full_bytes)
+        try:
+            if envelope.kind == "same":
+                if envelope.serial != base.serial \
+                        or envelope.body_sha256 != base.body_hash():
+                    raise DeltaError(
+                        "unchanged-index envelope does not match the "
+                        "held index"
+                    )
+                self.delta_stats.index_unchanged += 1
+                return base
+            rebuilt = apply_index_delta(base, envelope)
+            index = self._authenticate_index(rebuilt.to_bytes())
+        except RollbackError:
+            # A validly-addressed delta targeting an older serial: the
+            # paper's rollback attack.  Refuse it, then recover via the
+            # full path (whose signed index the client still verifies).
+            self.delta_stats.index_rollbacks += 1
+            return self._update_full("rollback-rejected")
+        except (DeltaError, PackagingError, SignatureError):
+            self.delta_stats.index_rejected += 1
+            return self._update_full("rejected")
+        self.delta_stats.index_deltas += 1
+        return index
 
     @property
     def index(self) -> RepositoryIndex:
@@ -140,10 +280,58 @@ class PackageManager:
 
     # -- download & verification --------------------------------------------------------
 
+    def _fetch_full(self, entry: IndexEntry, stats: InstallStats,
+                    reason: str) -> bytes:
+        """Delta-mode full-blob fallback, counted under ``reason``."""
+        DeltaStats._bump(self.delta_stats.package_full, reason)
+        blob = self._client.fetch_package(entry.name)
+        self._account_wire(stats, len(blob))
+        return blob
+
+    def _account_wire(self, stats: InstallStats, size: int):
+        stats.bytes_on_wire += size
+        self.delta_stats.package_wire_bytes += size
+
+    def _fetch_blob(self, entry: IndexEntry, stats: InstallStats) -> bytes:
+        """Fetch one package's bytes, via the delta path when possible.
+
+        Whatever this returns is verified against the signed index by the
+        caller, so a reconstructed blob is accepted iff a full pull of
+        the same bytes would be.
+        """
+        if not self.delta_updates:
+            blob = self._client.fetch_package(entry.name)
+            self._account_wire(stats, len(blob))
+            return blob
+        fetch_delta = getattr(self._client, "fetch_package_delta", None)
+        base = self._delta_bases.get(entry.name)
+        if fetch_delta is None or base is None:
+            return self._fetch_full(entry, stats, "no-base")
+        if sha256_hex(base) == entry.sha256:
+            # The cached base *is* the pinned version: no transfer at all.
+            self.delta_stats.base_reuses += 1
+            return base
+        payload = fetch_delta(entry.name, sha256_hex(base))
+        self._account_wire(stats, len(payload))
+        try:
+            kind, reason, rest = parse_package_delta_envelope(payload)
+            if kind == "full":
+                DeltaStats._bump(self.delta_stats.package_full,
+                                 reason or "server")
+                return rest
+            blob = apply_package_delta(base, payload)
+        except (DeltaError, PackagingError):
+            self.delta_stats.package_rejected += 1
+            return self._fetch_full(entry, stats, "rejected")
+        self.delta_stats.package_deltas += 1
+        return blob
+
     def _download_verified(self, entry: IndexEntry, stats: InstallStats) -> ParsedApk:
         blob = self._prefetched.pop(entry.name, None)
         if blob is None:
-            blob = self._client.fetch_package(entry.name)
+            blob = self._fetch_blob(entry, stats)
+        else:
+            self._account_wire(stats, len(blob))  # prefetched over the wire
         stats.bytes_downloaded += len(blob)
         if len(blob) != entry.size:
             raise IntegrityError(
@@ -161,6 +349,11 @@ class PackageManager:
                 f"index entry {entry.name!r} delivered package "
                 f"{parsed.package.name!r}"
             )
+        if self.delta_updates:
+            # Only fully verified blobs become patch bases, so a poisoned
+            # delta can never linger: the next delta diffs against bytes
+            # the signed index vouched for.
+            self._delta_bases[entry.name] = blob
         return parsed
 
     # -- install / upgrade / remove --------------------------------------------------------

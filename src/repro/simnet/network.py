@@ -302,6 +302,8 @@ class ScheduledFetchSession:
         self._sequence = 0
         self._channel_items: dict[object, list[object]] = {}
         self._timings: dict[object, TransferTiming] | None = None
+        self._channel_bytes: dict[object, int] = {}
+        self._total_bytes = 0
 
     @property
     def start_time(self) -> float:
@@ -332,7 +334,19 @@ class ScheduledFetchSession:
         self._schedule.enqueue(channel, key, probe.setup, probe.size_bytes,
                                probe.bandwidth)
         self._channel_items.setdefault(channel, []).append(key)
+        self._channel_bytes[channel] = \
+            self._channel_bytes.get(channel, 0) + probe.size_bytes
+        self._total_bytes += probe.size_bytes
         return probe.payload
+
+    def wire_bytes(self, channel: object) -> int:
+        """Payload bytes fetched on one channel so far (failures cost 0)."""
+        return self._channel_bytes.get(channel, 0)
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Payload bytes fetched across every channel so far."""
+        return self._total_bytes
 
     def solve(self, start_time: float | None = None,
               ) -> dict[object, TransferTiming]:
@@ -404,6 +418,8 @@ class PlanFetchSession:
         self._sequence = 0
         self._wave_at = 0.0
         self._channel_items: dict[object, list[object]] = {}
+        self._channel_bytes: dict[object, int] = {}
+        self._total_bytes = 0
         #: Channels whose first fetch of the current wave already pinned
         #: the wave gap.
         self._pinned: set[object] = set()
@@ -461,7 +477,19 @@ class PlanFetchSession:
         self._schedule.enqueue(channel, key, extra_wait + probe.setup,
                                probe.size_bytes, probe.bandwidth)
         self._channel_items.setdefault(channel, []).append(key)
+        self._channel_bytes[channel] = \
+            self._channel_bytes.get(channel, 0) + probe.size_bytes
+        self._total_bytes += probe.size_bytes
         return probe.payload
+
+    def wire_bytes(self, channel: object) -> int:
+        """Payload bytes fetched on one channel so far (failures cost 0)."""
+        return self._channel_bytes.get(channel, 0)
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Payload bytes fetched across every channel, all waves so far."""
+        return self._total_bytes
 
     def last_key(self, channel: object) -> object | None:
         """Schedule key of the channel's most recent fetch (None if idle)."""

@@ -46,6 +46,11 @@ class AttestationError(ReproError):
     """A remote attestation report failed verification."""
 
 
+class DeltaError(ReproError):
+    """A delta-update envelope is malformed, mismatched, or unapplicable
+    (clients fall back to a full pull — never a hard failure)."""
+
+
 class NetworkError(ReproError):
     """A simulated network operation failed (host down, partition)."""
 

@@ -174,6 +174,14 @@ class TraceReplayReport:
     publishes: list[tuple[float, int]]
     refresh_rounds: list[MultiTenantRefreshReport]
     timelines: dict[str, ClientTimeline]
+    #: Whether the fleet pulled via the delta-update path.
+    delta_updates: bool = False
+    #: Wire bytes the fleet fetched, per pull wave (the TSR-uplink cost
+    #: of serving the fleet; refresh traffic is not included).
+    pull_wire_bytes: list[int] = field(default_factory=list)
+    #: Fleet-wide delta accounting (:meth:`DeltaStats.as_dict`; all zeros
+    #: when ``delta_updates`` is off).
+    delta_stats: dict = field(default_factory=dict)
 
     @property
     def staleness_per_client(self) -> dict[str, float]:
@@ -208,6 +216,30 @@ class TraceReplayReport:
                     for timeline in self.timelines.values()
                     for latency in timeline.availability.values()
                     if latency is not None), default=0.0)
+
+    # Fleet wire-byte metrics (the delta-update ablation, EXPERIMENTS §8).
+
+    @property
+    def client_wire_bytes(self) -> int:
+        """Total bytes the fleet pulled off the TSR uplink."""
+        return sum(self.pull_wire_bytes)
+
+    @property
+    def bytes_per_client_per_round(self) -> float:
+        """Mean uplink bytes one client costs per pull wave."""
+        if not self.pull_wire_bytes or not self.clients:
+            return 0.0
+        return self.client_wire_bytes \
+            / (self.clients * len(self.pull_wire_bytes))
+
+    def steady_state_bytes_per_client_per_round(self,
+                                                skip_waves: int = 1) -> float:
+        """Same metric excluding the first ``skip_waves`` warm-up waves
+        (clients hold no bases yet, so early waves pull full either way)."""
+        tail = self.pull_wire_bytes[skip_waves:]
+        if not tail or not self.clients:
+            return 0.0
+        return sum(tail) / (self.clients * len(tail))
 
     # Aggregates over the refresh rounds (cache behaviour across rounds).
 
@@ -273,7 +305,8 @@ class TraceReplay:
                  client_downlink=None,
                  max_streams: int | None = None,
                  tenants: list[str] | None = None,
-                 link_bandwidth: float | None = None):
+                 link_bandwidth: float | None = None,
+                 delta_updates: bool = False):
         if mode not in REPLAY_MODES:
             raise ValueError(
                 f"unknown replay mode {mode!r} (expected {REPLAY_MODES})"
@@ -295,6 +328,7 @@ class TraceReplay:
         self._interleaved = mode == "interleaved"
         self._clients = clients
         self._client_downlink = client_downlink
+        self._delta_updates = delta_updates
 
     def _new_round_state(self) -> tuple[ParallelTransferSchedule,
                                         RefreshPlanState]:
@@ -318,7 +352,7 @@ class TraceReplay:
         fleet = ClientFleet(
             scenario, self._clients, name_prefix=f"replay-{trace.seed}",
             session=session, client_downlink=self._client_downlink,
-            tenants=self._tenants,
+            tenants=self._tenants, delta_updates=self._delta_updates,
         )
 
         #: Baseline: the pre-trace population is "publish zero".
@@ -332,6 +366,7 @@ class TraceReplay:
 
         refresh_rounds: list[MultiTenantRefreshReport] = []
         waves: list[_WaveRecord] = []
+        pull_wire_bytes: list[int] = []
         installs = 0
         failed_pulls = 0
         failed_installs = 0
@@ -381,10 +416,13 @@ class TraceReplay:
                 # seed, never on ambient state or other waves' draws.
                 wave_rng = random.Random(
                     f"trace-pull:{trace.seed}:{event.seed}:{event.at}")
+                wire_before = wave_session.total_wire_bytes
                 outcome = run_pull_wave(
                     clients, wave_rng, event.installs_per_client,
                     plan_session=wave_session, tolerate_failures=True,
                 )
+                pull_wire_bytes.append(
+                    wave_session.total_wire_bytes - wire_before)
                 installs += outcome.installs
                 failed_pulls += outcome.failed_pulls
                 failed_installs += outcome.failed_installs
@@ -456,6 +494,9 @@ class TraceReplay:
             publishes=publishes,
             refresh_rounds=refresh_rounds,
             timelines=timelines,
+            delta_updates=self._delta_updates,
+            pull_wire_bytes=pull_wire_bytes,
+            delta_stats=fleet.delta_stats().as_dict(),
         )
 
 

@@ -78,6 +78,7 @@ class Scenario:
                  session: ScheduledFetchSession | None = None,
                  downlink_bandwidth: float | None = None,
                  repo_id: str | None = None,
+                 delta_updates: bool = False,
                  ) -> tuple[IntegrityEnforcedOS, PackageManager]:
         """Boot a node and attach a package manager (TSR or mirror-direct).
 
@@ -87,7 +88,8 @@ class Scenario:
         session the node's channel is capped at it (layered under the
         shared-uplink fair share).  ``repo_id`` picks the tenant
         repository the node subscribes to (default: the scenario's
-        primary tenant).
+        primary tenant).  ``delta_updates`` turns on the manager's
+        delta-update path (index diffs + chunked package patches).
         """
         self._node_count += 1
         name = name or f"node-{self._node_count:03d}"
@@ -113,7 +115,8 @@ class Scenario:
             client = MirrorRepositoryClient(self.network, name, first_mirror,
                                             session=session)
             trusted = [self.distro_key.public_key]
-        manager = PackageManager(node, client, trusted_keys=trusted)
+        manager = PackageManager(node, client, trusted_keys=trusted,
+                                 delta_updates=delta_updates)
         self.nodes[name] = node
         if self.monitor is not None:
             self.monitor.enroll_node(name, node.tpm.attestation_public_key)
@@ -369,7 +372,8 @@ class ClientFleet:
     def __init__(self, scenario: Scenario, clients: int,
                  name_prefix: str = "fleet",
                  session=None, client_downlink=None,
-                 tenants: list[str] | None = None):
+                 tenants: list[str] | None = None,
+                 delta_updates: bool = False):
         if clients < 1:
             raise ValueError("fleet needs at least one client")
         if (client_downlink is not None
@@ -384,7 +388,8 @@ class ClientFleet:
             repo_id = tenants[i % len(tenants)]
             node, manager = scenario.new_node(
                 name, session=session, repo_id=repo_id,
-                downlink_bandwidth=self._nic(client_downlink, i))
+                downlink_bandwidth=self._nic(client_downlink, i),
+                delta_updates=delta_updates)
             self.clients.append(FleetClient(name=name, repo_id=repo_id,
                                             node=node, manager=manager))
 
@@ -404,6 +409,15 @@ class ClientFleet:
         """Time-stamp every client's next requests on the plan timeline."""
         for client in self.clients:
             client.manager.client.as_of = as_of
+
+    def delta_stats(self):
+        """Fleet-wide delta-update accounting (sums every manager's)."""
+        from repro.osim.pkgmgr import DeltaStats
+
+        total = DeltaStats()
+        for client in self.clients:
+            total.merge(client.manager.delta_stats)
+        return total
 
 
 @dataclass
