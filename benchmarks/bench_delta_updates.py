@@ -18,6 +18,7 @@ unchanged staleness.  CI runs this emitting ``BENCH_delta_updates.json``.
 """
 
 import os
+import time
 import random
 
 from repro.archive.apk import ApkPackage, PackageFile
@@ -76,14 +77,17 @@ def _replay(delta: bool):
     return scenario, report
 
 
-def test_delta_updates_ablation(benchmark):
+def test_delta_updates_ablation(benchmark, maybe_profile):
     def sweep():
         results = {}
         for mode in ("full", "delta"):
             results[mode] = _replay(delta=(mode == "delta"))
         return results
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    begin = time.perf_counter()
+    results = benchmark.pedantic(maybe_profile("test_delta_updates_ablation", sweep),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["host_time_s"] = round(time.perf_counter() - begin, 3)
     (_, full), (tsr_scenario, delta) = results["full"], results["delta"]
 
     full_steady = full.steady_state_bytes_per_client_per_round()

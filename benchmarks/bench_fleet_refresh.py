@@ -19,6 +19,7 @@ fleet pull) at two scales:
 """
 
 import os
+import time
 
 from repro.bench.report import PaperTable, record_table
 from repro.util.stats import human_duration
@@ -34,7 +35,7 @@ def _scenario():
                           with_monitor=False)
 
 
-def test_fleet_refresh_scaling(benchmark):
+def test_fleet_refresh_scaling(benchmark, maybe_profile):
     def sweep():
         results = {}
         results["serial-16"] = fleet_refresh(
@@ -49,7 +50,10 @@ def test_fleet_refresh_scaling(benchmark):
             scheduled=True)
         return results
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    begin = time.perf_counter()
+    results = benchmark.pedantic(maybe_profile("test_fleet_refresh_scaling", sweep),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["host_time_s"] = round(time.perf_counter() - begin, 3)
 
     table = PaperTable(
         experiment="Fleet refresh",

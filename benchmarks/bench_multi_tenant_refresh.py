@@ -12,6 +12,7 @@ sweep).  CI runs it as a smoke emitting ``BENCH_multi_tenant.json``.
 """
 
 import os
+import time
 
 from repro.archive.apk import ApkPackage, PackageFile
 from repro.bench.report import PaperTable, record_table
@@ -49,7 +50,7 @@ def _scenario(tenants: int):
         tenants=tenants, overlap=OVERLAP, packages=_population())
 
 
-def test_multi_tenant_refresh_ablation(benchmark):
+def test_multi_tenant_refresh_ablation(benchmark, maybe_profile):
     def sweep():
         results = {}
         for tenants in TENANT_SWEEP:
@@ -59,7 +60,10 @@ def test_multi_tenant_refresh_ablation(benchmark):
             results[tenants] = (serial, orchestrated)
         return results
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    begin = time.perf_counter()
+    results = benchmark.pedantic(maybe_profile("test_multi_tenant_refresh_ablation", sweep),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["host_time_s"] = round(time.perf_counter() - begin, 3)
 
     table = PaperTable(
         experiment="Multi-tenant refresh",

@@ -14,11 +14,15 @@ with both engines:
 
 These timings are **host wall-clock** (solver runtime), not simulated
 seconds: the point is that a 10k-channel fleet's transfer timeline now
-resolves in well under ten real seconds.  The bench also differentially
+resolves in a couple of host seconds.  The bench also differentially
 checks both solvers agree to 1e-6 s at the largest directly-measured
-scale.
+scale, and adds a 100k-channel single-item fan-out row (the fleet
+index-pull shape) solved with the vectorized core
+(``REPRO_SOLVER=numpy``) — the sub-second headline row.
 
-``REPRO_SOLVER_CHANNELS`` overrides the largest fleet (default 10000).
+``REPRO_SOLVER_CHANNELS`` overrides the largest multi-item fleet
+(default 10000); ``REPRO_SOLVER_FANOUT`` the fan-out row (default
+100000).
 """
 
 from __future__ import annotations
@@ -30,9 +34,11 @@ import time
 
 from repro.bench.report import PaperTable, record_table
 from repro.simnet.schedule import ParallelTransferSchedule
+from repro.simnet.schedule import _np as _numpy
 from repro.util.stats import human_duration
 
 MAX_CHANNELS = int(os.environ.get("REPRO_SOLVER_CHANNELS", "10000"))
+FANOUT_CHANNELS = int(os.environ.get("REPRO_SOLVER_FANOUT", "100000"))
 SCALES = tuple(sorted({256, 1024, MAX_CHANNELS}))
 #: Largest scale the O(events x channels log channels) reference solves
 #: directly in reasonable bench time.
@@ -41,9 +47,14 @@ ITEMS_PER_CLIENT = 3
 UPLINK = 100 * 1024 * 1024  # 100 MB/s repository uplink
 PEER_BANDWIDTH = 3 * 1024 * 1024  # Table 3 anchor: ~3 MB/s per stream
 NIC_CHOICES = (1, 2, 4, 8)  # MB/s — heterogeneous client downlinks
+#: CI host-time regression ceilings (generous: the measured times are
+#: ~0.3 s and ~0.9 s on one unloaded core, but CI runners are shared).
+MAX_CHANNELS_CEILING_S = 2.0
+FANOUT_CEILING_S = 2.0
 
 
-def _fleet_schedule(channels: int, seed: int = 7) -> ParallelTransferSchedule:
+def _fleet_schedule(channels: int, seed: int = 7,
+                    items: int = ITEMS_PER_CLIENT) -> ParallelTransferSchedule:
     """A fleet-refresh-shaped workload: index + package pulls per client."""
     rng = random.Random(seed)
     schedule = ParallelTransferSchedule(downlink_bandwidth=UPLINK)
@@ -51,7 +62,7 @@ def _fleet_schedule(channels: int, seed: int = 7) -> ParallelTransferSchedule:
         channel = f"client-{c:05d}"
         schedule.limit_channel(channel,
                                rng.choice(NIC_CHOICES) * 1024 * 1024)
-        for i in range(ITEMS_PER_CLIENT):
+        for i in range(items):
             schedule.enqueue(channel, (channel, i),
                              setup=0.03 + rng.random() * 0.02,
                              size_bytes=rng.randint(20_000, 600_000),
@@ -65,7 +76,7 @@ def _timed(solve) -> tuple[float, dict]:
     return time.perf_counter() - begin, timings
 
 
-def test_solver_scaling(benchmark):
+def test_solver_scaling(benchmark, maybe_profile):
     def sweep():
         results = {}
         reference_walls = {}
@@ -95,10 +106,40 @@ def test_solver_scaling(benchmark):
             if "reference_wall" not in row:
                 row["reference_extrapolated"] = t1 * (channels / n1) ** alpha
         results["alpha"] = alpha
+        # Headline fan-out row: one index pull per client (the fleet
+        # refresh wave shape) at 100k channels, solved with the
+        # vectorized setup-wave/tail-drain core when numpy is present.
+        schedule = _fleet_schedule(FANOUT_CHANNELS, items=1)
+        prior = os.environ.get("REPRO_SOLVER")
+        if _numpy is not None:
+            os.environ["REPRO_SOLVER"] = "numpy"
+        try:
+            wall, timings = _timed(schedule.solve)
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_SOLVER", None)
+            else:
+                os.environ["REPRO_SOLVER"] = prior
+        results["fanout"] = {
+            "incremental_wall": wall,
+            "items": len(timings),
+            "makespan": max(t.finish for t in timings.values()),
+            "reference_extrapolated":
+                t1 * (FANOUT_CHANNELS / (n1 * ITEMS_PER_CLIENT)) ** alpha,
+            "vectorized": _numpy is not None,
+        }
         return results
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    begin = time.perf_counter()
+    results = benchmark.pedantic(maybe_profile("schedule solver scaling sweep", sweep),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["host_time_s"] = round(time.perf_counter() - begin, 3)
     alpha = results.pop("alpha")
+    fanout = results.pop("fanout")
+    benchmark.extra_info["fanout_solve_s"] = round(
+        fanout["incremental_wall"], 3)
+    benchmark.extra_info["max_scale_solve_s"] = round(
+        results[MAX_CHANNELS]["incremental_wall"], 3)
 
     table = PaperTable(
         experiment="Solver scaling",
@@ -107,7 +148,10 @@ def test_solver_scaling(benchmark):
         columns=["channels", "items", "incremental", "reference", "speedup",
                  "simulated makespan"],
     )
-    for channels, row in sorted(results.items()):
+    fanout_rows = [(f"{FANOUT_CHANNELS} (fan-out x1"
+                    + (", numpy)" if fanout["vectorized"] else ")"),
+                    fanout)]
+    for channels, row in sorted(results.items()) + fanout_rows:
         if "reference_wall" in row:
             reference = row["reference_wall"]
             ref_label = human_duration(reference)
@@ -123,19 +167,28 @@ def test_solver_scaling(benchmark):
             human_duration(row["makespan"]),
         )
     table.note(f"reference cost fitted as n^{alpha:.2f} from the measured "
-               f"scales <= {REFERENCE_CEILING}; timings are solver runtime "
-               "on the host, not simulated seconds")
+               f"scales <= {REFERENCE_CEILING} (fan-out row extrapolated "
+               "by total item count); timings are solver runtime on the "
+               "host, not simulated seconds")
     table.note("differential check: both solvers agree within 1e-6 s at "
                "every directly-measured scale")
     record_table(table)
 
     largest = results[MAX_CHANNELS]
-    # Acceptance: a 10k-channel fleet solves in single-digit seconds and
-    # at least 10x faster than the reference trajectory.
-    assert largest["incremental_wall"] <= 10.0
     reference = largest.get("reference_wall",
                             largest.get("reference_extrapolated"))
     assert reference / largest["incremental_wall"] >= 10.0
+    assert fanout["items"] == FANOUT_CHANNELS
+    # Acceptance (host-time regression smoke): the 10k-channel fleet and
+    # the 100k-channel fan-out each solve within the CI ceiling — and the
+    # vectorized fan-out sub-second.  Skipped under ``--profile``, whose
+    # instrumentation inflates every wall.
+    if not maybe_profile.enabled:
+        assert largest["incremental_wall"] <= MAX_CHANNELS_CEILING_S
+        assert fanout["incremental_wall"] <= FANOUT_CEILING_S
+        if fanout["vectorized"]:
+            # Headline: a 100k-client index-pull wave resolves sub-second.
+            assert fanout["incremental_wall"] < 1.0
     for row in results.values():
         if "worst_delta" in row:
             assert row["worst_delta"] < 1e-6

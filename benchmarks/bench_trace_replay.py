@@ -21,6 +21,7 @@ emitting ``BENCH_trace_replay.json``.
 """
 
 import os
+import time
 
 from repro.archive.apk import ApkPackage, PackageFile
 from repro.bench.report import PaperTable, record_table
@@ -115,18 +116,26 @@ def _assert_consistent(report):
                    for latency in timeline.availability.values())
 
 
-def test_trace_replay_ablation(benchmark):
+def test_trace_replay_ablation(benchmark, maybe_profile):
     trace = _trace()
+    host_walls = {}
 
     def sweep():
         results = {}
         for mode in ("serial", "interleaved"):
             scenario = _scenario()
+            begin = time.perf_counter()
             results[mode] = replay_trace(scenario, trace, clients=CLIENTS,
                                          mode=mode)
+            host_walls[mode] = time.perf_counter() - begin
         return results
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    begin = time.perf_counter()
+    results = benchmark.pedantic(maybe_profile("trace replay ablation (serial + interleaved)", sweep),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["host_time_s"] = round(time.perf_counter() - begin, 3)
+    for mode, wall in host_walls.items():
+        benchmark.extra_info[f"host_time_{mode}_s"] = round(wall, 3)
     serial, interleaved = results["serial"], results["interleaved"]
     speedup = serial.wall_elapsed / interleaved.wall_elapsed
 
@@ -171,7 +180,7 @@ def test_trace_replay_ablation(benchmark):
     assert interleaved.availability_mean <= serial.availability_mean
 
 
-def test_eviction_policy_ablation(benchmark):
+def test_eviction_policy_ablation(benchmark, maybe_profile):
     trace = generate_trace(rounds=EVICTION_ROUNDS, interval=3.0,
                            pull_lag=2.5, publish_fraction=0.25, seed=5,
                            installs_per_client=2)
@@ -190,7 +199,10 @@ def test_eviction_policy_ablation(benchmark):
             results[policy] = (scenario, report)
         return results
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    begin = time.perf_counter()
+    results = benchmark.pedantic(maybe_profile("eviction policy ablation (lru + lru2)", sweep),
+                                 rounds=1, iterations=1)
+    benchmark.extra_info["host_time_s"] = round(time.perf_counter() - begin, 3)
 
     table = PaperTable(
         experiment="Trace replay eviction",

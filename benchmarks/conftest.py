@@ -14,8 +14,11 @@ terminal summary and written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import os
 import pathlib
+import pstats
 
 import pytest
 
@@ -26,6 +29,51 @@ from repro.workload.scenario import build_scenario
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 CENSUS_SCALE = float(os.environ.get("REPRO_CENSUS_SCALE", "0.25"))
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: (label, rendered stats) collected by ``maybe_profile``, emitted in the
+#: terminal summary after the paper tables.
+_PROFILES: list[tuple[str, str]] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="profile benchmark bodies with cProfile and print the top-20 "
+             "functions by cumulative time in the terminal summary",
+    )
+
+
+@pytest.fixture
+def maybe_profile(request):
+    """Wrapper factory: ``maybe_profile(label, fn)`` returns ``fn``
+    unchanged normally, or — when the suite runs with ``--profile`` — a
+    wrapper that runs ``fn`` under cProfile and records the top-20
+    cumulative table for the terminal summary.  The profiler is enabled
+    only *inside* the call so it composes with pytest-benchmark's
+    instrumentation pausing (timings are inflated by profiler overhead;
+    host-time ceiling asserts are relaxed via ``maybe_profile.enabled``)."""
+    enabled = request.config.getoption("--profile")
+
+    def _wrap(label: str, fn):
+        if not enabled:
+            return fn
+
+        def profiled(*args, **kwargs):
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.disable()
+                out = io.StringIO()
+                pstats.Stats(profiler, stream=out) \
+                    .sort_stats("cumulative").print_stats(20)
+                _PROFILES.append((label, out.getvalue()))
+
+        return profiled
+
+    _wrap.enabled = enabled
+    return _wrap
 
 
 @pytest.fixture(scope="session")
@@ -52,6 +100,17 @@ def content_scenario(content_workload):
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _PROFILES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=" * 74)
+        terminalreporter.write_line("CPROFILE HOTSPOTS (--profile, top 20 by "
+                                    "cumulative time)")
+        terminalreporter.write_line("=" * 74)
+        for label, rendered in _PROFILES:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(f"-- {label} --")
+            for line in rendered.splitlines():
+                terminalreporter.write_line(line.rstrip())
     tables = recorded_tables()
     if not tables:
         return

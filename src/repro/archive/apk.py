@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.archive.gz import gzip_compress, gzip_decompress, split_gzip_streams
+from repro.archive.gz import (
+    gzip_compress_cached,
+    gzip_compress_cached_with_cost,
+    gzip_decompress,
+    split_gzip_streams,
+)
 from repro.archive.tar import TarEntry, read_tar, write_tar
 from repro.crypto.hashes import sha256_bytes, sha256_hex
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
@@ -100,7 +105,7 @@ class ApkPackage:
                 entries.append(entry)
         return write_tar(entries)
 
-    def _data_tar_gz(self) -> bytes:
+    def _data_tar(self) -> bytes:
         entries = []
         for pkg_file in sorted(self.files, key=lambda f: f.path):
             entry = TarEntry(
@@ -111,17 +116,53 @@ class ApkPackage:
             if pkg_file.ima_signature is not None:
                 entry.set_xattr("security.ima", pkg_file.ima_signature)
             entries.append(entry)
-        return gzip_compress(write_tar(entries))
+        return write_tar(entries)
 
-    def build(self, signing_key: RsaPrivateKey, key_name: str = "builder") -> bytes:
-        """Serialize and sign, producing the on-the-wire apk bytes."""
-        data_gz = self._data_tar_gz()
-        control_gz = gzip_compress(self._control_tar(data_gz))
+    def _data_tar_gz(self) -> bytes:
+        return gzip_compress_cached(self._data_tar())
+
+    def build_segments(self, signing_key: RsaPrivateKey,
+                       key_name: str = "builder") -> tuple[bytes, bytes, bytes]:
+        """The three compressed segments (signature, control, data).
+
+        Incremental repack: each segment compresses through the
+        deterministic-gzip memo, so a rebuild only re-deflates the
+        segments whose members actually changed — an unchanged data tar
+        splices its previously compressed bytes even when the control
+        segment (and therefore the signature) was rewritten.  The
+        resulting bytes are pinned identical to a cold full repack by the
+        differential suite.
+        """
+        segments, _ = self._build_segments_with_cost(signing_key, key_name)
+        return segments
+
+    def _build_segments_with_cost(
+            self, signing_key: RsaPrivateKey,
+            key_name: str) -> tuple[tuple[bytes, bytes, bytes], float]:
+        data_gz, data_cost = gzip_compress_cached_with_cost(self._data_tar())
+        control_gz, control_cost = gzip_compress_cached_with_cost(
+            self._control_tar(data_gz))
         signature = signing_key.sign(control_gz)
         signature_tar = write_tar(
             [TarEntry(name=f".SIGN.RSA.{key_name}.rsa.pub", data=signature)]
         )
-        return gzip_compress(signature_tar) + control_gz + data_gz
+        signature_gz, signature_cost = gzip_compress_cached_with_cost(
+            signature_tar)
+        cost = data_cost + control_cost + signature_cost
+        return (signature_gz, control_gz, data_gz), cost
+
+    def build(self, signing_key: RsaPrivateKey, key_name: str = "builder") -> bytes:
+        """Serialize and sign, producing the on-the-wire apk bytes."""
+        signature_gz, control_gz, data_gz = self.build_segments(
+            signing_key, key_name=key_name)
+        return signature_gz + control_gz + data_gz
+
+    def build_with_cost(self, signing_key: RsaPrivateKey,
+                        key_name: str = "builder") -> tuple[bytes, float]:
+        """Like :meth:`build`, also reporting the host seconds the deflate
+        work originally cost (memo hits report the recorded fresh cost)."""
+        segments, cost = self._build_segments_with_cost(signing_key, key_name)
+        return b"".join(segments), cost
 
     # -- parsing / verification --------------------------------------------
 
@@ -199,9 +240,21 @@ class ParsedApk:
 
         Returns the key that verified the signature, or raises.
         """
+        return self.verify_with_cost(trusted_keys)[0]
+
+    def verify_with_cost(
+            self, trusted_keys: list[RsaPublicKey]
+    ) -> tuple[RsaPublicKey, float]:
+        """Like :meth:`verify`, also reporting the host seconds the chain
+        check originally cost (signature verdicts are memoized; the
+        recorded cost lets enclave-time models charge hits as fresh)."""
         signer = None
+        cost = 0.0
         for key in trusted_keys:
-            if key.verify(self.control_gz, self.signature):
+            ok, verify_cost = key.verify_with_cost(self.control_gz,
+                                                   self.signature)
+            cost += verify_cost
+            if ok:
                 signer = key
                 break
         if signer is None:
@@ -215,7 +268,7 @@ class ParsedApk:
                 f"package {self.package.full_name}: datahash mismatch "
                 f"(control says {self.datahash[:12]}…, data is {actual[:12]}…)"
             )
-        return signer
+        return signer, cost
 
 
 def _parse_pkginfo(text: str) -> dict:

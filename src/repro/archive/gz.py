@@ -8,7 +8,9 @@ compression is deterministic: fixed mtime, no filename, fixed OS byte.
 from __future__ import annotations
 
 import gzip
+import hashlib
 import io
+import time
 import zlib
 
 from repro.util.errors import PackagingError
@@ -22,6 +24,41 @@ def gzip_compress(data: bytes, level: int = 6) -> bytes:
     with gzip.GzipFile(fileobj=buffer, mode="wb", compresslevel=level, mtime=0) as gz:
         gz.write(data)
     return buffer.getvalue()
+
+
+# Compression is deterministic (pinned mtime/OS byte), so a segment whose
+# uncompressed bytes are unchanged recompresses to exactly the bytes
+# produced last time.  The memo keys on the input's SHA-256 instead of the
+# input itself so unchanged-segment splicing (archive.apk incremental
+# repack) does not pin large uncompressed tars in memory.
+_COMPRESS_MEMO: dict[tuple[bytes, int, int], tuple[bytes, float]] = {}
+_COMPRESS_MEMO_LIMIT = 512
+
+
+def gzip_compress_cached(data: bytes, level: int = 6) -> bytes:
+    """Memoized :func:`gzip_compress`; byte-identical output."""
+    return gzip_compress_cached_with_cost(data, level)[0]
+
+
+def gzip_compress_cached_with_cost(data: bytes,
+                                   level: int = 6) -> tuple[bytes, float]:
+    """Memoized compress plus the host seconds the deflate originally
+    cost, so enclave-time models can charge memo hits as fresh work."""
+    key = (hashlib.sha256(data).digest(), len(data), level)
+    hit = _COMPRESS_MEMO.get(key)
+    if hit is None:
+        if len(_COMPRESS_MEMO) >= _COMPRESS_MEMO_LIMIT:
+            _COMPRESS_MEMO.clear()
+        started = time.perf_counter()
+        compressed = gzip_compress(data, level)
+        hit = (compressed, time.perf_counter() - started)
+        _COMPRESS_MEMO[key] = hit
+    return hit
+
+
+def clear_compress_memo() -> None:
+    """Drop the segment memo (differential tests pin cached == fresh)."""
+    _COMPRESS_MEMO.clear()
 
 
 def gzip_decompress(data: bytes) -> bytes:

@@ -10,6 +10,7 @@ the quorum protocol and the rollback defence compare.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.crypto.hashes import sha256_hex
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
@@ -33,20 +34,30 @@ class IndexEntry:
         return f"{self.name}-{self.version}"
 
 
+@lru_cache(maxsize=1 << 16)
 def format_entry_line(entry: IndexEntry) -> str:
     """The canonical ``P:|V:|S:|H:|D:`` body line for one entry.
 
     Shared by the signed index body and the index-delta envelope
     (:mod:`repro.core.delta`), so a delta's ``U:`` records splice into a
-    reconstructed body byte-identically.
+    reconstructed body byte-identically.  Entries are frozen, so the
+    line caches per entry: unchanged packages re-serialize for free
+    across publications, quorum responses, and delta envelopes.
     """
     deps = ",".join(entry.depends)
     return (f"P:{entry.name}|V:{entry.version}|S:{entry.size}"
             f"|H:{entry.sha256}|D:{deps}")
 
 
+@lru_cache(maxsize=1 << 16)
 def parse_entry_line(line: str) -> IndexEntry:
-    """Parse one canonical body line (inverse of :func:`format_entry_line`)."""
+    """Parse one canonical body line (inverse of :func:`format_entry_line`).
+
+    Cached per line: an unchanged package contributes the same line to
+    every publication and every mirror's response, so steady-state
+    re-parses are dictionary hits (malformed lines are not cached —
+    ``lru_cache`` does not memoize exceptions).
+    """
     try:
         fields = dict(part.split(":", 1) for part in line.split("|"))
         return IndexEntry(
@@ -73,9 +84,19 @@ class RepositoryIndex:
     entries: dict[str, IndexEntry] = field(default_factory=dict)
     signature: bytes | None = None
     signer_fingerprint: str | None = None
+    #: Lazily built canonical body; invalidated whenever ``serial`` or
+    #: ``entries`` are rebound (``__setattr__``) or grown (``add``).
+    _body: bytes | None = field(default=None, init=False, repr=False,
+                                compare=False)
+
+    def __setattr__(self, name, value):
+        if name == "serial" or name == "entries":
+            object.__setattr__(self, "_body", None)
+        object.__setattr__(self, name, value)
 
     def add(self, entry: IndexEntry):
         self.entries[entry.key()] = entry
+        self._body = None
         self.signature = None  # adding entries invalidates any signature
 
     def get(self, name: str) -> IndexEntry | None:
@@ -91,10 +112,14 @@ class RepositoryIndex:
 
     def body_bytes(self) -> bytes:
         """Canonical serialized body that the signature covers."""
-        lines = [f"serial:{self.serial}"]
-        for name in sorted(self.entries):
-            lines.append(format_entry_line(self.entries[name]))
-        return ("\n".join(lines) + "\n").encode()
+        body = self._body
+        if body is None:
+            lines = [f"serial:{self.serial}"]
+            for name in sorted(self.entries):
+                lines.append(format_entry_line(self.entries[name]))
+            body = ("\n".join(lines) + "\n").encode()
+            object.__setattr__(self, "_body", body)
+        return body
 
     def body_hash(self) -> str:
         return sha256_hex(self.body_bytes())
@@ -141,6 +166,7 @@ class RepositoryIndex:
         clone = RepositoryIndex(serial=self.serial, entries=dict(self.entries))
         clone.signature = self.signature
         clone.signer_fingerprint = self.signer_fingerprint
+        object.__setattr__(clone, "_body", self._body)
         return clone
 
     def diff_updated(self, older: "RepositoryIndex") -> list[IndexEntry]:
@@ -151,3 +177,26 @@ class RepositoryIndex:
             if previous is None or previous.sha256 != entry.sha256:
                 changed.append(entry)
         return sorted(changed, key=lambda e: e.name)
+
+
+_PARSE_MEMO: dict[bytes, RepositoryIndex] = {}
+_PARSE_MEMO_LIMIT = 512
+
+
+def parse_index_cached(blob: bytes) -> RepositoryIndex:
+    """Parse ``blob`` through a process-wide memo keyed by exact bytes.
+
+    Quorum evaluation re-reads the same serialized index from every
+    mirror in every widening wave, and the publication log replays the
+    same blobs across rounds; this collapses those to one parse each.
+    Returns a private :meth:`RepositoryIndex.copy` so callers may mutate
+    the result without poisoning the memo.  Parse failures propagate and
+    are not cached.
+    """
+    hit = _PARSE_MEMO.get(blob)
+    if hit is None:
+        if len(_PARSE_MEMO) >= _PARSE_MEMO_LIMIT:
+            _PARSE_MEMO.clear()
+        hit = RepositoryIndex.from_bytes(blob)
+        _PARSE_MEMO[blob] = hit
+    return hit.copy()

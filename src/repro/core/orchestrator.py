@@ -50,7 +50,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from repro.archive.index import RepositoryIndex
+from repro.archive.index import RepositoryIndex, parse_index_cached
 from repro.core.pipeline import MirrorDownloadScheduler
 from repro.core.quorum import entry_agreement
 from repro.core.sanitizer import SanitizationRejected, SanitizationResult
@@ -158,6 +158,13 @@ class RefreshPlanState:
     #: Concatenated enclave timeline of all rounds.
     timeline: list[tuple[str, str, float, float]] = field(default_factory=list)
     rounds: int = 0
+    #: Keep the enclave's shared-refresh memos alive across rounds: each
+    #: round bumps the window's generation instead of discarding it, so
+    #: steady-state rounds replay unchanged blobs' analyses (charged at
+    #: their originally recorded costs — simulated time and per-round
+    #: dedupe accounting are unchanged) instead of re-parsing them.  The
+    #: driver that sets this owns closing the window when the plan ends.
+    persistent_enclave_memo: bool = False
 
 
 @dataclass(eq=False)
@@ -295,14 +302,15 @@ class RefreshOrchestrator:
             if state is not None:
                 state.scheduler = scheduler
         enclave = self._service._enclave
-        enclave.ecall("begin_shared_refresh")
+        keep_memo = state is not None and state.persistent_enclave_memo
+        enclave.ecall("begin_shared_refresh", keep_memo)
         try:
             self._quorum_phase(scheduler)
             self._download_phase(scheduler)
             self._scan_phase()
             enclave_free = self._sanitize_phase()
         finally:
-            memo_stats = enclave.ecall("end_shared_refresh")
+            memo_stats = enclave.ecall("end_shared_refresh", keep_memo)
         for plan in self._plans:
             if plan.catalog_info is None:
                 plan.catalog_info = enclave.ecall("finish_catalog",
@@ -380,7 +388,7 @@ class RefreshOrchestrator:
         if not isinstance(payload, (bytes, bytearray)):
             return
         try:
-            index = RepositoryIndex.from_bytes(bytes(payload))
+            index = parse_index_cached(bytes(payload))
         except Exception:
             return
         if any(index.verify(key) for key in plan.config.policy.signers_keys):

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.archive.index import RepositoryIndex
+from repro.archive.index import RepositoryIndex, parse_index_cached
 from repro.core.policy import MirrorPolicyEntry
 from repro.crypto.rsa import RsaPublicKey
 from repro.simnet.network import Network, Request
@@ -163,11 +163,17 @@ class QuorumReader:
         )
 
     def _validate(self, payload: object) -> RepositoryIndex | None:
-        """Parse + verify one mirror's answer; None if unusable."""
+        """Parse + verify one mirror's answer; None if unusable.
+
+        Both halves are batched across envelopes: parsing goes through
+        the process-wide blob memo and signature verdicts through the
+        RSA verify memo, so the f+1 mirrors echoing the same signed
+        index cost one parse and one modular exponentiation total.
+        """
         if not isinstance(payload, (bytes, bytearray)):
             return None
         try:
-            index = RepositoryIndex.from_bytes(bytes(payload))
+            index = parse_index_cached(bytes(payload))
         except Exception:
             return None
         if not any(index.verify(key) for key in self._index_keys):

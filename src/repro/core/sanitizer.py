@@ -48,7 +48,7 @@ from dataclasses import dataclass, field
 from repro.archive.apk import ApkPackage, ParsedApk
 from repro.core.catalog import RepositoryCatalog
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
-from repro.ima.subsystem import ima_signature_for
+from repro.ima.subsystem import ima_signature_for, ima_signature_with_cost
 from repro.scripts.classify import OperationType, ScriptProfile, classify_script
 from repro.scripts.parser import parse_script
 from repro.scripts.shell_ast import (
@@ -218,8 +218,11 @@ class Sanitizer:
         timings.archive += time.perf_counter() - start
 
         start = time.perf_counter()
-        parsed.verify(self._trusted_signers)
-        timings.verify += time.perf_counter() - start
+        _, verify_cost = parsed.verify_with_cost(self._trusted_signers)
+        # A memoized verdict returns in microseconds but represents the
+        # same enclave work as the first computation: charge whichever is
+        # larger, so memo hits and fresh verifies account identically.
+        timings.verify += max(time.perf_counter() - start, verify_cost)
 
         package = parsed.package
 
@@ -295,18 +298,23 @@ class Sanitizer:
 
         start = time.perf_counter()
         signed_files = []
+        sign_cost = 0.0
         for pkg_file in package.files:
+            signature, cost = ima_signature_with_cost(pkg_file.content,
+                                                      self._signing_key)
+            sign_cost += cost
             signed_files.append(type(pkg_file)(
                 path=pkg_file.path,
                 content=pkg_file.content,
                 mode=pkg_file.mode,
-                ima_signature=ima_signature_for(pkg_file.content,
-                                                self._signing_key),
+                ima_signature=signature,
             ))
         config_signatures = {}
         if OperationType.USER_GROUP_CREATION in profile.operations:
             config_signatures = dict(self._config_signatures)
-        timings.sign += time.perf_counter() - start
+        # Memoized signatures return instantly but stand for real enclave
+        # signing work: charge the recorded fresh cost when it dominates.
+        timings.sign += max(time.perf_counter() - start, sign_cost)
 
         sanitized = ApkPackage(
             name=package.name,
@@ -320,8 +328,10 @@ class Sanitizer:
         )
 
         start = time.perf_counter()
-        sanitized_blob = sanitized.build(self._signing_key, key_name="tsr")
-        timings.archive += time.perf_counter() - start
+        sanitized_blob, repack_cost = sanitized.build_with_cost(
+            self._signing_key, key_name="tsr")
+        # Spliced (memoized) segments charge their recorded deflate cost.
+        timings.archive += max(time.perf_counter() - start, repack_cost)
 
         uncompressed = sum(len(f.content) for f in package.files)
         findings = [

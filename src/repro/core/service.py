@@ -565,11 +565,11 @@ class TrustedSoftwareRepository:
         eviction).  ``available_at`` is clamped monotonic: a round that
         finished out of order can never publish *before* its predecessor.
         """
-        from repro.archive.index import RepositoryIndex
+        from repro.archive.index import parse_index_cached
 
         log = self._publications.setdefault(repo_id, [])
         index_bytes = self._enclave.ecall("sanitized_index_bytes", repo_id)
-        index = RepositoryIndex.from_bytes(index_bytes)
+        index = parse_index_cached(index_bytes)
         previous = log[-1] if log else None
         blobs: dict[str, bytes] = {}
         for name, entry in index.entries.items():
@@ -713,11 +713,11 @@ class TrustedSoftwareRepository:
 
     def _publication_index(self, repo_id: str, position: int):
         """Parsed index of one publication (cached; the log is append-only)."""
-        from repro.archive.index import RepositoryIndex
+        from repro.archive.index import parse_index_cached
 
         cached = self._publication_indexes.get((repo_id, position))
         if cached is None:
-            cached = RepositoryIndex.from_bytes(
+            cached = parse_index_cached(
                 self._publications[repo_id][position].index_bytes)
             self._publication_indexes[(repo_id, position)] = cached
         return cached

@@ -23,12 +23,36 @@ def sha256_hex(data: bytes) -> str:
     return sha256_bytes(data).hex()
 
 
+# Keystream generation (sgx.sealing) calls HMAC once per 32-byte block
+# with the same key, so the padded-key hash states are precomputed once
+# per key and ``.copy()``-ed per message.  Output is bit-identical to the
+# textbook construction below.
+_HMAC_PAD_CACHE: dict[bytes, tuple["hashlib._Hash", "hashlib._Hash"]] = {}
+
+
+def _hmac_pads(key: bytes) -> tuple["hashlib._Hash", "hashlib._Hash"]:
+    cached = _HMAC_PAD_CACHE.get(key)
+    if cached is None:
+        block_size = 64
+        padded = sha256_bytes(key) if len(key) > block_size else key
+        padded = padded.ljust(block_size, b"\x00")
+        inner = hashlib.sha256(bytes(b ^ 0x36 for b in padded))
+        outer = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
+        if len(_HMAC_PAD_CACHE) >= 256:
+            _HMAC_PAD_CACHE.clear()
+        _HMAC_PAD_CACHE[key] = cached = (inner, outer)
+    return cached
+
+
 def hmac_sha256(key: bytes, data: bytes) -> bytes:
-    """HMAC-SHA-256, used by SGX sealing to authenticate sealed blobs."""
-    block_size = 64
-    if len(key) > block_size:
-        key = sha256_bytes(key)
-    key = key.ljust(block_size, b"\x00")
-    outer = bytes(b ^ 0x5C for b in key)
-    inner = bytes(b ^ 0x36 for b in key)
-    return sha256_bytes(outer + sha256_bytes(inner + data))
+    """HMAC-SHA-256, used by SGX sealing to authenticate sealed blobs.
+
+    Equivalent to ``sha256(opad || sha256(ipad || data))`` with the
+    RFC 2104 padded key; the padded-key prefixes are cached per key.
+    """
+    inner_proto, outer_proto = _hmac_pads(bytes(key))
+    inner = inner_proto.copy()
+    inner.update(data)
+    outer = outer_proto.copy()
+    outer.update(inner.digest())
+    return outer.digest()

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from time import perf_counter
 
-from repro.crypto.hashes import sha256_bytes
+from repro.crypto.hashes import SHA256_DIGEST_SIZE, sha256_bytes
 from repro.crypto.pem import pem_decode, pem_encode
 from repro.crypto.primes import generate_prime
 from repro.util.errors import SignatureError
@@ -23,6 +24,19 @@ PUBLIC_EXPONENT = 65537
 
 # DER prefix for a SHA-256 DigestInfo, per RFC 8017 section 9.2.
 _SHA256_DIGEST_INFO_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+# PKCS#1 v1.5 signatures are deterministic, so both halves memoize cleanly:
+# a (key, digest, signature) triple always verifies the same way, and a
+# (key, digest) pair always signs to the same bytes.  Entries carry the
+# measured host cost of the original computation so callers that model
+# enclave time (core.sanitizer) can charge a memo hit as if it were fresh.
+_VERIFY_MEMO: dict[tuple, tuple[bool, float]] = {}
+_SIGN_MEMO: dict[tuple, tuple[bytes, float]] = {}
+_MEMO_LIMIT = 1 << 15
+
+# EMSA-PKCS1-v1_5 encoding is digest || fixed padding: everything except
+# the trailing SHA-256 digest depends only on the modulus size.
+_EMSA_PREFIX_CACHE: dict[int, bytes] = {}
 
 
 def _i2osp(value: int, length: int) -> bytes:
@@ -35,13 +49,27 @@ def _os2ip(data: bytes) -> int:
     return int.from_bytes(data, "big")
 
 
+def _emsa_prefix(em_len: int) -> bytes:
+    prefix = _EMSA_PREFIX_CACHE.get(em_len)
+    if prefix is None:
+        t_len = len(_SHA256_DIGEST_INFO_PREFIX) + SHA256_DIGEST_SIZE
+        if em_len < t_len + 11:
+            raise SignatureError("intended encoded message length too short")
+        prefix = (b"\x00\x01" + b"\xff" * (em_len - t_len - 3) + b"\x00"
+                  + _SHA256_DIGEST_INFO_PREFIX)
+        _EMSA_PREFIX_CACHE[em_len] = prefix
+    return prefix
+
+
 def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
     """EMSA-PKCS1-v1_5 encoding of a SHA-256 digest (RFC 8017 section 9.2)."""
-    t = _SHA256_DIGEST_INFO_PREFIX + sha256_bytes(message)
-    if em_len < len(t) + 11:
-        raise SignatureError("intended encoded message length too short")
-    padding = b"\xff" * (em_len - len(t) - 3)
-    return b"\x00\x01" + padding + b"\x00" + t
+    return _emsa_prefix(em_len) + sha256_bytes(message)
+
+
+def _memo_put(memo: dict, key: tuple, value: tuple) -> None:
+    if len(memo) >= _MEMO_LIMIT:
+        memo.clear()
+    memo[key] = value
 
 
 @dataclass(frozen=True)
@@ -58,8 +86,25 @@ class RsaPublicKey:
 
     def verify(self, message: bytes, signature: bytes) -> bool:
         """Return True iff ``signature`` is valid for ``message``."""
+        return self.verify_with_cost(message, signature)[0]
+
+    def verify_with_cost(self, message: bytes,
+                         signature: bytes) -> tuple[bool, float]:
+        """Memoized verify plus the host seconds the verdict originally
+        cost, so enclave-time models can charge memo hits as fresh work."""
         if len(signature) != self.size_bytes:
-            return False
+            return False, 0.0
+        memo_key = (self.n, self.e, sha256_bytes(message), signature)
+        hit = _VERIFY_MEMO.get(memo_key)
+        if hit is not None:
+            return hit
+        started = perf_counter()
+        ok = self._verify_uncached(message, signature)
+        entry = (ok, perf_counter() - started)
+        _memo_put(_VERIFY_MEMO, memo_key, entry)
+        return entry
+
+    def _verify_uncached(self, message: bytes, signature: bytes) -> bool:
         s = _os2ip(signature)
         if s >= self.n:
             return False
@@ -72,8 +117,13 @@ class RsaPublicKey:
 
     def fingerprint(self) -> str:
         """Short stable identifier used in policies and IMA key rings."""
-        material = self.n.to_bytes(self.size_bytes, "big") + self.e.to_bytes(4, "big")
-        return sha256_bytes(material)[:8].hex()
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            material = (self.n.to_bytes(self.size_bytes, "big")
+                        + self.e.to_bytes(4, "big"))
+            cached = sha256_bytes(material)[:8].hex()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def to_pem(self) -> str:
         body = _encode_integers([self.n, self.e])
@@ -108,21 +158,43 @@ class RsaPrivateKey:
 
     def sign(self, message: bytes) -> bytes:
         """PKCS#1 v1.5 SHA-256 signature, ``size_bytes`` long."""
-        em = _emsa_pkcs1_v15(message, self.size_bytes)
+        return self.sign_with_cost(message)[0]
+
+    def sign_with_cost(self, message: bytes) -> tuple[bytes, float]:
+        """Memoized sign plus the host seconds the signature originally
+        cost (PKCS#1 v1.5 is deterministic, so re-signing the same digest
+        always reproduces the same bytes)."""
+        digest = sha256_bytes(message)
+        memo_key = (self.n, digest)
+        hit = _SIGN_MEMO.get(memo_key)
+        if hit is not None:
+            return hit
+        started = perf_counter()
+        em = _emsa_prefix(self.size_bytes) + digest
         m = _os2ip(em)
         # CRT: two half-size exponentiations instead of one full-size.
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        q_inv = pow(self.q, -1, self.p)
+        dp, dq, q_inv = self._crt_params()
         m1 = pow(m, dp, self.p)
         m2 = pow(m, dq, self.q)
         h = (q_inv * (m1 - m2)) % self.p
         s = m2 + h * self.q
         signature = _i2osp(s, self.size_bytes)
-        # Sanity check guards against fault attacks corrupting the CRT path.
-        if not self.public_key.verify(message, signature):
+        # Sanity check guards against fault attacks corrupting the CRT path
+        # (and seeds the verify memo with this key/message/signature).
+        ok, _ = self.public_key.verify_with_cost(message, signature)
+        if not ok:
             raise SignatureError("self-check of freshly produced signature failed")
-        return signature
+        entry = (signature, perf_counter() - started)
+        _memo_put(_SIGN_MEMO, memo_key, entry)
+        return entry
+
+    def _crt_params(self) -> tuple[int, int, int]:
+        cached = self.__dict__.get("_crt")
+        if cached is None:
+            cached = (self.d % (self.p - 1), self.d % (self.q - 1),
+                      pow(self.q, -1, self.p))
+            object.__setattr__(self, "_crt", cached)
+        return cached
 
     def to_pem(self) -> str:
         body = _encode_integers([self.n, self.e, self.d, self.p, self.q])
@@ -151,7 +223,24 @@ def generate_keypair(bits: int = 2048, seed: int | None = None) -> RsaPrivateKey
         raise ValueError(f"RSA modulus below 512 bits is not supported: {bits}")
     if bits % 2:
         raise ValueError("RSA modulus size must be even")
-    rng = random.Random(seed) if seed is not None else random.SystemRandom()
+    if seed is not None:
+        # Seeded generation is a pure function of (bits, seed): twin
+        # scenarios rebuilding the same deployment reuse the keypair
+        # instead of re-running Miller-Rabin from scratch.
+        cached = _KEYPAIR_MEMO.get((bits, seed))
+        if cached is None:
+            cached = _generate_keypair(bits, random.Random(seed))
+            if len(_KEYPAIR_MEMO) >= 1024:
+                _KEYPAIR_MEMO.clear()
+            _KEYPAIR_MEMO[(bits, seed)] = cached
+        return cached
+    return _generate_keypair(bits, random.SystemRandom())
+
+
+_KEYPAIR_MEMO: dict[tuple[int, int], RsaPrivateKey] = {}
+
+
+def _generate_keypair(bits: int, rng: random.Random) -> RsaPrivateKey:
     half = bits // 2
     while True:
         p = generate_prime(half, rng)

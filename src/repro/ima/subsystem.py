@@ -68,6 +68,15 @@ def ima_signature_for(content: bytes, key: RsaPrivateKey) -> bytes:
     return IMA_SIG_PREFIX + key.sign(sha256_bytes(content))
 
 
+def ima_signature_with_cost(content: bytes,
+                            key: RsaPrivateKey) -> tuple[bytes, float]:
+    """Like :func:`ima_signature_for`, also reporting the host seconds the
+    signature originally cost (memo hits report the recorded fresh cost,
+    so enclave-time models charge repeated signings consistently)."""
+    signature, cost = key.sign_with_cost(sha256_bytes(content))
+    return IMA_SIG_PREFIX + signature, cost
+
+
 def verify_ima_signature(content_hash: bytes, signature: bytes,
                          keyring: list[RsaPublicKey]) -> bool:
     """Check a security.ima value against the trusted keyring."""

@@ -19,7 +19,11 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.archive.apk import ApkPackage, ParsedApk
-from repro.archive.index import IndexEntry, RepositoryIndex
+from repro.archive.index import (
+    IndexEntry,
+    RepositoryIndex,
+    parse_index_cached,
+)
 from repro.core.delta import (
     apply_index_delta,
     apply_package_delta,
@@ -167,7 +171,11 @@ class PackageManager:
     # -- index handling -----------------------------------------------------------
 
     def _authenticate_index(self, blob: bytes) -> RepositoryIndex:
-        index = RepositoryIndex.from_bytes(blob)
+        # A whole fleet authenticating one pull wave parses and verifies
+        # the same signed bytes: the blob-level parse memo and the RSA
+        # verify memo make the repeats dictionary hits (each client still
+        # gets its own index copy).
+        index = parse_index_cached(blob)
         if not any(index.verify(key) for key in self.trusted_keys):
             raise SignatureError("repository index signature not trusted")
         self._index = index

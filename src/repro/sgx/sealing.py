@@ -18,11 +18,20 @@ _NONCE_SIZE = 16
 
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     blocks = []
+    produced = 0
     counter = 0
-    while sum(len(b) for b in blocks) < length:
-        blocks.append(hmac_sha256(key, nonce + counter.to_bytes(8, "big")))
+    while produced < length:
+        block = hmac_sha256(key, nonce + counter.to_bytes(8, "big"))
+        blocks.append(block)
+        produced += len(block)
         counter += 1
     return b"".join(blocks)[:length]
+
+
+def _xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    # One wide integer XOR instead of a per-byte Python loop.
+    return (int.from_bytes(data, "little")
+            ^ int.from_bytes(keystream, "little")).to_bytes(len(data), "little")
 
 
 def seal(sealing_key: bytes, plaintext: bytes, context: bytes = b"") -> bytes:
@@ -32,9 +41,7 @@ def seal(sealing_key: bytes, plaintext: bytes, context: bytes = b"") -> bytes:
     nonce = sha256_bytes(b"nonce:" + sealing_key + plaintext)[:_NONCE_SIZE]
     enc_key = hmac_sha256(sealing_key, b"enc")
     mac_key = hmac_sha256(sealing_key, b"mac")
-    ciphertext = bytes(
-        a ^ b for a, b in zip(plaintext, _keystream(enc_key, nonce, len(plaintext)))
-    )
+    ciphertext = _xor_bytes(plaintext, _keystream(enc_key, nonce, len(plaintext)))
     mac = hmac_sha256(mac_key, nonce + ciphertext + context)
     return nonce + ciphertext + mac
 
@@ -55,6 +62,4 @@ def unseal(sealing_key: bytes, blob: bytes, context: bytes = b"") -> bytes:
             "unsealing failed: wrong CPU/enclave or tampered blob"
         )
     enc_key = hmac_sha256(sealing_key, b"enc")
-    return bytes(
-        a ^ b for a, b in zip(ciphertext, _keystream(enc_key, nonce, len(ciphertext)))
-    )
+    return _xor_bytes(ciphertext, _keystream(enc_key, nonce, len(ciphertext)))

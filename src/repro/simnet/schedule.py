@@ -34,6 +34,18 @@ recomputation.  The PR 2 reference loop is kept verbatim as
 :meth:`ParallelTransferSchedule.solve_reference` for differential testing;
 both solvers model the same fluid system and agree to float tolerance.
 
+The solver core is flat: channels are numbered densely at solve time, all
+per-channel state lives in parallel lists, and heap entries pack
+``(channel id, epoch)`` into one integer, so event processing never
+hashes or compares channel objects.  The fleet endgame — every pending
+stream level-bound, no setups left, no queued successors — is completed
+as one *batched tail drain* in virtual-deadline order instead of one
+heap event per stream; with ``REPRO_SOLVER=numpy`` (and numpy available)
+the drain's deadline sort and finish-time recurrence are vectorized, at
+float-ulp (not modelling) divergence from the pure path, which remains
+the default.  Re-solving an unchanged schedule returns a cached result
+(every ``enqueue``/``limit_channel`` invalidates it).
+
 ``solve`` does not advance any clock and does not consume the queues, so
 callers may enqueue more work and re-solve (the refresh pipeline reinserts
 retries into the live schedule this way).
@@ -43,7 +55,18 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
 from dataclasses import dataclass
+
+try:  # optional vector core for the tail drain (``REPRO_SOLVER=numpy``)
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain ships numpy
+    _np = None
+
+#: Heap entries pack ``cid << _EPOCH_BITS | epoch``: ordering equals the
+#: old ``(channel order, epoch)`` tuple tie-break, in one int compare.
+_EPOCH_BITS = 40
+_EPOCH_MASK = (1 << _EPOCH_BITS) - 1
 
 
 @dataclass
@@ -121,7 +144,15 @@ class ParallelTransferSchedule:
             raise ValueError("downlink bandwidth must be positive")
         self._downlink = downlink_bandwidth
         self._queues: dict[object, list[_StreamItem]] = {}
+        #: Column mirror of ``_queues`` — (keys, setups, sizes, bandwidths)
+        #: per channel — so :meth:`_solve` flattens by reference instead of
+        #: walking 100k item objects attribute by attribute.
+        self._cols: dict[object, tuple[list, list, list, list]] = {}
         self._channel_caps: dict[object, float] = {}
+        #: Bumped on any mutation; lets an unchanged re-solve return the
+        #: cached timings (the refresh engine re-solves between waves).
+        self._version = 0
+        self._solved: tuple[tuple[int, float], dict] | None = None
         for channel, cap in (channel_capacities or {}).items():
             self.limit_channel(channel, cap)
 
@@ -134,6 +165,7 @@ class ParallelTransferSchedule:
         if bandwidth <= 0:
             raise ValueError("channel capacity must be positive")
         self._channel_caps[channel] = bandwidth
+        self._version += 1
 
     def enqueue(self, channel: object, key: object, setup: float,
                 size_bytes: int, bandwidth: float):
@@ -145,6 +177,14 @@ class ParallelTransferSchedule:
             _StreamItem(key=key, setup=setup, size_bytes=size_bytes,
                         bandwidth=bandwidth)
         )
+        cols = self._cols.get(channel)
+        if cols is None:
+            cols = self._cols[channel] = ([], [], [], [])
+        cols[0].append(key)
+        cols[1].append(setup)
+        cols[2].append(size_bytes)
+        cols[3].append(float(bandwidth))
+        self._version += 1
 
     def _effective_cap(self, channel: object, bandwidth: float) -> float:
         limit = self._channel_caps.get(channel)
@@ -153,80 +193,114 @@ class ParallelTransferSchedule:
     # -- incremental solver --------------------------------------------------
 
     def solve(self, start_time: float = 0.0) -> dict[object, TransferTiming]:
+        stamp = (self._version, start_time)
+        if self._solved is not None and self._solved[0] == stamp:
+            return dict(self._solved[1])
+        timings = self._solve(start_time)
+        self._solved = (stamp, timings)
+        return dict(timings)
+
+    def _solve(self, start_time: float) -> dict[object, TransferTiming]:
         timings: dict[object, TransferTiming] = {}
-        queues = self._queues
         capacity = self._downlink
+        use_numpy = _np is not None \
+            and os.environ.get("REPRO_SOLVER") == "numpy"
 
-        # Stable per-channel serial numbers keep heap entries comparable
-        # even when the channel objects themselves are not, and break
-        # exact-time ties by enqueue order.
-        order = {channel: n for n, channel in enumerate(queues)}
+        # Flatten channels to dense ids (insertion order — the same
+        # tie-break the dict-keyed solver used) and queues to parallel
+        # lists: per-event state access is a list index, never a hash or
+        # comparison of an arbitrary channel object.
+        chans: list = []
+        qkey: list[list] = []
+        qsetup: list[list[float]] = []
+        qsize: list[list[int]] = []
+        qcap: list[list[float]] = []
+        limits = self._channel_caps
+        for channel, cols in self._cols.items():
+            keys = cols[0]
+            if not keys:
+                continue
+            chans.append(channel)
+            qkey.append(keys)
+            qsetup.append(cols[1])
+            qsize.append(cols[2])
+            limit = limits.get(channel)
+            if limit is None:
+                qcap.append(cols[3])
+            else:
+                qcap.append([bw if bw <= limit else float(limit)
+                             for bw in cols[3]])
+        n = len(chans)
+        qlen = [len(keys) for keys in qkey]
+        total_items = sum(qlen)
 
-        index: dict[object, int] = {}
-        started: dict[object, float] = {}
+        idx = [0] * n            # current queue position per channel
+        strt = [start_time] * n  # start instant of the current item
+        # A channel's active payload phase is either capped (cls 1: runs
+        # at its own effective cap; datum = absolute finish time) or
+        # level-bound (cls 2: runs at the shared water level; datum =
+        # virtual deadline); cls 0 = idle or in setup.  ``epo`` bumps on
+        # any class/datum change, invalidating stale heap entries.
+        cls = [0] * n
+        ecap = [0.0] * n
+        dat = [0.0] * n
+        epo = [0] * n
 
-        # Active payload phases, keyed by channel (one stream at a time per
-        # channel).  A stream is either "cap" (runs at its own effective
-        # cap; datum = absolute finish time) or "lvl" (runs at the shared
-        # water level; datum = virtual deadline).  ``epoch`` invalidates a
-        # channel's stale heap entries after any class/datum change.
-        cls_of: dict[object, str] = {}
-        eff_cap: dict[object, float] = {}
-        datum: dict[object, float] = {}
-        epoch: dict[object, int] = {channel: 0 for channel in queues}
-
-        capsum = 0.0        # total rate of "cap" streams
-        nlvl = 0            # number of "lvl" streams
+        capsum = 0.0        # total rate of capped streams
+        ncap = 0            # number of capped streams
+        nlvl = 0            # number of level-bound streams
         level = math.inf    # current fair share of the shared link
         vnow = 0.0          # virtual time: integral of the level
         now = start_time
+        #: Active payload streams whose channel still has queued items;
+        #: the batched tail drain may only run when none remain.
+        blockers = 0
 
-        setup_heap: list = []    # (abs end, order, channel) — never stale
-        cap_heap: list = []      # (abs finish, order, epoch, channel)
-        lvl_heap: list = []      # (virtual deadline, order, epoch, channel)
-        capmax_heap: list = []   # (-eff cap, order, epoch, channel)
-        lvlmin_heap: list = []   # (eff cap, order, epoch, channel)
+        setup_heap: list = []   # (abs end, cid << _EPOCH_BITS) — never stale
+        cap_heap: list = []     # (abs finish, pack)
+        lvl_heap: list = []     # (virtual deadline, pack)
+        capmax_heap: list = []  # (-eff cap, pack)
+        lvlmin_heap: list = []  # (eff cap, pack)
+        push = heapq.heappush
 
-        def push_cap(channel):
-            entry = (order[channel], epoch[channel], channel)
-            heapq.heappush(cap_heap, (datum[channel], *entry))
-            heapq.heappush(capmax_heap, (-eff_cap[channel], *entry))
-
-        def push_lvl(channel):
-            entry = (order[channel], epoch[channel], channel)
-            heapq.heappush(lvl_heap, (datum[channel], *entry))
-            heapq.heappush(lvlmin_heap, (eff_cap[channel], *entry))
-
-        def peek(heap, cls):
+        def peek(heap, code):
             """Top live entry of a lazy heap; stale entries are dropped."""
             while heap:
-                value, _, entry_epoch, channel = heap[0]
-                if cls_of.get(channel) == cls and epoch[channel] == entry_epoch:
-                    return value, channel
+                value, pack = heap[0]
+                cid = pack >> _EPOCH_BITS
+                if cls[cid] == code and epo[cid] == pack & _EPOCH_MASK:
+                    return value, cid
                 heapq.heappop(heap)
             return None
 
-        def demote(channel):
+        def demote(cid):
             """cap -> lvl: the fair share fell below this stream's cap."""
-            nonlocal capsum, nlvl
-            remaining = (datum[channel] - now) * eff_cap[channel]
-            capsum -= eff_cap[channel]
+            nonlocal capsum, ncap, nlvl
+            remaining = (dat[cid] - now) * ecap[cid]
+            capsum -= ecap[cid]
+            ncap -= 1
             nlvl += 1
-            cls_of[channel] = "lvl"
-            datum[channel] = vnow + max(0.0, remaining)
-            epoch[channel] += 1
-            push_lvl(channel)
+            cls[cid] = 2
+            dat[cid] = vnow + (remaining if remaining > 0.0 else 0.0)
+            epo[cid] += 1
+            pack = cid << _EPOCH_BITS | epo[cid]
+            push(lvl_heap, (dat[cid], pack))
+            push(lvlmin_heap, (ecap[cid], pack))
 
-        def promote(channel):
+        def promote(cid):
             """lvl -> cap: this stream's own cap binds again."""
-            nonlocal capsum, nlvl
-            remaining = datum[channel] - vnow
+            nonlocal capsum, ncap, nlvl
+            remaining = dat[cid] - vnow
             nlvl -= 1
-            capsum += eff_cap[channel]
-            cls_of[channel] = "cap"
-            datum[channel] = now + max(0.0, remaining) / eff_cap[channel]
-            epoch[channel] += 1
-            push_cap(channel)
+            ncap += 1
+            capsum += ecap[cid]
+            cls[cid] = 1
+            dat[cid] = now + (remaining if remaining > 0.0 else 0.0) \
+                / ecap[cid]
+            epo[cid] += 1
+            pack = cid << _EPOCH_BITS | epo[cid]
+            push(cap_heap, (dat[cid], pack))
+            push(capmax_heap, (-ecap[cid], pack))
 
         def rebalance():
             """Restore the water-fill invariants after the active set changed.
@@ -246,98 +320,339 @@ class ParallelTransferSchedule:
                     if capsum <= capacity:
                         level = math.inf
                         return
-                    top = peek(capmax_heap, "cap")
-                    demote(top[1])
+                    demote(peek(capmax_heap, 1)[1])
                     continue
                 level = (capacity - capsum) / nlvl
-                top = peek(lvlmin_heap, "lvl")
+                top = peek(lvlmin_heap, 2)
                 if top is not None and top[0] <= level:
                     promote(top[1])
                     continue
-                top = peek(capmax_heap, "cap")
+                top = peek(capmax_heap, 1)
                 if top is not None and -top[0] > level:
                     demote(top[1])
                     continue
                 return
 
-        def advance_channel(channel):
+        def advance(cid):
             """Start the next queued item's setup phase, if any."""
-            queue = queues[channel]
-            nxt = index[channel] + 1
-            index[channel] = nxt
-            if nxt < len(queue):
-                started[(channel, nxt)] = now
-                heapq.heappush(setup_heap,
-                               (now + queue[nxt].setup, order[channel],
-                                channel))
+            nxt = idx[cid] + 1
+            idx[cid] = nxt
+            if nxt < qlen[cid]:
+                strt[cid] = now
+                push(setup_heap, (now + qsetup[cid][nxt],
+                                  cid << _EPOCH_BITS))
 
-        def finish_item(channel, item):
-            timings[item.key] = TransferTiming(
-                start=started[(channel, index[channel])], finish=now)
-            advance_channel(channel)
-
-        def begin_transfer(channel, item):
+        def begin_transfer(cid):
             """Enter the payload phase; an empty payload completes now."""
-            nonlocal capsum
-            if item.size_bytes == 0:
-                finish_item(channel, item)
+            nonlocal capsum, ncap, nlvl, blockers
+            i = idx[cid]
+            if qsize[cid][i] == 0:
+                timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
+                advance(cid)
                 return
-            cap = self._effective_cap(channel, item.bandwidth)
-            eff_cap[channel] = cap
-            cls_of[channel] = "cap"
+            cap = qcap[cid][i]
+            ecap[cid] = cap
+            finish = now + qsize[cid][i] / cap
+            if capacity is not None and ncap == 0 and nlvl:
+                # Saturated fast path: with no capped streams, a new
+                # stream whose cap exceeds the post-entry fair share is
+                # demoted by the very next ``rebalance`` (and nothing
+                # else changes first, since no level-bound stream's cap
+                # reaches that share either).  Replay that enter-as-cap +
+                # demote sequence arithmetically — same floats, same heap
+                # order — without ever touching the cap heaps.
+                entered = capsum + cap
+                share = (capacity - entered) / nlvl
+                top = peek(lvlmin_heap, 2)
+                if cap > share and (top is None or top[0] > share):
+                    remaining = (finish - now) * cap
+                    capsum = entered - cap
+                    nlvl += 1
+                    cls[cid] = 2
+                    dat[cid] = vnow + (remaining if remaining > 0.0 else 0.0)
+                    epo[cid] += 1
+                    pack = cid << _EPOCH_BITS | epo[cid]
+                    push(lvl_heap, (dat[cid], pack))
+                    push(lvlmin_heap, (cap, pack))
+                    if i + 1 < qlen[cid]:
+                        blockers += 1
+                    rebalance()
+                    return
+            cls[cid] = 1
+            ncap += 1
             capsum += cap
-            datum[channel] = now + item.size_bytes / cap
-            epoch[channel] += 1
-            push_cap(channel)
+            dat[cid] = finish
+            epo[cid] += 1
+            pack = cid << _EPOCH_BITS | epo[cid]
+            push(cap_heap, (dat[cid], pack))
+            push(capmax_heap, (-cap, pack))
+            if i + 1 < qlen[cid]:
+                blockers += 1
             rebalance()
 
-        def complete_stream(channel):
-            nonlocal capsum, nlvl
-            item = queues[channel][index[channel]]
-            if cls_of[channel] == "cap":
-                capsum -= eff_cap[channel]
+        def complete_stream(cid):
+            nonlocal capsum, ncap, nlvl, blockers
+            if cls[cid] == 1:
+                capsum -= ecap[cid]
+                ncap -= 1
             else:
                 nlvl -= 1
-            del cls_of[channel]
-            epoch[channel] += 1
-            finish_item(channel, item)
+            cls[cid] = 0
+            epo[cid] += 1
+            i = idx[cid]
+            timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
+            if i + 1 < qlen[cid]:
+                blockers -= 1
+            advance(cid)
             rebalance()
 
-        for channel, queue in queues.items():
-            index[channel] = 0
-            if queue:
-                started[(channel, 0)] = start_time
-                heapq.heappush(setup_heap,
-                               (start_time + queue[0].setup, order[channel],
-                                channel))
+        def drain_tail():
+            """Batch-complete the all-level-bound endgame.
+
+            Preconditions (checked by the caller): no setups pending, no
+            capped streams, no active channel has queued successors.  The
+            remaining events are exactly the level-bound completions in
+            (virtual deadline, pack) order — the heap's order — with the
+            level rising to ``(capacity - capsum) / remaining`` after
+            each.  The drain follows the sorted deadlines until a
+            remaining stream's own cap would bind (``rebalance`` then
+            promotes it and the event loop resumes).  The pure path
+            replays the event loop's arithmetic verbatim; the numpy path
+            (``REPRO_SOLVER=numpy``) vectorizes the recurrence with
+            float-ulp divergence only.
+            """
+            nonlocal now, vnow, nlvl, level
+            live: dict[int, tuple] = {}
+            for entry in lvl_heap:
+                pack = entry[1]
+                cid = pack >> _EPOCH_BITS
+                if cls[cid] == 2 and epo[cid] == pack & _EPOCH_MASK:
+                    live[cid] = entry
+            entries = sorted(live.values())
+            m = len(entries)
+            if use_numpy and m > 2:
+                _drain_tail_numpy(entries)
+                return
+            # Suffix minimum of the streams' own caps in deadline order:
+            # the live top of ``lvlmin_heap`` after j completions.
+            sufmin = [math.inf] * (m + 1)
+            for j in range(m - 1, -1, -1):
+                cap = ecap[entries[j][1] >> _EPOCH_BITS]
+                below = sufmin[j + 1]
+                sufmin[j] = cap if cap < below else below
+            for j in range(m):
+                deadline, pack = entries[j]
+                cid = pack >> _EPOCH_BITS
+                delta = deadline - vnow
+                if delta > 0.0:
+                    when = now + delta / level
+                    vnow += level * (when - now)
+                    now = when
+                nlvl -= 1
+                cls[cid] = 0
+                epo[cid] += 1
+                i = idx[cid]
+                timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
+                idx[cid] = i + 1
+                if nlvl == 0:
+                    level = math.inf
+                    return
+                level = (capacity - capsum) / nlvl
+                if sufmin[j + 1] <= level:
+                    # The survivors are exactly the live level-bound set;
+                    # rebuild the lazy heaps outright rather than letting
+                    # ``peek`` drain the completed entries one heappop at
+                    # a time.  Sorted lists are valid heaps, and the live
+                    # tops — all ``rebalance`` reads — are unchanged.
+                    survivors = entries[j + 1:]
+                    lvl_heap[:] = survivors
+                    lvlmin_heap[:] = sorted(
+                        (ecap[e[1] >> _EPOCH_BITS], e[1])
+                        for e in survivors)
+                    rebalance()
+                    return
+
+        def _drain_tail_numpy(entries):
+            """Vectorized tail drain: closed-form finish times.
+
+            In exact arithmetic the event loop's virtual time after
+            completing stream j is ``max(vnow, d_j)`` and its level is
+            ``(capacity - capsum) / (nlvl - j)``, so finish times are a
+            cumulative sum over the sorted deadline gaps.  Differs from
+            the pure path only in float rounding (differentially tested).
+            """
+            nonlocal now, vnow, nlvl, level
+            m = len(entries)
+            d_arr = _np.array([e[0] for e in entries])
+            caps = _np.array([ecap[e[1] >> _EPOCH_BITS] for e in entries])
+            prev_v = _np.empty(m)
+            prev_v[0] = vnow
+            _np.maximum(d_arr[:-1], vnow, out=prev_v[1:])
+            deltas = _np.maximum(d_arr - prev_v, 0.0)
+            counts = nlvl - _np.arange(m)
+            levels = (capacity - capsum) / counts
+            levels[0] = level
+            finishes = now + _np.cumsum(deltas / levels)
+            # Streams beyond the first whose cap meets the risen level
+            # must go back through ``rebalance`` (promotion).
+            cut = m
+            if m > 1:
+                sufmin = _np.minimum.accumulate(caps[::-1])[::-1]
+                bad = _np.nonzero(sufmin[1:] <= levels[1:])[0]
+                if bad.size:
+                    cut = int(bad[0]) + 1
+            # No epoch bump on completion: ``cls`` going 0 already stales
+            # every heap entry, and the next begin bumps the epoch anyway.
+            fin = finishes.tolist()
+            for (_, pack), f in zip(entries[:cut], fin):
+                cid = pack >> _EPOCH_BITS
+                cls[cid] = 0
+                i = idx[cid]
+                timings[qkey[cid][i]] = TransferTiming(strt[cid], f)
+                idx[cid] = i + 1
+            last = float(finishes[cut - 1])
+            if last > now:
+                now = last
+            top_v = float(d_arr[cut - 1])
+            if top_v > vnow:
+                vnow = top_v
+            nlvl -= cut
+            if nlvl == 0:
+                level = math.inf
+                return
+            survivors = entries[cut:]
+            lvl_heap[:] = survivors
+            lvlmin_heap[:] = sorted(
+                (ecap[e[1] >> _EPOCH_BITS], e[1]) for e in survivors)
+            level = (capacity - capsum) / nlvl
+            rebalance()
+
+        def drain_setups_numpy():
+            """Vectorized begin wave (``REPRO_SOLVER=numpy``).
+
+            In the saturated regime (no capped streams) a fleet fan-out
+            presents a long run of setup-end events before any stream
+            completes, and every begin takes the saturated fast path —
+            a pure arithmetic recurrence (level falls as ``C / nlvl``,
+            virtual time integrates the level, each stream's virtual
+            deadline is fixed at its begin instant).  Compute the run in
+            closed form, stopping at the first setup where the fast path
+            would not fire or a completion would interleave; the event
+            loop resumes there.  Returns the number of setups consumed.
+            """
+            nonlocal now, vnow, nlvl, level, blockers
+            ends = sorted(setup_heap)
+            total = len(ends)
+            cids = [entry[1] >> _EPOCH_BITS for entry in ends]
+            t_arr = _np.array([entry[0] for entry in ends])
+            sizes = _np.array([float(qsize[c][idx[c]]) for c in cids])
+            caps = _np.array([qcap[c][idx[c]] for c in cids])
+            counts = nlvl + _np.arange(total)        # nlvl at begin i
+            share = (capacity - (capsum + caps)) / counts
+            # level on the interval ending at begin i (after i demotes)
+            lvls = _np.empty(total)
+            lvls[0] = level
+            lvls[1:] = (capacity - capsum) / counts[1:]
+            gaps = _np.empty(total)
+            gaps[0] = t_arr[0] - now
+            _np.subtract(t_arr[1:], t_arr[:-1], out=gaps[1:])
+            v_arr = vnow + _np.cumsum(_np.maximum(gaps, 0.0) * lvls)
+            deadlines = v_arr + (sizes / caps) * caps
+            # Fast-path validity: the begin demotes itself and promotes
+            # nothing — its cap and every level-bound cap exceed the
+            # post-entry share.
+            top = peek(lvlmin_heap, 2)
+            prev_cap_min = top[0] if top is not None else math.inf
+            lvl_cap_min = _np.empty(total)
+            lvl_cap_min[0] = prev_cap_min
+            if total > 1:
+                _np.minimum(_np.minimum.accumulate(caps)[:-1], prev_cap_min,
+                            out=lvl_cap_min[1:])
+            ok = (sizes > 0.0) & (caps > share) & (lvl_cap_min > share)
+            # Completion interleave: after begin i the earliest virtual
+            # deadline must not complete before setup i+1 ends.
+            top = peek(lvl_heap, 2)
+            dmin = _np.minimum.accumulate(deadlines)
+            if top is not None:
+                dmin = _np.minimum(dmin, top[0])
+            t_comp = t_arr + _np.maximum(dmin - v_arr, 0.0) \
+                * (counts + 1) / (capacity - capsum)
+            ok[1:] &= t_comp[:-1] >= t_arr[1:]
+            bad = _np.nonzero(~ok)[0]
+            consumed = int(bad[0]) if bad.size else total
+            if consumed == 0:
+                return 0
+            for cid, cap, deadline in zip(cids[:consumed], caps.tolist(),
+                                          deadlines.tolist()):
+                cls[cid] = 2
+                ecap[cid] = cap
+                dat[cid] = deadline
+                epo[cid] += 1
+                pack = cid << _EPOCH_BITS | epo[cid]
+                lvl_heap.append((deadline, pack))
+                lvlmin_heap.append((cap, pack))
+                if idx[cid] + 1 < qlen[cid]:
+                    blockers += 1
+            heapq.heapify(lvl_heap)
+            heapq.heapify(lvlmin_heap)
+            if consumed == total:
+                del setup_heap[:]
+            else:
+                setup_heap[:] = ends[consumed:]  # sorted list is a heap
+            nlvl += consumed
+            now = float(t_arr[consumed - 1])
+            last_v = float(v_arr[consumed - 1])
+            if last_v > vnow:
+                vnow = last_v
+            rebalance()
+            return consumed
+
+        for cid in range(n):
+            push(setup_heap, (start_time + qsetup[cid][0],
+                              cid << _EPOCH_BITS))
 
         while True:
+            # Every stored timing is one completed item; once all items
+            # are done, skip draining the (now all-stale) lazy heaps.
+            # Duplicate user keys merely disable this early exit.
+            if len(timings) == total_items:
+                break
+            if (capacity is not None and ncap == 0 and nlvl > 1
+                    and blockers == 0 and not setup_heap):
+                drain_tail()
+                continue
             # Next event: a setup ending, a capped stream draining, or the
             # earliest virtual deadline among level-bound streams.
-            best = None
+            best_when = best_kind = best_cid = None
             if setup_heap:
-                when, _, channel = setup_heap[0]
-                best = (when, "setup", channel)
-            top = peek(cap_heap, "cap")
-            if top is not None and (best is None or top[0] < best[0]):
-                best = (top[0], "cap", top[1])
-            top = peek(lvl_heap, "lvl")
+                when, pack = setup_heap[0]
+                best_when, best_kind, best_cid = \
+                    when, 0, pack >> _EPOCH_BITS
+            top = peek(cap_heap, 1)
+            if top is not None and (best_when is None or top[0] < best_when):
+                best_when, best_kind, best_cid = top[0], 1, top[1]
+            top = peek(lvl_heap, 2)
             if top is not None:
-                when = now + max(0.0, top[0] - vnow) / level
-                if best is None or when < best[0]:
-                    best = (when, "lvl", top[1])
-            if best is None:
+                delta = top[0] - vnow
+                when = now + (delta if delta > 0.0 else 0.0) / level
+                if best_when is None or when < best_when:
+                    best_when, best_kind, best_cid = when, 2, top[1]
+            if best_when is None:
                 break
-            when = max(best[0], now)
-            if nlvl and when > now:
-                vnow += level * (when - now)
-            now = when
-            kind, channel = best[1], best[2]
-            if kind == "setup":
+            if best_kind == 0 and use_numpy and capacity is not None \
+                    and ncap == 0 and nlvl > 0 and len(setup_heap) >= 64:
+                if drain_setups_numpy():
+                    continue
+            if best_when < now:
+                best_when = now
+            if nlvl and best_when > now:
+                vnow += level * (best_when - now)
+            now = best_when
+            if best_kind == 0:
                 heapq.heappop(setup_heap)
-                begin_transfer(channel, queues[channel][index[channel]])
+                begin_transfer(best_cid)
             else:
-                complete_stream(channel)
+                complete_stream(best_cid)
         return timings
 
     # -- reference solver (PR 2), for differential testing -------------------

@@ -346,6 +346,11 @@ class TraceReplay:
 
         if self._interleaved:
             schedule, plan = self._new_round_state()
+            # One enclave memo window spans the whole plan: steady-state
+            # rounds replay unchanged blobs' analyses at their recorded
+            # costs instead of re-parsing them (host time only — every
+            # simulated duration and per-round counter is unchanged).
+            plan.persistent_enclave_memo = True
             session = PlanFetchSession(scenario.network, schedule)
         else:
             schedule = plan = session = None
@@ -372,79 +377,86 @@ class TraceReplay:
         failed_installs = 0
         frontier = 0.0      # serial-mode barrier; last finish in both modes
 
-        for event in trace.ordered():
-            start = (event.at if self._interleaved
-                     else max(event.at, frontier))
-            if event.kind == "publish":
-                publish_event(scenario, event, trace.seed)
-                publishes.append((event.at, scenario.origin.serial))
-            elif event.kind == "mirror_sync":
-                targets = (event.mirrors if event.mirrors is not None
-                           else list(scenario.mirrors))
-                for name in targets:
-                    scenario.mirrors[name].sync()
-            elif event.kind == "refresh":
-                repo_ids = list(event.tenants or self._tenants)
-                if self._interleaved:
-                    round_plan = plan
-                else:
-                    _, round_plan = self._new_round_state()
-                report = RefreshOrchestrator(
-                    tsr, repo_ids, max_streams=self._max_streams,
-                    origin=start, plan_state=round_plan,
-                    advance_clock=False,
-                ).run()
-                refresh_rounds.append(report)
-                for repo_id in repo_ids:
-                    tsr.record_publication(repo_id, report.finished_at)
-                frontier = max(frontier, report.finished_at)
-            elif event.kind == "fleet_pull":
-                clients = (fleet.clients if event.clients is None
-                           else [fleet.clients[i] for i in event.clients])
-                if self._interleaved:
-                    wave_schedule, wave_session = schedule, session
-                else:
-                    wave_schedule = ParallelTransferSchedule(
-                        downlink_bandwidth=self._capacity)
-                    wave_session = PlanFetchSession(scenario.network,
-                                                    wave_schedule)
-                    fleet.use_session(wave_session)
-                fleet.set_as_of(start)
-                wave_session.begin_wave(start)
-                # Event-local RNG (like publish batches): a wave's install
-                # choices depend on the trace seed and the event's own
-                # seed, never on ambient state or other waves' draws.
-                wave_rng = random.Random(
-                    f"trace-pull:{trace.seed}:{event.seed}:{event.at}")
-                wire_before = wave_session.total_wire_bytes
-                outcome = run_pull_wave(
-                    clients, wave_rng, event.installs_per_client,
-                    plan_session=wave_session, tolerate_failures=True,
-                )
-                pull_wire_bytes.append(
-                    wave_session.total_wire_bytes - wire_before)
-                installs += outcome.installs
-                failed_pulls += outcome.failed_pulls
-                failed_installs += outcome.failed_installs
-                record = _WaveRecord(
-                    started_at=start,
-                    index_marks={
-                        name: (outcome.index_keys.get(name), serial)
-                        for name, serial in outcome.served_serial.items()
-                    },
-                    last_keys=dict(outcome.last_keys),
-                    schedule=wave_schedule,
-                )
-                waves.append(record)
-                if not self._interleaved:
-                    timings = wave_schedule.solve()
-                    wave_end = max(
-                        (timings[key].finish
-                         for key in record.last_keys.values()
-                         if key is not None),
-                        default=start,
+        try:
+            for event in trace.ordered():
+                start = (event.at if self._interleaved
+                         else max(event.at, frontier))
+                if event.kind == "publish":
+                    publish_event(scenario, event, trace.seed)
+                    publishes.append((event.at, scenario.origin.serial))
+                elif event.kind == "mirror_sync":
+                    targets = (event.mirrors if event.mirrors is not None
+                               else list(scenario.mirrors))
+                    for name in targets:
+                        scenario.mirrors[name].sync()
+                elif event.kind == "refresh":
+                    repo_ids = list(event.tenants or self._tenants)
+                    if self._interleaved:
+                        round_plan = plan
+                    else:
+                        _, round_plan = self._new_round_state()
+                    report = RefreshOrchestrator(
+                        tsr, repo_ids, max_streams=self._max_streams,
+                        origin=start, plan_state=round_plan,
+                        advance_clock=False,
+                    ).run()
+                    refresh_rounds.append(report)
+                    for repo_id in repo_ids:
+                        tsr.record_publication(repo_id, report.finished_at)
+                    frontier = max(frontier, report.finished_at)
+                elif event.kind == "fleet_pull":
+                    clients = (fleet.clients if event.clients is None
+                               else [fleet.clients[i] for i in event.clients])
+                    if self._interleaved:
+                        wave_schedule, wave_session = schedule, session
+                    else:
+                        wave_schedule = ParallelTransferSchedule(
+                            downlink_bandwidth=self._capacity)
+                        wave_session = PlanFetchSession(scenario.network,
+                                                        wave_schedule)
+                        fleet.use_session(wave_session)
+                    fleet.set_as_of(start)
+                    wave_session.begin_wave(start)
+                    # Event-local RNG (like publish batches): a wave's
+                    # install choices depend on the trace seed and the
+                    # event's own seed, never on ambient state or other
+                    # waves' draws.
+                    wave_rng = random.Random(
+                        f"trace-pull:{trace.seed}:{event.seed}:{event.at}")
+                    wire_before = wave_session.total_wire_bytes
+                    outcome = run_pull_wave(
+                        clients, wave_rng, event.installs_per_client,
+                        plan_session=wave_session, tolerate_failures=True,
                     )
-                    frontier = max(frontier, wave_end, start)
+                    pull_wire_bytes.append(
+                        wave_session.total_wire_bytes - wire_before)
+                    installs += outcome.installs
+                    failed_pulls += outcome.failed_pulls
+                    failed_installs += outcome.failed_installs
+                    record = _WaveRecord(
+                        started_at=start,
+                        index_marks={
+                            name: (outcome.index_keys.get(name), serial)
+                            for name, serial in outcome.served_serial.items()
+                        },
+                        last_keys=dict(outcome.last_keys),
+                        schedule=wave_schedule,
+                    )
+                    waves.append(record)
+                    if not self._interleaved:
+                        timings = wave_schedule.solve()
+                        wave_end = max(
+                            (timings[key].finish
+                             for key in record.last_keys.values()
+                             if key is not None),
+                            default=start,
+                        )
+                        frontier = max(frontier, wave_end, start)
+        finally:
+            if self._interleaved and refresh_rounds:
+                # The rounds kept one persistent memo window open; close
+                # it so later standalone refreshes start cold.
+                tsr._enclave.ecall("end_shared_refresh")
 
         # Resolve the plan: one final solve fixes every wave's timings
         # (monotonicity means mid-flight pins stayed valid lower bounds).
