@@ -1,0 +1,122 @@
+"""Streaming-scale smoke: a 10^4-client / 100-round replay in one piece.
+
+The tentpole claim behind the streaming replay mode is that memory
+tracks the *active* window — the in-flight wave plus mirror channels —
+not the trace length.  This smoke drives a fleet two orders of magnitude
+past what the materialized path keeps resident (10^4 clients rotating
+through 100-client waves over 100 rounds, every client pulling exactly
+once) and asserts hard resource caps: process peak RSS and host time.
+CI runs it emitting ``BENCH_streaming_replay.json``.
+
+The full 10^5-client / 10^3-round demonstration (same shape, 10x in
+both axes) is recorded in EXPERIMENTS.md §10; this smoke is the
+CI-budget version of that run.
+
+Scale knobs: ``REPRO_SMOKE_CLIENTS`` / ``REPRO_SMOKE_WAVE`` /
+``REPRO_SMOKE_ROUNDS``.
+"""
+
+import os
+import time
+
+from conftest import peak_rss_bytes
+from bench_trace_replay import MIRROR_SPECS, FROZEN, _population
+from repro.bench.report import PaperTable, record_table
+from repro.util.stats import human_bytes, human_duration
+from repro.workload.generator import generate_trace
+from repro.workload.replay import replay_trace
+from repro.workload.scenario import (
+    build_multi_tenant_scenario,
+    multi_tenant_refresh,
+)
+
+SMOKE_CLIENTS = int(os.environ.get("REPRO_SMOKE_CLIENTS", "10000"))
+SMOKE_WAVE = int(os.environ.get("REPRO_SMOKE_WAVE", "100"))
+SMOKE_ROUNDS = int(os.environ.get("REPRO_SMOKE_ROUNDS", "100"))
+
+#: Resource caps (asserted).  Peak RSS covers the whole pytest process —
+#: interpreter, imports, workload — so the cap is a coarse fleet-scale
+#: bound, not a per-client budget; the scaling bench's tracemalloc row
+#: is the precise O(active) measurement.  Host-time cap is calibrated
+#: ~3x above the measured single-core time so only a real slowdown (or
+#: an accidental return to O(trace) solver state) trips it.
+SMOKE_RSS_CAP_BYTES = int(os.environ.get("REPRO_SMOKE_RSS_CAP", str(900 * 1024 * 1024)))
+SMOKE_HOST_CAP_S = float(os.environ.get("REPRO_SMOKE_HOST_CAP", "420"))
+
+
+def _smoke_scenario():
+    scenario = build_multi_tenant_scenario(
+        tenants=2, overlap=0.6,
+        packages=_population(count=8, files=8, reps=200),
+        mirror_specs=MIRROR_SPECS)
+    multi_tenant_refresh(scenario)
+    return scenario
+
+
+def _smoke_trace():
+    return generate_trace(
+        rounds=SMOKE_ROUNDS, interval=3.0, pull_lag=2.5,
+        publish_fraction=0.25, seed=5,
+        mirror_names=[spec.name for spec in MIRROR_SPECS],
+        frozen_mirrors=FROZEN,
+        fleet_size=SMOKE_CLIENTS, clients_per_wave=SMOKE_WAVE,
+        streaming=True,
+    )
+
+
+def test_streaming_scale_smoke(benchmark, maybe_profile):
+    scenario = _smoke_scenario()
+    trace = _smoke_trace()
+
+    def run():
+        return replay_trace(scenario, trace, clients=SMOKE_CLIENTS,
+                            mode="streaming", shared_tpm_seed=2020)
+
+    begin = time.perf_counter()
+    report = benchmark.pedantic(
+        maybe_profile("streaming scale smoke", run), rounds=1, iterations=1)
+    host = time.perf_counter() - begin
+    rss = peak_rss_bytes()
+    summary = report.streaming
+
+    benchmark.extra_info["host_time_s"] = round(host, 3)
+    benchmark.extra_info["clients"] = SMOKE_CLIENTS
+    benchmark.extra_info["rounds"] = SMOKE_ROUNDS
+    benchmark.extra_info["peak_live_channels"] = summary.peak_live_channels
+    if rss is not None:
+        benchmark.extra_info["rss_cap_bytes"] = SMOKE_RSS_CAP_BYTES
+
+    table = PaperTable(
+        experiment="Streaming scale smoke",
+        title=f"{SMOKE_CLIENTS}-client / {SMOKE_ROUNDS}-round streaming "
+              f"replay ({SMOKE_WAVE} clients per wave)",
+        columns=["clients", "rounds", "installs", "peak RSS", "host time",
+                 "live channels (peak)", "staleness p50", "staleness p95"],
+    )
+    table.add_row(
+        SMOKE_CLIENTS, SMOKE_ROUNDS, report.installs,
+        human_bytes(rss) if rss is not None else "n/a",
+        human_duration(host),
+        summary.peak_live_channels,
+        human_duration(report.staleness_quantile(50)),
+        human_duration(report.staleness_quantile(95)),
+    )
+    table.note("every client pulls exactly once; retired after its final "
+               "wave drains, so the live window stays at one wave + "
+               "mirror channels while the trace streams past")
+    record_table(table)
+
+    assert report.rounds == SMOKE_ROUNDS
+    assert report.installs == min(SMOKE_CLIENTS, SMOKE_ROUNDS * SMOKE_WAVE)
+    assert summary.clients_booted == min(SMOKE_CLIENTS,
+                                         SMOKE_ROUNDS * SMOKE_WAVE)
+    # O(active): the solver's live state never exceeds one wave + mirror
+    # channels + slack, no matter the trace length.
+    assert summary.peak_live_channels <= SMOKE_WAVE + len(MIRROR_SPECS) + 2
+    # Hard resource caps (the point of the smoke).
+    if rss is not None:
+        assert rss < SMOKE_RSS_CAP_BYTES, (
+            f"peak RSS {rss} bytes over cap {SMOKE_RSS_CAP_BYTES}")
+    if not maybe_profile.enabled:
+        assert host < SMOKE_HOST_CAP_S, (
+            f"host time {host:.1f}s over cap {SMOKE_HOST_CAP_S}s")

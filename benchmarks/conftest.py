@@ -19,6 +19,7 @@ import io
 import os
 import pathlib
 import pstats
+import sys
 
 import pytest
 
@@ -74,6 +75,37 @@ def maybe_profile(request):
 
     _wrap.enabled = enabled
     return _wrap
+
+
+def peak_rss_bytes() -> int | None:
+    """Process peak resident set size, in bytes (None if unavailable).
+
+    ``ru_maxrss`` is the process-lifetime high-water mark — coarse (it
+    never decreases across tests) but exactly the number a memory cap
+    cares about.  Linux reports KiB, macOS bytes.
+    """
+    try:
+        import resource
+    except ImportError:        # non-POSIX: no RSS source baked in
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if usage <= 0:
+        return None
+    return int(usage) if sys.platform == "darwin" else int(usage) * 1024
+
+
+@pytest.fixture(autouse=True)
+def record_peak_rss(request):
+    """Stamp ``peak_rss_bytes`` into every benchmark's ``extra_info`` so
+    each ``BENCH_*.json`` artifact carries the memory high-water mark
+    alongside its timings."""
+    yield
+    benchmark = getattr(request.node, "funcargs", {}).get("benchmark")
+    if benchmark is None:
+        return
+    peak = peak_rss_bytes()
+    if peak is not None:
+        benchmark.extra_info["peak_rss_bytes"] = peak
 
 
 @pytest.fixture(scope="session")

@@ -8,11 +8,15 @@ full benchmark suite (which has the same view behind ``--profile``):
 
     PYTHONPATH=src python benchmarks/profile_hotspots.py            # all
     PYTHONPATH=src python benchmarks/profile_hotspots.py replay
+    PYTHONPATH=src python benchmarks/profile_hotspots.py replay-streaming
     PYTHONPATH=src python benchmarks/profile_hotspots.py solver
 
 Scales are deliberately small (6 rounds / 2 tenants / 8 clients;
-10k channels) so a profile run takes seconds; the *shape* of the
-profile — which layers dominate — matches the full benches.
+10k channels; 480-client rotation for the streaming target) so a
+profile run takes seconds; the *shape* of the profile — which layers
+dominate — matches the full benches.  The streaming target also prints
+the tracemalloc peak next to the CPU profile, since O(active) memory is
+that path's contract.
 """
 
 from __future__ import annotations
@@ -70,6 +74,59 @@ def profile_replay() -> None:
                  "interleaved)", profiler, time.perf_counter() - begin)
 
 
+def profile_replay_streaming() -> None:
+    """CPU + memory hotspots of the streaming replay path: a rotating
+    fleet large enough that lazy boot, channel retirement, and the
+    online metric folds all carry real weight in the profile."""
+    import tracemalloc
+
+    from repro.archive.apk import ApkPackage, PackageFile
+    from repro.mirrors.builder import MirrorSpec
+    from repro.simnet.latency import Continent
+    from repro.workload.generator import generate_trace
+    from repro.workload.replay import replay_trace
+    from repro.workload.scenario import (
+        build_multi_tenant_scenario,
+        multi_tenant_refresh,
+    )
+
+    packages = []
+    for i in range(8):
+        files = [PackageFile(f"/usr/bin/pkg{i}",
+                             (b"\x7fELF" + bytes([i])) * 200)]
+        files += [PackageFile(f"/usr/lib/pkg{i}/f{j}", bytes([i, j]) * 300)
+                  for j in range(7)]
+        packages.append(ApkPackage(name=f"pkg-{i:02d}", version="1.0-r0",
+                                   files=files))
+    mirror_specs = (MirrorSpec("mirror-eu-1.example", Continent.EUROPE),
+                    MirrorSpec("mirror-na-1.example",
+                               Continent.NORTH_AMERICA))
+    scenario = build_multi_tenant_scenario(
+        tenants=2, overlap=0.6, packages=packages,
+        mirror_specs=mirror_specs)
+    multi_tenant_refresh(scenario)
+    trace = generate_trace(
+        rounds=24, interval=3.0, pull_lag=2.5, publish_fraction=0.25,
+        seed=5, mirror_names=[spec.name for spec in mirror_specs],
+        fleet_size=480, clients_per_wave=20, streaming=True)
+
+    profiler = cProfile.Profile()
+    tracemalloc.start()
+    begin = time.perf_counter()
+    profiler.enable()
+    report = replay_trace(scenario, trace, clients=480, mode="streaming",
+                          shared_tpm_seed=2020)
+    profiler.disable()
+    wall = time.perf_counter() - begin
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    _print_stats("streaming trace replay (480-client rotation, 20/wave, "
+                 "24 rounds)", profiler, wall)
+    print(f"tracemalloc peak: {peak / 1e6:.2f} MB "
+          f"(peak live channels: {report.streaming.peak_live_channels}, "
+          f"clients booted: {report.streaming.clients_booted})")
+
+
 def profile_solver() -> None:
     from repro.simnet.schedule import ParallelTransferSchedule
 
@@ -97,11 +154,14 @@ def profile_solver() -> None:
 
 def main(argv: list[str]) -> int:
     targets = {"replay": (profile_replay,),
+               "replay-streaming": (profile_replay_streaming,),
                "solver": (profile_solver,),
-               "all": (profile_replay, profile_solver)}
+               "all": (profile_replay, profile_replay_streaming,
+                       profile_solver)}
     choice = argv[1] if len(argv) > 1 else "all"
     if choice not in targets:
-        print(f"usage: {argv[0]} [replay|solver|all]", file=sys.stderr)
+        print(f"usage: {argv[0]} [replay|replay-streaming|solver|all]",
+              file=sys.stderr)
         return 2
     for fn in targets[choice]:
         fn()

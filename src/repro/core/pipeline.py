@@ -117,6 +117,12 @@ class DownloadBatch:
     finishes: dict[str, float] = field(default_factory=dict)
     assignments: dict[str, str] = field(default_factory=dict)
     failed: dict[str, str] = field(default_factory=dict)
+    #: Marked by :meth:`MirrorDownloadScheduler.settle_round` once the
+    #: refresh round that issued this batch has consumed its results:
+    #: later ``resolve`` calls stop recomputing it (nobody reads a past
+    #: round's finishes), and — on a streaming schedule — its keys may
+    #: be retired from the live core as they drain.
+    settled: bool = False
 
 
 class MirrorDownloadScheduler:
@@ -154,9 +160,10 @@ class MirrorDownloadScheduler:
         self._setup_est: dict[str, float] = {}
         #: Estimated backlog end per mirror hostname (assignment heuristic).
         self._estimates: dict[str, float] = {}
-        #: Every schedule key enqueued per mirror hostname.
-        self._channel_items: dict[str, list] = {}
+        #: Not-yet-retired schedule keys per mirror hostname.
+        self._channel_items: dict[str, set] = {}
         self._batches: list[DownloadBatch] = []
+        self._next_batch_id = 0
         #: (batch, name) -> bookkeeping for the retry loop.
         self._tried: dict[tuple, set[str]] = {}
         self._attempt_keys: dict[tuple, list] = {}
@@ -165,6 +172,16 @@ class MirrorDownloadScheduler:
         self._last_error: dict[tuple, object] = {}
         self._pending: list[tuple] = []
         self._attempt = 0
+        #: Schedule key -> (hostname, owning item); consumed by
+        #: :meth:`retire_settled`.
+        self._key_info: dict[object, tuple] = {}
+        #: Settled batch -> its keys not yet drained from the stream
+        #: (the batch's bookkeeping is GC'd when the set empties).
+        self._undrained: dict[DownloadBatch, set] = {}
+        #: Per-hostname floor under retired keys: the latest finish ever
+        #: retired from that channel, so ``channel_frees`` stays exact
+        #: after the keys are gone.
+        self._retired_free: dict[str, float] = {}
 
     @property
     def schedule(self) -> ParallelTransferSchedule:
@@ -188,15 +205,18 @@ class MirrorDownloadScheduler:
                                                       host.bandwidth)
                 + host.processing_time + host.extra_delay
             )
-            self._channel_items.setdefault(hostname, [])
+            self._channel_items.setdefault(hostname, set())
 
     def channel_frees(self) -> dict[str, float]:
         """Actual per-mirror backlog ends from a fresh solve."""
         if not any(self._channel_items.values()):
-            return {hostname: 0.0 for hostname in self._hosts}
+            return {hostname: self._retired_free.get(hostname, 0.0)
+                    for hostname in self._hosts}
         timings = self._schedule.solve()
         return {
-            hostname: max((timings[key].finish for key in items), default=0.0)
+            hostname: max((timings[key].finish for key in items),
+                          default=0.0) if items
+            else self._retired_free.get(hostname, 0.0)
             for hostname, items in self._channel_items.items()
         }
 
@@ -214,7 +234,7 @@ class MirrorDownloadScheduler:
         before T.
         """
         batch = DownloadBatch(
-            batch_id=len(self._batches),
+            batch_id=self._next_batch_id,
             names=list(names),
             expected=expected,
             mirrors=list(mirrors),
@@ -222,6 +242,7 @@ class MirrorDownloadScheduler:
             not_before=not_before,
             best_effort=best_effort,
         )
+        self._next_batch_id += 1
         self._batches.append(batch)
         self._register_mirrors(batch.mirrors)
 
@@ -279,13 +300,15 @@ class MirrorDownloadScheduler:
                                    extra_wait + self._network.timeout, 0,
                                    self._hosts[hostname].bandwidth)
             self._attempt_keys[item].append(key)
-            self._channel_items[hostname].append(key)
+            self._channel_items[hostname].add(key)
+            self._key_info[key] = (hostname, item)
             return None
         key = (batch.batch_id, attempt, name)
         self._schedule.enqueue(channel, key, extra_wait + probe.setup,
                                probe.size_bytes, probe.bandwidth)
         self._attempt_keys[item].append(key)
-        self._channel_items[hostname].append(key)
+        self._channel_items[hostname].add(key)
+        self._key_info[key] = (hostname, item)
         self._candidate[item] = probe.payload
         batch.assignments[name] = hostname
         self._success_key[item] = key
@@ -321,7 +344,8 @@ class MirrorDownloadScheduler:
                 break
             channel_free = {
                 hostname: max((timings[key].finish for key in items),
-                              default=0.0)
+                              default=0.0) if items
+                else self._retired_free.get(hostname, 0.0)
                 for hostname, items in self._channel_items.items()
             }
             retry_now = sorted(
@@ -362,7 +386,12 @@ class MirrorDownloadScheduler:
 
         # (Re)compute from the *current* timings: a later resolve with
         # extra load can shift earlier transfers, never the other way.
+        # Settled batches are skipped — their round already consumed the
+        # results, and nothing reads a past round's finishes again (on a
+        # streaming schedule their timings may already be drained).
         for batch in self._batches:
+            if batch.settled:
+                continue
             for name in batch.names:
                 item = (batch, name)
                 if item not in self._success_key:
@@ -373,6 +402,65 @@ class MirrorDownloadScheduler:
                 )
                 batch.finishes[name] = timings[self._success_key[item]].finish
         return timings
+
+    # -- streaming retirement ----------------------------------------------
+
+    def settle_round(self):
+        """Freeze every open batch: the round that issued them is over.
+
+        Safe in every mode (a settled batch is merely excluded from
+        future recomputation); on a streaming schedule it additionally
+        licenses :meth:`retire_settled` to drop the batch's keys as the
+        stream drains them.
+        """
+        for batch in self._batches:
+            if batch.settled:
+                continue
+            batch.settled = True
+            self._undrained[batch] = {
+                key
+                for name in batch.names
+                for key in self._attempt_keys.get((batch, name), ())
+            }
+            if not self._undrained[batch]:
+                self._gc_batch(batch)
+
+    def retire_settled(self, drained: dict):
+        """Drop settled keys the stream has drained; GC empty batches.
+
+        ``drained`` is a drained-timings dict (key -> timing); keys not
+        belonging to this scheduler are ignored.  Serial channels finish
+        their items in queue order, so the per-hostname ``_retired_free``
+        floor — the latest retired finish — can only be overtaken by the
+        keys still queued, never undercut.
+        """
+        key_info = self._key_info
+        for key, timing in drained.items():
+            info = key_info.pop(key, None)
+            if info is None:
+                continue
+            hostname, item = info
+            self._channel_items[hostname].discard(key)
+            if timing.finish > self._retired_free.get(hostname, 0.0):
+                self._retired_free[hostname] = timing.finish
+            batch = item[0]
+            undrained = self._undrained.get(batch)
+            if undrained is not None:
+                undrained.discard(key)
+                if not undrained:
+                    self._gc_batch(batch)
+
+    def _gc_batch(self, batch: DownloadBatch):
+        """Forget a fully drained batch's retry bookkeeping."""
+        del self._undrained[batch]
+        self._batches.remove(batch)
+        for name in batch.names:
+            item = (batch, name)
+            self._tried.pop(item, None)
+            self._attempt_keys.pop(item, None)
+            self._candidate.pop(item, None)
+            self._success_key.pop(item, None)
+            self._last_error.pop(item, None)
 
 
 class RefreshPipeline:

@@ -78,6 +78,19 @@ class SimFileSystem:
     def install_write_hook(self, hook: WriteHook):
         self._write_hooks.append(hook)
 
+    def clear_hooks(self):
+        """Detach every open/write hook.
+
+        The hooks are bound methods of the IMA subsystem, which itself
+        holds this filesystem — the only reference cycle in the node
+        graph.  Breaking it here lets a torn-down node free by plain
+        refcounting instead of waiting for a generational GC pass (a
+        rotating 10^5-client fleet would otherwise hold thousands of
+        retired node graphs between gen-2 collections).
+        """
+        self._open_hooks.clear()
+        self._write_hooks.clear()
+
     # -- traversal -------------------------------------------------------------
 
     def _walk_to(self, path: str, *, follow: bool = True,

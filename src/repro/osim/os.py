@@ -71,10 +71,12 @@ class IntegrityEnforcedOS:
     def __init__(self, name: str,
                  appraisal: AppraisalMode = AppraisalMode.OFF,
                  vendor_key: RsaPrivateKey | None = None,
-                 init_config_files: dict[str, str] | None = None):
+                 init_config_files: dict[str, str] | None = None,
+                 tpm_attestation_seed: int | None = None):
         self.name = name
         self.fs = SimFileSystem()
-        self.tpm = Tpm(serial=f"tpm-{name}")
+        self.tpm = Tpm(serial=f"tpm-{name}",
+                       attestation_seed=tpm_attestation_seed)
         self.ima = ImaSubsystem(self.fs, self.tpm, appraisal=appraisal)
         self.pkgdb = PackageDatabase(self.fs)
         self._vendor_key = vendor_key
@@ -113,6 +115,17 @@ class IntegrityEnforcedOS:
     @property
     def booted(self) -> bool:
         return self._booted
+
+    def teardown(self):
+        """Decommission the node: detach the IMA hooks from the VFS.
+
+        That edge is the node graph's one reference cycle, so after this
+        the whole graph (fs tree, IMA log, TPM state, package database)
+        frees by refcounting as soon as the last external reference
+        drops — retiring clients from a rotating fleet reclaims their
+        memory immediately instead of at the next gen-2 GC.
+        """
+        self.fs.clear_hooks()
 
     # -- runtime ------------------------------------------------------------------
 

@@ -261,29 +261,47 @@ class PackageManager:
     # -- resolution ------------------------------------------------------------------
 
     def resolve_install_order(self, name: str) -> list[IndexEntry]:
-        """Dependencies-first order for a package and its closure."""
+        """Dependencies-first order for a package and its closure.
+
+        Iterative DFS on an explicit frame stack: a recursive inner
+        function would close over itself (and the manager), leaving a
+        dead reference cycle behind on every install — retired fleet
+        nodes would then linger until a cycle-GC pass instead of freeing
+        by refcount.
+        """
         order: list[IndexEntry] = []
         visiting: set[str] = set()
         done: set[str] = set()
-
-        def visit(pkg_name: str):
-            if pkg_name in done:
-                return
-            if pkg_name in visiting:
-                raise PackageManagerError(
-                    f"dependency cycle involving {pkg_name!r}"
-                )
-            entry = self.index.get(pkg_name)
-            if entry is None:
-                raise PackageManagerError(f"unsatisfiable dependency: {pkg_name!r}")
-            visiting.add(pkg_name)
-            for dep in entry.depends:
-                visit(dep)
-            visiting.discard(pkg_name)
-            done.add(pkg_name)
-            order.append(entry)
-
-        visit(name)
+        #: [pkg_name, index entry, remaining-deps iterator]; the last
+        #: two stay None until the frame is expanded.
+        stack: list[list] = [[name, None, None]]
+        while stack:
+            frame = stack[-1]
+            pkg_name, entry, deps = frame
+            if deps is None:
+                if pkg_name in done:
+                    stack.pop()
+                    continue
+                if pkg_name in visiting:
+                    raise PackageManagerError(
+                        f"dependency cycle involving {pkg_name!r}"
+                    )
+                entry = self.index.get(pkg_name)
+                if entry is None:
+                    raise PackageManagerError(
+                        f"unsatisfiable dependency: {pkg_name!r}")
+                visiting.add(pkg_name)
+                frame[1] = entry
+                frame[2] = iter(entry.depends)
+                continue
+            for dep in deps:
+                stack.append([dep, None, None])
+                break
+            else:
+                stack.pop()
+                visiting.discard(pkg_name)
+                done.add(pkg_name)
+                order.append(entry)
         return order
 
     # -- download & verification --------------------------------------------------------

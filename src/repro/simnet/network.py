@@ -134,6 +134,12 @@ class Network:
     def hosts(self) -> list[Host]:
         return list(self._hosts.values())
 
+    def remove_host(self, name: str):
+        """Forget a host entirely (a retired client releases its slot)."""
+        self._hosts.pop(name, None)
+        self._partitions = {pair for pair in self._partitions
+                            if name not in pair}
+
     def set_down(self, name: str, down: bool = True):
         self.host(name).up = not down
 
@@ -410,6 +416,15 @@ class PlanFetchSession:
     Per-client NIC downlinks layer onto the schedule exactly as in the
     single-wave session (``min(peer bandwidth, NIC, fair share)``), and a
     failed fetch charges the network timeout to its channel and re-raises.
+
+    On a **streaming** schedule (one driven through a
+    :class:`~repro.simnet.schedule.ScheduleStream`) the wave pin needs no
+    plan-wide solve at all: the stream's frontier sits at the wave
+    instant, so a live channel is by definition busy past it (gap 0 —
+    exactly what the materialized path's ``max(0, at - free)`` yields for
+    any ``free > at``) and a retired channel's last finish is the exact
+    ``free``.  Per-channel item lists collapse to a last-key slot, and
+    :meth:`retire_client` drops a rotated-out client's residue entirely.
     """
 
     def __init__(self, network: Network, schedule: ParallelTransferSchedule):
@@ -418,6 +433,9 @@ class PlanFetchSession:
         self._sequence = 0
         self._wave_at = 0.0
         self._channel_items: dict[object, list[object]] = {}
+        #: Streaming mode: the only per-channel key history anyone reads
+        #: (:meth:`last_key`) — full item lists are never kept.
+        self._last_keys: dict[object, object] = {}
         self._channel_bytes: dict[object, int] = {}
         self._total_bytes = 0
         #: Channels whose first fetch of the current wave already pinned
@@ -439,7 +457,11 @@ class PlanFetchSession:
             )
         self._wave_at = at
         self._pinned = set()
-        if any(self._channel_items.values()):
+        if self._schedule.streaming:
+            # Frees are answered per channel by the stream (live -> busy
+            # past the frontier, retired -> exact last finish); no solve.
+            self._frees = {}
+        elif any(self._channel_items.values()):
             timings = self._schedule.solve()
             self._frees = {
                 channel: max((timings[key].finish for key in items),
@@ -448,6 +470,37 @@ class PlanFetchSession:
             }
         else:
             self._frees = {}
+
+    def _wave_gap(self, channel: object) -> float:
+        if self._schedule.streaming:
+            free = self._schedule.stream_handle.channel_free(channel)
+            if free is None:        # never fetched: free since time 0
+                free = 0.0
+            elif free == float("inf"):   # live: busy past the wave instant
+                return 0.0
+            return max(0.0, self._wave_at - free)
+        return max(0.0, self._wave_at - self._frees.get(channel, 0.0))
+
+    def _record_key(self, channel: object, key: object):
+        if self._schedule.streaming:
+            self._last_keys[channel] = key
+        else:
+            self._channel_items.setdefault(channel, []).append(key)
+
+    def retire_client(self, channel: object):
+        """Forget a rotated-out client's channel state entirely.
+
+        Only valid when the channel will never fetch again (streaming
+        replays retiring a fleet client); its wire bytes stay counted in
+        the totals.
+        """
+        if self._schedule.streaming:
+            self._schedule.stream_handle.forget_channel(channel)
+        self._last_keys.pop(channel, None)
+        self._channel_items.pop(channel, None)
+        self._channel_bytes.pop(channel, None)
+        self._pinned.discard(channel)
+        self._frees.pop(channel, None)
 
     def fetch(self, src_name: str, request: Request,
               channel: object = None) -> object:
@@ -464,19 +517,18 @@ class PlanFetchSession:
         extra_wait = 0.0
         if channel not in self._pinned:
             self._pinned.add(channel)
-            extra_wait = max(0.0, self._wave_at
-                             - self._frees.get(channel, 0.0))
+            extra_wait = self._wave_gap(channel)
         try:
             probe = self._network.probe(src_name, request)
         except NetworkError:
             # The client burned the timeout waiting before giving up.
             self._schedule.enqueue(channel, key,
                                    extra_wait + self._network.timeout, 0, 1.0)
-            self._channel_items.setdefault(channel, []).append(key)
+            self._record_key(channel, key)
             raise
         self._schedule.enqueue(channel, key, extra_wait + probe.setup,
                                probe.size_bytes, probe.bandwidth)
-        self._channel_items.setdefault(channel, []).append(key)
+        self._record_key(channel, key)
         self._channel_bytes[channel] = \
             self._channel_bytes.get(channel, 0) + probe.size_bytes
         self._total_bytes += probe.size_bytes
@@ -493,6 +545,8 @@ class PlanFetchSession:
 
     def last_key(self, channel: object) -> object | None:
         """Schedule key of the channel's most recent fetch (None if idle)."""
+        if self._schedule.streaming:
+            return self._last_keys.get(channel)
         items = self._channel_items.get(channel)
         return items[-1] if items else None
 

@@ -49,6 +49,24 @@ the default.  Re-solving an unchanged schedule returns a cached result
 ``solve`` does not advance any clock and does not consume the queues, so
 callers may enqueue more work and re-solve (the refresh pipeline reinserts
 retries into the live schedule this way).
+
+**Streaming mode** (:meth:`ParallelTransferSchedule.stream`) turns the
+same engine into a persistent event loop for long multi-round plans: the
+core keeps its water-level state alive between trace events, the caller
+periodically advances it to a time *frontier* (:meth:`ScheduleStream.
+advance_to`), and every transfer whose completion lands at or before the
+frontier is **settled** — its timing is final, because every enqueue the
+streaming contract admits begins its payload at or after the frontier
+and the solver is monotone (added load never makes an existing stream
+finish earlier).  Settled items and fully drained channels are *retired*:
+their queue columns, heap entries, and per-channel slots are reclaimed
+(dense channel ids are recycled through a free list), so live-core memory
+tracks *active* streams instead of trace length.  Mid-plan ``solve()``
+calls — the refresh engine's quorum frontiers and retry decisions —
+clone the live core and run the clone to exhaustion: the clone's state at
+the frontier is exactly what a from-scratch solve of the full history
+would have reached there, so mid-plan timings are identical to the
+materialized path's while touching only O(active) state.
 """
 
 from __future__ import annotations
@@ -122,6 +140,562 @@ def max_min_rates(caps: dict, capacity: float | None) -> dict:
     return rates
 
 
+class _EngineState:
+    """Flat solver-core state, shared by the one-shot and streaming paths.
+
+    The one-shot path (:meth:`ParallelTransferSchedule._solve`) builds
+    one of these from the queued columns and runs it to exhaustion; a
+    :class:`ScheduleStream` keeps one alive across trace events, appends
+    to its queues as work arrives, and advances it frontier by frontier.
+    ``clone()`` copies exactly the state the event loop mutates (cursor
+    lists, water-level scalars, heaps) while sharing the read-only queue
+    columns, which is how mid-plan solves run without disturbing the
+    live core.
+    """
+
+    __slots__ = (
+        "capacity", "start_time", "use_numpy", "chans",
+        "qkey", "qsetup", "qsize", "qcap", "qlen",
+        "idx", "strt", "cls", "ecap", "dat", "epo", "lastfin",
+        "capsum", "ncap", "nlvl", "level", "vnow", "now",
+        "blockers", "remaining",
+        "setup_heap", "cap_heap", "lvl_heap", "capmax_heap", "lvlmin_heap",
+        "timings",
+    )
+
+    def __init__(self, capacity: float | None, start_time: float,
+                 use_numpy: bool):
+        self.capacity = capacity
+        self.start_time = start_time
+        self.use_numpy = use_numpy
+        self.chans: list = []
+        self.qkey: list[list] = []
+        self.qsetup: list[list[float]] = []
+        self.qsize: list[list[int]] = []
+        self.qcap: list[list[float]] = []
+        self.qlen: list[int] = []
+        self.idx: list[int] = []       # current queue position per channel
+        self.strt: list[float] = []    # start instant of the current item
+        # A channel's active payload phase is either capped (cls 1: runs
+        # at its own effective cap; datum = absolute finish time) or
+        # level-bound (cls 2: runs at the shared water level; datum =
+        # virtual deadline); cls 0 = idle or in setup.  ``epo`` bumps on
+        # any class/datum change, invalidating stale heap entries.
+        self.cls: list[int] = []
+        self.ecap: list[float] = []
+        self.dat: list[float] = []
+        self.epo: list[int] = []
+        #: Finish instant of the channel's most recent completion — the
+        #: anchor later enqueues chain their setup phase off once the
+        #: channel went idle (streaming revival / channel retirement).
+        self.lastfin: list[float] = []
+        self.capsum = 0.0        # total rate of capped streams
+        self.ncap = 0            # number of capped streams
+        self.nlvl = 0            # number of level-bound streams
+        self.level = math.inf    # current fair share of the shared link
+        self.vnow = 0.0          # virtual time: integral of the level
+        self.now = start_time
+        #: Active payload streams whose channel still has queued items;
+        #: the batched tail drain may only run when none remain.
+        self.blockers = 0
+        #: Enqueued items not yet completed (exact loop-exit counter).
+        self.remaining = 0
+        self.setup_heap: list = []   # (abs end, cid << _EPOCH_BITS); not stale
+        self.cap_heap: list = []     # (abs finish, pack)
+        self.lvl_heap: list = []     # (virtual deadline, pack)
+        self.capmax_heap: list = []  # (-eff cap, pack)
+        self.lvlmin_heap: list = []  # (eff cap, pack)
+        self.timings: dict[object, TransferTiming] = {}
+
+    def clone(self) -> "_EngineState":
+        other = _EngineState.__new__(_EngineState)
+        other.capacity = self.capacity
+        other.start_time = self.start_time
+        other.use_numpy = self.use_numpy
+        # Queue columns are read-only during a run: share them.
+        other.chans = self.chans
+        other.qkey = self.qkey
+        other.qsetup = self.qsetup
+        other.qsize = self.qsize
+        other.qcap = self.qcap
+        other.qlen = self.qlen
+        other.idx = self.idx[:]
+        other.strt = self.strt[:]
+        other.cls = self.cls[:]
+        other.ecap = self.ecap[:]
+        other.dat = self.dat[:]
+        other.epo = self.epo[:]
+        other.lastfin = self.lastfin[:]
+        other.capsum = self.capsum
+        other.ncap = self.ncap
+        other.nlvl = self.nlvl
+        other.level = self.level
+        other.vnow = self.vnow
+        other.now = self.now
+        other.blockers = self.blockers
+        other.remaining = self.remaining
+        other.setup_heap = self.setup_heap[:]
+        other.cap_heap = self.cap_heap[:]
+        other.lvl_heap = self.lvl_heap[:]
+        other.capmax_heap = self.capmax_heap[:]
+        other.lvlmin_heap = self.lvlmin_heap[:]
+        other.timings = {}
+        return other
+
+
+def _run_engine(st: _EngineState, until: float | None = None,
+                ) -> dict[object, TransferTiming]:
+    """Run the event loop over ``st``, stopping at time ``until``.
+
+    ``until=None`` runs to exhaustion (the one-shot solve and the
+    streaming clone-solve); a finite ``until`` processes exactly the
+    events whose instant is <= ``until`` and suspends — the streaming
+    advance.  The batched drains (tail drain, numpy setup drain) jump
+    past arbitrarily many events, so they only engage on unbounded runs;
+    the bounded path takes the generic per-event branch, which computes
+    the same floats event by event (the drains replay the event loop's
+    arithmetic verbatim — see ``drain_tail``).  Completed items land in
+    ``st.timings``; all other state is written back for resumption.
+    """
+    timings = st.timings
+    capacity = st.capacity
+    use_numpy = st.use_numpy and until is None
+    qkey = st.qkey
+    qsetup = st.qsetup
+    qsize = st.qsize
+    qcap = st.qcap
+    qlen = st.qlen
+    idx = st.idx
+    strt = st.strt
+    cls = st.cls
+    ecap = st.ecap
+    dat = st.dat
+    epo = st.epo
+    lastfin = st.lastfin
+    capsum = st.capsum
+    ncap = st.ncap
+    nlvl = st.nlvl
+    level = st.level
+    vnow = st.vnow
+    now = st.now
+    blockers = st.blockers
+    remaining = st.remaining
+    setup_heap = st.setup_heap
+    cap_heap = st.cap_heap
+    lvl_heap = st.lvl_heap
+    capmax_heap = st.capmax_heap
+    lvlmin_heap = st.lvlmin_heap
+    push = heapq.heappush
+
+    def peek(heap, code):
+        """Top live entry of a lazy heap; stale entries are dropped."""
+        while heap:
+            value, pack = heap[0]
+            cid = pack >> _EPOCH_BITS
+            if cls[cid] == code and epo[cid] == pack & _EPOCH_MASK:
+                return value, cid
+            heapq.heappop(heap)
+        return None
+
+    def demote(cid):
+        """cap -> lvl: the fair share fell below this stream's cap."""
+        nonlocal capsum, ncap, nlvl
+        remain = (dat[cid] - now) * ecap[cid]
+        capsum -= ecap[cid]
+        ncap -= 1
+        nlvl += 1
+        cls[cid] = 2
+        dat[cid] = vnow + (remain if remain > 0.0 else 0.0)
+        epo[cid] += 1
+        pack = cid << _EPOCH_BITS | epo[cid]
+        push(lvl_heap, (dat[cid], pack))
+        push(lvlmin_heap, (ecap[cid], pack))
+
+    def promote(cid):
+        """lvl -> cap: this stream's own cap binds again."""
+        nonlocal capsum, ncap, nlvl
+        remain = dat[cid] - vnow
+        nlvl -= 1
+        ncap += 1
+        capsum += ecap[cid]
+        cls[cid] = 1
+        dat[cid] = now + (remain if remain > 0.0 else 0.0) \
+            / ecap[cid]
+        epo[cid] += 1
+        pack = cid << _EPOCH_BITS | epo[cid]
+        push(cap_heap, (dat[cid], pack))
+        push(capmax_heap, (-ecap[cid], pack))
+
+    def rebalance():
+        """Restore the water-fill invariants after the active set changed.
+
+        Only the dirty set — streams whose cap crosses the moving
+        level — changes class; every other stream's datum stays valid
+        verbatim (capped finishes are absolute, level-bound deadlines
+        are virtual).  Within one call the recomputed level only
+        rises, so each stream moves at most twice and the loop always
+        terminates at the unique water-fill solution.
+        """
+        nonlocal level
+        if capacity is None:
+            return
+        while True:
+            if nlvl == 0:
+                if capsum <= capacity:
+                    level = math.inf
+                    return
+                demote(peek(capmax_heap, 1)[1])
+                continue
+            level = (capacity - capsum) / nlvl
+            top = peek(lvlmin_heap, 2)
+            if top is not None and top[0] <= level:
+                promote(top[1])
+                continue
+            top = peek(capmax_heap, 1)
+            if top is not None and -top[0] > level:
+                demote(top[1])
+                continue
+            return
+
+    def advance(cid):
+        """Start the next queued item's setup phase, if any."""
+        nxt = idx[cid] + 1
+        idx[cid] = nxt
+        if nxt < qlen[cid]:
+            strt[cid] = now
+            push(setup_heap, (now + qsetup[cid][nxt],
+                              cid << _EPOCH_BITS))
+
+    def begin_transfer(cid):
+        """Enter the payload phase; an empty payload completes now."""
+        nonlocal capsum, ncap, nlvl, blockers, remaining
+        i = idx[cid]
+        if qsize[cid][i] == 0:
+            timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
+            lastfin[cid] = now
+            remaining -= 1
+            advance(cid)
+            return
+        cap = qcap[cid][i]
+        ecap[cid] = cap
+        finish = now + qsize[cid][i] / cap
+        if capacity is not None and ncap == 0 and nlvl:
+            # Saturated fast path: with no capped streams, a new
+            # stream whose cap exceeds the post-entry fair share is
+            # demoted by the very next ``rebalance`` (and nothing
+            # else changes first, since no level-bound stream's cap
+            # reaches that share either).  Replay that enter-as-cap +
+            # demote sequence arithmetically — same floats, same heap
+            # order — without ever touching the cap heaps.
+            entered = capsum + cap
+            share = (capacity - entered) / nlvl
+            top = peek(lvlmin_heap, 2)
+            if cap > share and (top is None or top[0] > share):
+                remain = (finish - now) * cap
+                capsum = entered - cap
+                nlvl += 1
+                cls[cid] = 2
+                dat[cid] = vnow + (remain if remain > 0.0 else 0.0)
+                epo[cid] += 1
+                pack = cid << _EPOCH_BITS | epo[cid]
+                push(lvl_heap, (dat[cid], pack))
+                push(lvlmin_heap, (cap, pack))
+                if i + 1 < qlen[cid]:
+                    blockers += 1
+                rebalance()
+                return
+        cls[cid] = 1
+        ncap += 1
+        capsum += cap
+        dat[cid] = finish
+        epo[cid] += 1
+        pack = cid << _EPOCH_BITS | epo[cid]
+        push(cap_heap, (dat[cid], pack))
+        push(capmax_heap, (-cap, pack))
+        if i + 1 < qlen[cid]:
+            blockers += 1
+        rebalance()
+
+    def complete_stream(cid):
+        nonlocal capsum, ncap, nlvl, blockers, remaining
+        if cls[cid] == 1:
+            capsum -= ecap[cid]
+            ncap -= 1
+        else:
+            nlvl -= 1
+        cls[cid] = 0
+        epo[cid] += 1
+        i = idx[cid]
+        timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
+        lastfin[cid] = now
+        remaining -= 1
+        if i + 1 < qlen[cid]:
+            blockers -= 1
+        advance(cid)
+        rebalance()
+
+    def drain_tail():
+        """Batch-complete the all-level-bound endgame.
+
+        Preconditions (checked by the caller): no setups pending, no
+        capped streams, no active channel has queued successors.  The
+        remaining events are exactly the level-bound completions in
+        (virtual deadline, pack) order — the heap's order — with the
+        level rising to ``(capacity - capsum) / remaining`` after
+        each.  The drain follows the sorted deadlines until a
+        remaining stream's own cap would bind (``rebalance`` then
+        promotes it and the event loop resumes).  The pure path
+        replays the event loop's arithmetic verbatim; the numpy path
+        (``REPRO_SOLVER=numpy``) vectorizes the recurrence with
+        float-ulp divergence only.
+        """
+        nonlocal now, vnow, nlvl, level, remaining
+        live: dict[int, tuple] = {}
+        for entry in lvl_heap:
+            pack = entry[1]
+            cid = pack >> _EPOCH_BITS
+            if cls[cid] == 2 and epo[cid] == pack & _EPOCH_MASK:
+                live[cid] = entry
+        entries = sorted(live.values())
+        m = len(entries)
+        if use_numpy and m > 2:
+            _drain_tail_numpy(entries)
+            return
+        # Suffix minimum of the streams' own caps in deadline order:
+        # the live top of ``lvlmin_heap`` after j completions.
+        sufmin = [math.inf] * (m + 1)
+        for j in range(m - 1, -1, -1):
+            cap = ecap[entries[j][1] >> _EPOCH_BITS]
+            below = sufmin[j + 1]
+            sufmin[j] = cap if cap < below else below
+        for j in range(m):
+            deadline, pack = entries[j]
+            cid = pack >> _EPOCH_BITS
+            delta = deadline - vnow
+            if delta > 0.0:
+                when = now + delta / level
+                vnow += level * (when - now)
+                now = when
+            nlvl -= 1
+            cls[cid] = 0
+            epo[cid] += 1
+            i = idx[cid]
+            timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
+            lastfin[cid] = now
+            remaining -= 1
+            idx[cid] = i + 1
+            if nlvl == 0:
+                level = math.inf
+                return
+            level = (capacity - capsum) / nlvl
+            if sufmin[j + 1] <= level:
+                # The survivors are exactly the live level-bound set;
+                # rebuild the lazy heaps outright rather than letting
+                # ``peek`` drain the completed entries one heappop at
+                # a time.  Sorted lists are valid heaps, and the live
+                # tops — all ``rebalance`` reads — are unchanged.
+                survivors = entries[j + 1:]
+                lvl_heap[:] = survivors
+                lvlmin_heap[:] = sorted(
+                    (ecap[e[1] >> _EPOCH_BITS], e[1])
+                    for e in survivors)
+                rebalance()
+                return
+
+    def _drain_tail_numpy(entries):
+        """Vectorized tail drain: closed-form finish times.
+
+        In exact arithmetic the event loop's virtual time after
+        completing stream j is ``max(vnow, d_j)`` and its level is
+        ``(capacity - capsum) / (nlvl - j)``, so finish times are a
+        cumulative sum over the sorted deadline gaps.  Differs from
+        the pure path only in float rounding (differentially tested).
+        """
+        nonlocal now, vnow, nlvl, level, remaining
+        m = len(entries)
+        d_arr = _np.array([e[0] for e in entries])
+        caps = _np.array([ecap[e[1] >> _EPOCH_BITS] for e in entries])
+        prev_v = _np.empty(m)
+        prev_v[0] = vnow
+        _np.maximum(d_arr[:-1], vnow, out=prev_v[1:])
+        deltas = _np.maximum(d_arr - prev_v, 0.0)
+        counts = nlvl - _np.arange(m)
+        levels = (capacity - capsum) / counts
+        levels[0] = level
+        finishes = now + _np.cumsum(deltas / levels)
+        # Streams beyond the first whose cap meets the risen level
+        # must go back through ``rebalance`` (promotion).
+        cut = m
+        if m > 1:
+            sufmin = _np.minimum.accumulate(caps[::-1])[::-1]
+            bad = _np.nonzero(sufmin[1:] <= levels[1:])[0]
+            if bad.size:
+                cut = int(bad[0]) + 1
+        # No epoch bump on completion: ``cls`` going 0 already stales
+        # every heap entry, and the next begin bumps the epoch anyway.
+        fin = finishes.tolist()
+        for (_, pack), f in zip(entries[:cut], fin):
+            cid = pack >> _EPOCH_BITS
+            cls[cid] = 0
+            i = idx[cid]
+            timings[qkey[cid][i]] = TransferTiming(strt[cid], f)
+            lastfin[cid] = f
+            idx[cid] = i + 1
+        remaining -= cut
+        last = float(finishes[cut - 1])
+        if last > now:
+            now = last
+        top_v = float(d_arr[cut - 1])
+        if top_v > vnow:
+            vnow = top_v
+        nlvl -= cut
+        if nlvl == 0:
+            level = math.inf
+            return
+        survivors = entries[cut:]
+        lvl_heap[:] = survivors
+        lvlmin_heap[:] = sorted(
+            (ecap[e[1] >> _EPOCH_BITS], e[1]) for e in survivors)
+        level = (capacity - capsum) / nlvl
+        rebalance()
+
+    def drain_setups_numpy():
+        """Vectorized begin wave (``REPRO_SOLVER=numpy``).
+
+        In the saturated regime (no capped streams) a fleet fan-out
+        presents a long run of setup-end events before any stream
+        completes, and every begin takes the saturated fast path —
+        a pure arithmetic recurrence (level falls as ``C / nlvl``,
+        virtual time integrates the level, each stream's virtual
+        deadline is fixed at its begin instant).  Compute the run in
+        closed form, stopping at the first setup where the fast path
+        would not fire or a completion would interleave; the event
+        loop resumes there.  Returns the number of setups consumed.
+        """
+        nonlocal now, vnow, nlvl, level, blockers
+        ends = sorted(setup_heap)
+        total = len(ends)
+        cids = [entry[1] >> _EPOCH_BITS for entry in ends]
+        t_arr = _np.array([entry[0] for entry in ends])
+        sizes = _np.array([float(qsize[c][idx[c]]) for c in cids])
+        caps = _np.array([qcap[c][idx[c]] for c in cids])
+        counts = nlvl + _np.arange(total)        # nlvl at begin i
+        share = (capacity - (capsum + caps)) / counts
+        # level on the interval ending at begin i (after i demotes)
+        lvls = _np.empty(total)
+        lvls[0] = level
+        lvls[1:] = (capacity - capsum) / counts[1:]
+        gaps = _np.empty(total)
+        gaps[0] = t_arr[0] - now
+        _np.subtract(t_arr[1:], t_arr[:-1], out=gaps[1:])
+        v_arr = vnow + _np.cumsum(_np.maximum(gaps, 0.0) * lvls)
+        deadlines = v_arr + (sizes / caps) * caps
+        # Fast-path validity: the begin demotes itself and promotes
+        # nothing — its cap and every level-bound cap exceed the
+        # post-entry share.
+        top = peek(lvlmin_heap, 2)
+        prev_cap_min = top[0] if top is not None else math.inf
+        lvl_cap_min = _np.empty(total)
+        lvl_cap_min[0] = prev_cap_min
+        if total > 1:
+            _np.minimum(_np.minimum.accumulate(caps)[:-1], prev_cap_min,
+                        out=lvl_cap_min[1:])
+        ok = (sizes > 0.0) & (caps > share) & (lvl_cap_min > share)
+        # Completion interleave: after begin i the earliest virtual
+        # deadline must not complete before setup i+1 ends.
+        top = peek(lvl_heap, 2)
+        dmin = _np.minimum.accumulate(deadlines)
+        if top is not None:
+            dmin = _np.minimum(dmin, top[0])
+        t_comp = t_arr + _np.maximum(dmin - v_arr, 0.0) \
+            * (counts + 1) / (capacity - capsum)
+        ok[1:] &= t_comp[:-1] >= t_arr[1:]
+        bad = _np.nonzero(~ok)[0]
+        consumed = int(bad[0]) if bad.size else total
+        if consumed == 0:
+            return 0
+        for cid, cap, deadline in zip(cids[:consumed], caps.tolist(),
+                                      deadlines.tolist()):
+            cls[cid] = 2
+            ecap[cid] = cap
+            dat[cid] = deadline
+            epo[cid] += 1
+            pack = cid << _EPOCH_BITS | epo[cid]
+            lvl_heap.append((deadline, pack))
+            lvlmin_heap.append((cap, pack))
+            if idx[cid] + 1 < qlen[cid]:
+                blockers += 1
+        heapq.heapify(lvl_heap)
+        heapq.heapify(lvlmin_heap)
+        if consumed == total:
+            del setup_heap[:]
+        else:
+            setup_heap[:] = ends[consumed:]  # sorted list is a heap
+        nlvl += consumed
+        now = float(t_arr[consumed - 1])
+        last_v = float(v_arr[consumed - 1])
+        if last_v > vnow:
+            vnow = last_v
+        rebalance()
+        return consumed
+
+    while True:
+        # ``remaining`` counts enqueued-not-completed items exactly;
+        # once all are done, skip draining the (now all-stale) lazy
+        # heaps.
+        if remaining == 0:
+            break
+        if until is None and (capacity is not None and ncap == 0
+                              and nlvl > 1 and blockers == 0
+                              and not setup_heap):
+            drain_tail()
+            continue
+        # Next event: a setup ending, a capped stream draining, or the
+        # earliest virtual deadline among level-bound streams.
+        best_when = best_kind = best_cid = None
+        if setup_heap:
+            when, pack = setup_heap[0]
+            best_when, best_kind, best_cid = \
+                when, 0, pack >> _EPOCH_BITS
+        top = peek(cap_heap, 1)
+        if top is not None and (best_when is None or top[0] < best_when):
+            best_when, best_kind, best_cid = top[0], 1, top[1]
+        top = peek(lvl_heap, 2)
+        if top is not None:
+            delta = top[0] - vnow
+            when = now + (delta if delta > 0.0 else 0.0) / level
+            if best_when is None or when < best_when:
+                best_when, best_kind, best_cid = when, 2, top[1]
+        if best_when is None:
+            break
+        if until is not None and best_when > until:
+            break  # suspend: the caller resumes past this frontier
+        if best_kind == 0 and use_numpy and capacity is not None \
+                and ncap == 0 and nlvl > 0 and len(setup_heap) >= 64:
+            if drain_setups_numpy():
+                continue
+        if best_when < now:
+            best_when = now
+        if nlvl and best_when > now:
+            vnow += level * (best_when - now)
+        now = best_when
+        if best_kind == 0:
+            heapq.heappop(setup_heap)
+            begin_transfer(best_cid)
+        else:
+            complete_stream(best_cid)
+
+    st.capsum = capsum
+    st.ncap = ncap
+    st.nlvl = nlvl
+    st.level = level
+    st.vnow = vnow
+    st.now = now
+    st.blockers = blockers
+    st.remaining = remaining
+    return timings
+
+
 class ParallelTransferSchedule:
     """Fluid-flow accounting for concurrent downloads over serial channels.
 
@@ -135,7 +709,10 @@ class ParallelTransferSchedule:
     docstring) and returns per-item :class:`TransferTiming` offsets; it
     does not advance any clock, so the caller decides how the makespan
     maps onto simulated time.  :meth:`solve_reference` is the dense PR 2
-    solver, kept for differential testing.
+    solver, kept for differential testing.  :meth:`stream` switches the
+    schedule into streaming mode (see :class:`ScheduleStream`): enqueues
+    feed the persistent core directly, nothing is materialized in the
+    queue mirror, and ``solve()`` answers from a clone of the live core.
     """
 
     def __init__(self, downlink_bandwidth: float | None = None,
@@ -153,17 +730,47 @@ class ParallelTransferSchedule:
         #: cached timings (the refresh engine re-solves between waves).
         self._version = 0
         self._solved: tuple[tuple[int, float], dict] | None = None
+        self._stream: ScheduleStream | None = None
         for channel, cap in (channel_capacities or {}).items():
             self.limit_channel(channel, cap)
+
+    @property
+    def streaming(self) -> bool:
+        """Whether a :class:`ScheduleStream` owns this schedule's items."""
+        return self._stream is not None
+
+    @property
+    def stream_handle(self) -> "ScheduleStream | None":
+        return self._stream
+
+    def stream(self, start_time: float = 0.0) -> "ScheduleStream":
+        """Switch this (still empty) schedule into streaming mode."""
+        if self._stream is not None:
+            raise RuntimeError("schedule is already streaming")
+        if any(cols[0] for cols in self._cols.values()):
+            raise RuntimeError("stream() requires an empty schedule")
+        self._stream = ScheduleStream(self, start_time)
+        return self._stream
 
     def limit_channel(self, channel: object, bandwidth: float):
         """Cap every payload phase on ``channel`` at ``bandwidth``.
 
         The layered-capacity hook: a fleet client's NIC downlink bounds
-        its stream no matter how much of the shared link is free.
+        its stream no matter how much of the shared link is free.  In
+        streaming mode the cap is frozen into each item at enqueue time,
+        so changing a channel's cap once items were enqueued is rejected
+        (the materialized path would apply the latest cap retroactively —
+        a divergence the streaming contract rules out; no caller re-caps
+        a channel at a different rate).
         """
         if bandwidth <= 0:
             raise ValueError("channel capacity must be positive")
+        if (self._stream is not None
+                and self._channel_caps.get(channel, bandwidth) != bandwidth):
+            raise ValueError(
+                "streaming schedules cannot change a channel's capacity "
+                f"({channel!r}: {self._channel_caps[channel]} -> {bandwidth})"
+            )
         self._channel_caps[channel] = bandwidth
         self._version += 1
 
@@ -173,6 +780,11 @@ class ParallelTransferSchedule:
             raise ValueError("negative transfer parameters")
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
+        if self._stream is not None:
+            self._stream._enqueue(channel, key, setup, size_bytes,
+                                  float(bandwidth))
+            self._version += 1
+            return
         self._queues.setdefault(channel, []).append(
             _StreamItem(key=key, setup=setup, size_bytes=size_bytes,
                         bandwidth=bandwidth)
@@ -196,464 +808,57 @@ class ParallelTransferSchedule:
         stamp = (self._version, start_time)
         if self._solved is not None and self._solved[0] == stamp:
             return dict(self._solved[1])
-        timings = self._solve(start_time)
+        if self._stream is not None:
+            if start_time != self._stream.start_time:
+                raise ValueError(
+                    "a streaming schedule solves at its stream's start "
+                    f"time ({self._stream.start_time}), not {start_time}"
+                )
+            timings = self._stream.solve_pending()
+        else:
+            timings = self._solve(start_time)
         self._solved = (stamp, timings)
         return dict(timings)
 
     def _solve(self, start_time: float) -> dict[object, TransferTiming]:
-        timings: dict[object, TransferTiming] = {}
-        capacity = self._downlink
         use_numpy = _np is not None \
             and os.environ.get("REPRO_SOLVER") == "numpy"
+        st = _EngineState(self._downlink, start_time, use_numpy)
 
         # Flatten channels to dense ids (insertion order — the same
         # tie-break the dict-keyed solver used) and queues to parallel
         # lists: per-event state access is a list index, never a hash or
         # comparison of an arbitrary channel object.
-        chans: list = []
-        qkey: list[list] = []
-        qsetup: list[list[float]] = []
-        qsize: list[list[int]] = []
-        qcap: list[list[float]] = []
         limits = self._channel_caps
         for channel, cols in self._cols.items():
             keys = cols[0]
             if not keys:
                 continue
-            chans.append(channel)
-            qkey.append(keys)
-            qsetup.append(cols[1])
-            qsize.append(cols[2])
+            st.chans.append(channel)
+            st.qkey.append(keys)
+            st.qsetup.append(cols[1])
+            st.qsize.append(cols[2])
             limit = limits.get(channel)
             if limit is None:
-                qcap.append(cols[3])
+                st.qcap.append(cols[3])
             else:
-                qcap.append([bw if bw <= limit else float(limit)
-                             for bw in cols[3]])
-        n = len(chans)
-        qlen = [len(keys) for keys in qkey]
-        total_items = sum(qlen)
-
-        idx = [0] * n            # current queue position per channel
-        strt = [start_time] * n  # start instant of the current item
-        # A channel's active payload phase is either capped (cls 1: runs
-        # at its own effective cap; datum = absolute finish time) or
-        # level-bound (cls 2: runs at the shared water level; datum =
-        # virtual deadline); cls 0 = idle or in setup.  ``epo`` bumps on
-        # any class/datum change, invalidating stale heap entries.
-        cls = [0] * n
-        ecap = [0.0] * n
-        dat = [0.0] * n
-        epo = [0] * n
-
-        capsum = 0.0        # total rate of capped streams
-        ncap = 0            # number of capped streams
-        nlvl = 0            # number of level-bound streams
-        level = math.inf    # current fair share of the shared link
-        vnow = 0.0          # virtual time: integral of the level
-        now = start_time
-        #: Active payload streams whose channel still has queued items;
-        #: the batched tail drain may only run when none remain.
-        blockers = 0
-
-        setup_heap: list = []   # (abs end, cid << _EPOCH_BITS) — never stale
-        cap_heap: list = []     # (abs finish, pack)
-        lvl_heap: list = []     # (virtual deadline, pack)
-        capmax_heap: list = []  # (-eff cap, pack)
-        lvlmin_heap: list = []  # (eff cap, pack)
-        push = heapq.heappush
-
-        def peek(heap, code):
-            """Top live entry of a lazy heap; stale entries are dropped."""
-            while heap:
-                value, pack = heap[0]
-                cid = pack >> _EPOCH_BITS
-                if cls[cid] == code and epo[cid] == pack & _EPOCH_MASK:
-                    return value, cid
-                heapq.heappop(heap)
-            return None
-
-        def demote(cid):
-            """cap -> lvl: the fair share fell below this stream's cap."""
-            nonlocal capsum, ncap, nlvl
-            remaining = (dat[cid] - now) * ecap[cid]
-            capsum -= ecap[cid]
-            ncap -= 1
-            nlvl += 1
-            cls[cid] = 2
-            dat[cid] = vnow + (remaining if remaining > 0.0 else 0.0)
-            epo[cid] += 1
-            pack = cid << _EPOCH_BITS | epo[cid]
-            push(lvl_heap, (dat[cid], pack))
-            push(lvlmin_heap, (ecap[cid], pack))
-
-        def promote(cid):
-            """lvl -> cap: this stream's own cap binds again."""
-            nonlocal capsum, ncap, nlvl
-            remaining = dat[cid] - vnow
-            nlvl -= 1
-            ncap += 1
-            capsum += ecap[cid]
-            cls[cid] = 1
-            dat[cid] = now + (remaining if remaining > 0.0 else 0.0) \
-                / ecap[cid]
-            epo[cid] += 1
-            pack = cid << _EPOCH_BITS | epo[cid]
-            push(cap_heap, (dat[cid], pack))
-            push(capmax_heap, (-ecap[cid], pack))
-
-        def rebalance():
-            """Restore the water-fill invariants after the active set changed.
-
-            Only the dirty set — streams whose cap crosses the moving
-            level — changes class; every other stream's datum stays valid
-            verbatim (capped finishes are absolute, level-bound deadlines
-            are virtual).  Within one call the recomputed level only
-            rises, so each stream moves at most twice and the loop always
-            terminates at the unique water-fill solution.
-            """
-            nonlocal level
-            if capacity is None:
-                return
-            while True:
-                if nlvl == 0:
-                    if capsum <= capacity:
-                        level = math.inf
-                        return
-                    demote(peek(capmax_heap, 1)[1])
-                    continue
-                level = (capacity - capsum) / nlvl
-                top = peek(lvlmin_heap, 2)
-                if top is not None and top[0] <= level:
-                    promote(top[1])
-                    continue
-                top = peek(capmax_heap, 1)
-                if top is not None and -top[0] > level:
-                    demote(top[1])
-                    continue
-                return
-
-        def advance(cid):
-            """Start the next queued item's setup phase, if any."""
-            nxt = idx[cid] + 1
-            idx[cid] = nxt
-            if nxt < qlen[cid]:
-                strt[cid] = now
-                push(setup_heap, (now + qsetup[cid][nxt],
-                                  cid << _EPOCH_BITS))
-
-        def begin_transfer(cid):
-            """Enter the payload phase; an empty payload completes now."""
-            nonlocal capsum, ncap, nlvl, blockers
-            i = idx[cid]
-            if qsize[cid][i] == 0:
-                timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
-                advance(cid)
-                return
-            cap = qcap[cid][i]
-            ecap[cid] = cap
-            finish = now + qsize[cid][i] / cap
-            if capacity is not None and ncap == 0 and nlvl:
-                # Saturated fast path: with no capped streams, a new
-                # stream whose cap exceeds the post-entry fair share is
-                # demoted by the very next ``rebalance`` (and nothing
-                # else changes first, since no level-bound stream's cap
-                # reaches that share either).  Replay that enter-as-cap +
-                # demote sequence arithmetically — same floats, same heap
-                # order — without ever touching the cap heaps.
-                entered = capsum + cap
-                share = (capacity - entered) / nlvl
-                top = peek(lvlmin_heap, 2)
-                if cap > share and (top is None or top[0] > share):
-                    remaining = (finish - now) * cap
-                    capsum = entered - cap
-                    nlvl += 1
-                    cls[cid] = 2
-                    dat[cid] = vnow + (remaining if remaining > 0.0 else 0.0)
-                    epo[cid] += 1
-                    pack = cid << _EPOCH_BITS | epo[cid]
-                    push(lvl_heap, (dat[cid], pack))
-                    push(lvlmin_heap, (cap, pack))
-                    if i + 1 < qlen[cid]:
-                        blockers += 1
-                    rebalance()
-                    return
-            cls[cid] = 1
-            ncap += 1
-            capsum += cap
-            dat[cid] = finish
-            epo[cid] += 1
-            pack = cid << _EPOCH_BITS | epo[cid]
-            push(cap_heap, (dat[cid], pack))
-            push(capmax_heap, (-cap, pack))
-            if i + 1 < qlen[cid]:
-                blockers += 1
-            rebalance()
-
-        def complete_stream(cid):
-            nonlocal capsum, ncap, nlvl, blockers
-            if cls[cid] == 1:
-                capsum -= ecap[cid]
-                ncap -= 1
-            else:
-                nlvl -= 1
-            cls[cid] = 0
-            epo[cid] += 1
-            i = idx[cid]
-            timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
-            if i + 1 < qlen[cid]:
-                blockers -= 1
-            advance(cid)
-            rebalance()
-
-        def drain_tail():
-            """Batch-complete the all-level-bound endgame.
-
-            Preconditions (checked by the caller): no setups pending, no
-            capped streams, no active channel has queued successors.  The
-            remaining events are exactly the level-bound completions in
-            (virtual deadline, pack) order — the heap's order — with the
-            level rising to ``(capacity - capsum) / remaining`` after
-            each.  The drain follows the sorted deadlines until a
-            remaining stream's own cap would bind (``rebalance`` then
-            promotes it and the event loop resumes).  The pure path
-            replays the event loop's arithmetic verbatim; the numpy path
-            (``REPRO_SOLVER=numpy``) vectorizes the recurrence with
-            float-ulp divergence only.
-            """
-            nonlocal now, vnow, nlvl, level
-            live: dict[int, tuple] = {}
-            for entry in lvl_heap:
-                pack = entry[1]
-                cid = pack >> _EPOCH_BITS
-                if cls[cid] == 2 and epo[cid] == pack & _EPOCH_MASK:
-                    live[cid] = entry
-            entries = sorted(live.values())
-            m = len(entries)
-            if use_numpy and m > 2:
-                _drain_tail_numpy(entries)
-                return
-            # Suffix minimum of the streams' own caps in deadline order:
-            # the live top of ``lvlmin_heap`` after j completions.
-            sufmin = [math.inf] * (m + 1)
-            for j in range(m - 1, -1, -1):
-                cap = ecap[entries[j][1] >> _EPOCH_BITS]
-                below = sufmin[j + 1]
-                sufmin[j] = cap if cap < below else below
-            for j in range(m):
-                deadline, pack = entries[j]
-                cid = pack >> _EPOCH_BITS
-                delta = deadline - vnow
-                if delta > 0.0:
-                    when = now + delta / level
-                    vnow += level * (when - now)
-                    now = when
-                nlvl -= 1
-                cls[cid] = 0
-                epo[cid] += 1
-                i = idx[cid]
-                timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
-                idx[cid] = i + 1
-                if nlvl == 0:
-                    level = math.inf
-                    return
-                level = (capacity - capsum) / nlvl
-                if sufmin[j + 1] <= level:
-                    # The survivors are exactly the live level-bound set;
-                    # rebuild the lazy heaps outright rather than letting
-                    # ``peek`` drain the completed entries one heappop at
-                    # a time.  Sorted lists are valid heaps, and the live
-                    # tops — all ``rebalance`` reads — are unchanged.
-                    survivors = entries[j + 1:]
-                    lvl_heap[:] = survivors
-                    lvlmin_heap[:] = sorted(
-                        (ecap[e[1] >> _EPOCH_BITS], e[1])
-                        for e in survivors)
-                    rebalance()
-                    return
-
-        def _drain_tail_numpy(entries):
-            """Vectorized tail drain: closed-form finish times.
-
-            In exact arithmetic the event loop's virtual time after
-            completing stream j is ``max(vnow, d_j)`` and its level is
-            ``(capacity - capsum) / (nlvl - j)``, so finish times are a
-            cumulative sum over the sorted deadline gaps.  Differs from
-            the pure path only in float rounding (differentially tested).
-            """
-            nonlocal now, vnow, nlvl, level
-            m = len(entries)
-            d_arr = _np.array([e[0] for e in entries])
-            caps = _np.array([ecap[e[1] >> _EPOCH_BITS] for e in entries])
-            prev_v = _np.empty(m)
-            prev_v[0] = vnow
-            _np.maximum(d_arr[:-1], vnow, out=prev_v[1:])
-            deltas = _np.maximum(d_arr - prev_v, 0.0)
-            counts = nlvl - _np.arange(m)
-            levels = (capacity - capsum) / counts
-            levels[0] = level
-            finishes = now + _np.cumsum(deltas / levels)
-            # Streams beyond the first whose cap meets the risen level
-            # must go back through ``rebalance`` (promotion).
-            cut = m
-            if m > 1:
-                sufmin = _np.minimum.accumulate(caps[::-1])[::-1]
-                bad = _np.nonzero(sufmin[1:] <= levels[1:])[0]
-                if bad.size:
-                    cut = int(bad[0]) + 1
-            # No epoch bump on completion: ``cls`` going 0 already stales
-            # every heap entry, and the next begin bumps the epoch anyway.
-            fin = finishes.tolist()
-            for (_, pack), f in zip(entries[:cut], fin):
-                cid = pack >> _EPOCH_BITS
-                cls[cid] = 0
-                i = idx[cid]
-                timings[qkey[cid][i]] = TransferTiming(strt[cid], f)
-                idx[cid] = i + 1
-            last = float(finishes[cut - 1])
-            if last > now:
-                now = last
-            top_v = float(d_arr[cut - 1])
-            if top_v > vnow:
-                vnow = top_v
-            nlvl -= cut
-            if nlvl == 0:
-                level = math.inf
-                return
-            survivors = entries[cut:]
-            lvl_heap[:] = survivors
-            lvlmin_heap[:] = sorted(
-                (ecap[e[1] >> _EPOCH_BITS], e[1]) for e in survivors)
-            level = (capacity - capsum) / nlvl
-            rebalance()
-
-        def drain_setups_numpy():
-            """Vectorized begin wave (``REPRO_SOLVER=numpy``).
-
-            In the saturated regime (no capped streams) a fleet fan-out
-            presents a long run of setup-end events before any stream
-            completes, and every begin takes the saturated fast path —
-            a pure arithmetic recurrence (level falls as ``C / nlvl``,
-            virtual time integrates the level, each stream's virtual
-            deadline is fixed at its begin instant).  Compute the run in
-            closed form, stopping at the first setup where the fast path
-            would not fire or a completion would interleave; the event
-            loop resumes there.  Returns the number of setups consumed.
-            """
-            nonlocal now, vnow, nlvl, level, blockers
-            ends = sorted(setup_heap)
-            total = len(ends)
-            cids = [entry[1] >> _EPOCH_BITS for entry in ends]
-            t_arr = _np.array([entry[0] for entry in ends])
-            sizes = _np.array([float(qsize[c][idx[c]]) for c in cids])
-            caps = _np.array([qcap[c][idx[c]] for c in cids])
-            counts = nlvl + _np.arange(total)        # nlvl at begin i
-            share = (capacity - (capsum + caps)) / counts
-            # level on the interval ending at begin i (after i demotes)
-            lvls = _np.empty(total)
-            lvls[0] = level
-            lvls[1:] = (capacity - capsum) / counts[1:]
-            gaps = _np.empty(total)
-            gaps[0] = t_arr[0] - now
-            _np.subtract(t_arr[1:], t_arr[:-1], out=gaps[1:])
-            v_arr = vnow + _np.cumsum(_np.maximum(gaps, 0.0) * lvls)
-            deadlines = v_arr + (sizes / caps) * caps
-            # Fast-path validity: the begin demotes itself and promotes
-            # nothing — its cap and every level-bound cap exceed the
-            # post-entry share.
-            top = peek(lvlmin_heap, 2)
-            prev_cap_min = top[0] if top is not None else math.inf
-            lvl_cap_min = _np.empty(total)
-            lvl_cap_min[0] = prev_cap_min
-            if total > 1:
-                _np.minimum(_np.minimum.accumulate(caps)[:-1], prev_cap_min,
-                            out=lvl_cap_min[1:])
-            ok = (sizes > 0.0) & (caps > share) & (lvl_cap_min > share)
-            # Completion interleave: after begin i the earliest virtual
-            # deadline must not complete before setup i+1 ends.
-            top = peek(lvl_heap, 2)
-            dmin = _np.minimum.accumulate(deadlines)
-            if top is not None:
-                dmin = _np.minimum(dmin, top[0])
-            t_comp = t_arr + _np.maximum(dmin - v_arr, 0.0) \
-                * (counts + 1) / (capacity - capsum)
-            ok[1:] &= t_comp[:-1] >= t_arr[1:]
-            bad = _np.nonzero(~ok)[0]
-            consumed = int(bad[0]) if bad.size else total
-            if consumed == 0:
-                return 0
-            for cid, cap, deadline in zip(cids[:consumed], caps.tolist(),
-                                          deadlines.tolist()):
-                cls[cid] = 2
-                ecap[cid] = cap
-                dat[cid] = deadline
-                epo[cid] += 1
-                pack = cid << _EPOCH_BITS | epo[cid]
-                lvl_heap.append((deadline, pack))
-                lvlmin_heap.append((cap, pack))
-                if idx[cid] + 1 < qlen[cid]:
-                    blockers += 1
-            heapq.heapify(lvl_heap)
-            heapq.heapify(lvlmin_heap)
-            if consumed == total:
-                del setup_heap[:]
-            else:
-                setup_heap[:] = ends[consumed:]  # sorted list is a heap
-            nlvl += consumed
-            now = float(t_arr[consumed - 1])
-            last_v = float(v_arr[consumed - 1])
-            if last_v > vnow:
-                vnow = last_v
-            rebalance()
-            return consumed
-
+                st.qcap.append([bw if bw <= limit else float(limit)
+                                for bw in cols[3]])
+        n = len(st.chans)
+        st.qlen = [len(keys) for keys in st.qkey]
+        st.remaining = sum(st.qlen)
+        st.idx = [0] * n
+        st.strt = [start_time] * n
+        st.cls = [0] * n
+        st.ecap = [0.0] * n
+        st.dat = [0.0] * n
+        st.epo = [0] * n
+        st.lastfin = [start_time] * n
         for cid in range(n):
-            push(setup_heap, (start_time + qsetup[cid][0],
-                              cid << _EPOCH_BITS))
-
-        while True:
-            # Every stored timing is one completed item; once all items
-            # are done, skip draining the (now all-stale) lazy heaps.
-            # Duplicate user keys merely disable this early exit.
-            if len(timings) == total_items:
-                break
-            if (capacity is not None and ncap == 0 and nlvl > 1
-                    and blockers == 0 and not setup_heap):
-                drain_tail()
-                continue
-            # Next event: a setup ending, a capped stream draining, or the
-            # earliest virtual deadline among level-bound streams.
-            best_when = best_kind = best_cid = None
-            if setup_heap:
-                when, pack = setup_heap[0]
-                best_when, best_kind, best_cid = \
-                    when, 0, pack >> _EPOCH_BITS
-            top = peek(cap_heap, 1)
-            if top is not None and (best_when is None or top[0] < best_when):
-                best_when, best_kind, best_cid = top[0], 1, top[1]
-            top = peek(lvl_heap, 2)
-            if top is not None:
-                delta = top[0] - vnow
-                when = now + (delta if delta > 0.0 else 0.0) / level
-                if best_when is None or when < best_when:
-                    best_when, best_kind, best_cid = when, 2, top[1]
-            if best_when is None:
-                break
-            if best_kind == 0 and use_numpy and capacity is not None \
-                    and ncap == 0 and nlvl > 0 and len(setup_heap) >= 64:
-                if drain_setups_numpy():
-                    continue
-            if best_when < now:
-                best_when = now
-            if nlvl and best_when > now:
-                vnow += level * (best_when - now)
-            now = best_when
-            if best_kind == 0:
-                heapq.heappop(setup_heap)
-                begin_transfer(best_cid)
-            else:
-                complete_stream(best_cid)
-        return timings
+            heapq.heappush(st.setup_heap,
+                           (start_time + st.qsetup[cid][0],
+                            cid << _EPOCH_BITS))
+        return _run_engine(st, None)
 
     # -- reference solver (PR 2), for differential testing -------------------
 
@@ -663,6 +868,11 @@ class ParallelTransferSchedule:
         rebuilt (with a sort) at every event.  O(events × channels log
         channels) — kept only to differentially validate :meth:`solve`,
         which must agree with it to float tolerance."""
+        if self._stream is not None:
+            raise RuntimeError(
+                "solve_reference needs the materialized queue mirror, "
+                "which streaming mode never builds"
+            )
         timings: dict[object, TransferTiming] = {}
         # Per-channel cursor state: (queue index, phase, phase datum).
         # phase "setup" -> datum is the absolute end of the setup phase;
@@ -718,3 +928,277 @@ class ParallelTransferSchedule:
                     else:
                         del state[channel]
         return timings
+
+
+class ScheduleStream:
+    """A persistent solver core with frontier advancement and retirement.
+
+    The streaming contract (everything else follows from the solver's
+    monotonicity):
+
+    * the driver advances the frontier only *between* trace events, to
+      the current event's instant — :meth:`advance_to`;
+    * every enqueue issued while processing an event at time T begins
+      its payload at or after T (wave pins, ``not_before`` gaps, and
+      fresh channels' setup offsets all guarantee this — a violation
+      raises at enqueue time);
+
+    so a completion at or before the frontier can never be perturbed by
+    later load: its timing is **final**.  ``advance_to`` settles those
+    completions (collect them with :meth:`drain`), reclaims consumed
+    queue prefixes, and retires fully drained channels — their dense
+    slot returns to a free list and only one float (the channel's last
+    finish, the anchor a later revival chains its setup off) survives in
+    :attr:`finished`.  Mid-plan ``solve()`` clones the live core and runs
+    the clone to exhaustion; because the clone's state at the frontier
+    equals a from-scratch solve's state there, mid-plan timings match the
+    materialized path exactly while costing O(active streams).
+    """
+
+    #: Settle-before-frontier slack for float round-off in wave-gap
+    #: arithmetic (``free + (at - free)`` may undershoot ``at`` by ulps).
+    _SLACK = 1e-9
+
+    def __init__(self, schedule: ParallelTransferSchedule,
+                 start_time: float = 0.0):
+        use_numpy = _np is not None \
+            and os.environ.get("REPRO_SOLVER") == "numpy"
+        self._schedule = schedule
+        self._st = _EngineState(schedule._downlink, start_time, use_numpy)
+        self._cid_of: dict[object, int] = {}
+        self._free_cids: list[int] = []
+        #: Retired channels' last completion instant (revival anchor and
+        #: the post-retirement answer of :meth:`channel_free`).
+        self.finished: dict[object, float] = {}
+        self._settled: dict[object, TransferTiming] = {}
+        self._frontier = start_time
+        #: Largest settled finish so far (the plan-wall running max).
+        self.max_finish = start_time
+        #: Lifetime counters (bench/test introspection).
+        self.total_enqueued = 0
+        self.total_settled = 0
+
+    @property
+    def start_time(self) -> float:
+        return self._st.start_time
+
+    @property
+    def frontier(self) -> float:
+        return self._frontier
+
+    @property
+    def pending_items(self) -> int:
+        """Enqueued-not-yet-completed items in the live core."""
+        return self._st.remaining
+
+    @property
+    def live_channels(self) -> int:
+        return len(self._cid_of)
+
+    def _register(self, channel: object) -> int:
+        st = self._st
+        resume_at = self.finished.pop(channel, st.start_time)
+        if self._free_cids:
+            cid = self._free_cids.pop()
+            st.chans[cid] = channel
+            st.idx[cid] = 0
+            st.qlen[cid] = 0
+            # ``epo`` is deliberately NOT reset: stale heap entries from
+            # the slot's previous tenant must never match a fresh epoch.
+        else:
+            cid = len(st.chans)
+            st.chans.append(channel)
+            st.qkey.append([])
+            st.qsetup.append([])
+            st.qsize.append([])
+            st.qcap.append([])
+            st.qlen.append(0)
+            st.idx.append(0)
+            st.strt.append(0.0)
+            st.cls.append(0)
+            st.ecap.append(0.0)
+            st.dat.append(0.0)
+            st.epo.append(0)
+            st.lastfin.append(0.0)
+        st.strt[cid] = resume_at
+        st.lastfin[cid] = resume_at
+        st.cls[cid] = 0
+        st.ecap[cid] = 0.0
+        st.dat[cid] = 0.0
+        self._cid_of[channel] = cid
+        return cid
+
+    def _enqueue(self, channel: object, key: object, setup: float,
+                 size_bytes: int, bandwidth: float):
+        st = self._st
+        cid = self._cid_of.get(channel)
+        if cid is None:
+            cid = self._register(channel)
+        limit = self._schedule._channel_caps.get(channel)
+        cap = bandwidth if limit is None or bandwidth <= limit \
+            else float(limit)
+        i = st.idx[cid]
+        n = st.qlen[cid]
+        if st.cls[cid] == 0 and i == n:
+            # Idle (or brand-new) channel: chain the setup phase off the
+            # last completion, exactly where a from-scratch solve of the
+            # full history would have started it.
+            base = st.lastfin[cid]
+            end = base + setup
+            if end < self._frontier - self._SLACK:
+                raise ValueError(
+                    "streaming contract violation: enqueue on "
+                    f"{channel!r} would begin its payload at {end} — "
+                    f"before the settled frontier {self._frontier}"
+                )
+            st.strt[cid] = base
+            heapq.heappush(st.setup_heap, (end, cid << _EPOCH_BITS))
+        elif st.cls[cid] != 0 and n == i + 1:
+            # The channel's active payload had no queued successor when
+            # it began, so its begin never counted a blocker; this append
+            # retro-counts it (the completion will decrement it).
+            st.blockers += 1
+        st.qkey[cid].append(key)
+        st.qsetup[cid].append(setup)
+        st.qsize[cid].append(size_bytes)
+        st.qcap[cid].append(cap)
+        st.qlen[cid] += 1
+        st.remaining += 1
+        self.total_enqueued += 1
+
+    def advance_to(self, at: float) -> dict[object, TransferTiming]:
+        """Process every event at or before ``at``; settle and retire.
+
+        Returns the completions settled by this advance (also merged
+        into the undrained buffer until :meth:`drain` collects them).
+        """
+        if at < self._frontier:
+            raise ValueError(
+                f"streaming frontier must not move backwards: {at} < "
+                f"{self._frontier}"
+            )
+        self._frontier = at
+        st = self._st
+        _run_engine(st, at)
+        self._schedule._version += 1
+        fresh = st.timings
+        if fresh:
+            st.timings = {}
+            max_finish = self.max_finish
+            for timing in fresh.values():
+                if timing.finish > max_finish:
+                    max_finish = timing.finish
+            self.max_finish = max_finish
+            self.total_settled += len(fresh)
+            self._settled.update(fresh)
+        # Reclaim consumed queue prefixes; retire fully drained channels.
+        for channel, cid in list(self._cid_of.items()):
+            i = st.idx[cid]
+            if st.cls[cid] == 0 and i == st.qlen[cid]:
+                self.finished[channel] = st.lastfin[cid]
+                del self._cid_of[channel]
+                st.chans[cid] = None
+                st.qkey[cid].clear()
+                st.qsetup[cid].clear()
+                st.qsize[cid].clear()
+                st.qcap[cid].clear()
+                st.qlen[cid] = 0
+                st.idx[cid] = 0
+                self._free_cids.append(cid)
+            elif i:
+                del st.qkey[cid][:i]
+                del st.qsetup[cid][:i]
+                del st.qsize[cid][:i]
+                del st.qcap[cid][:i]
+                st.qlen[cid] -= i
+                st.idx[cid] = 0
+        self._compact_heaps()
+        return fresh
+
+    def _compact_heaps(self):
+        """Drop stale lazy-heap entries once they dominate the heap.
+
+        Pop order over distinct (value, pack) tuples is their sorted
+        order whatever the internal arrangement, so filtering + heapify
+        preserves behaviour exactly.
+        """
+        st = self._st
+        live = st.ncap + st.nlvl + len(st.setup_heap)
+        bound = 4 * live + 64
+        cls = st.cls
+        epo = st.epo
+        for heap, code in ((st.cap_heap, 1), (st.lvl_heap, 2),
+                           (st.capmax_heap, 1), (st.lvlmin_heap, 2)):
+            if len(heap) > bound:
+                heap[:] = [
+                    entry for entry in heap
+                    if cls[entry[1] >> _EPOCH_BITS] == code
+                    and epo[entry[1] >> _EPOCH_BITS]
+                    == entry[1] & _EPOCH_MASK
+                ]
+                heapq.heapify(heap)
+
+    def drain(self) -> dict[object, TransferTiming]:
+        """Take (and forget) every settled-but-undrained completion.
+
+        After a drain the stream no longer knows these items existed:
+        mid-plan ``solve()`` results stop including them, so callers must
+        fold whatever they need (metrics, wave records, per-channel
+        bookkeeping) before or at drain time.
+        """
+        out = self._settled
+        self._settled = {}
+        return out
+
+    def channel_free(self, channel: object) -> float | None:
+        """When this channel's enqueued work is done.
+
+        ``inf`` while the channel is live (its in-flight work finishes
+        after the frontier — any finite mid-plan estimate would also land
+        there, so wave-gap arithmetic ``max(0, at - free)`` is identical);
+        the exact last finish once retired; ``None`` if never seen.
+        """
+        if channel in self._cid_of:
+            return math.inf
+        return self.finished.get(channel)
+
+    def forget_channel(self, channel: object):
+        """Drop a retired channel's last-finish anchor entirely.
+
+        Only for channels that will never be enqueued again (a retired
+        fleet client): a later revival would chain off the stream start
+        instead of the true last finish.
+        """
+        if channel in self._cid_of:
+            raise ValueError(f"channel {channel!r} is still live")
+        self.finished.pop(channel, None)
+
+    def solve_pending(self) -> dict[object, TransferTiming]:
+        """Timings of everything not yet drained, as a from-scratch
+        ``solve()`` over the full history would report them.
+
+        Clones the live core (O(active state)) and runs the clone to
+        exhaustion; merges the settled-but-undrained buffer.
+        """
+        clone = self._st.clone()
+        _run_engine(clone, None)
+        result = dict(self._settled)
+        result.update(clone.timings)
+        return result
+
+    def stats(self) -> dict:
+        """Live-core footprint counters (bench/test introspection)."""
+        st = self._st
+        return {
+            "live_channels": len(self._cid_of),
+            "free_slots": len(self._free_cids),
+            "pending_items": st.remaining,
+            "queued_cells": sum(st.qlen),
+            "settled_undrained": len(self._settled),
+            "finished_anchors": len(self.finished),
+            "heap_cells": (len(st.setup_heap) + len(st.cap_heap)
+                           + len(st.lvl_heap) + len(st.capmax_heap)
+                           + len(st.lvlmin_heap)),
+            "total_enqueued": self.total_enqueued,
+            "total_settled": self.total_settled,
+        }

@@ -86,16 +86,24 @@ class TpmQuote:
 class Tpm:
     """A TPM instance bound to one (simulated) machine."""
 
-    def __init__(self, serial: str, key_bits: int = 1024):
+    def __init__(self, serial: str, key_bits: int = 1024,
+                 attestation_seed: int | None = None):
         self.serial = serial
         self.pcr_bank = PcrBank()
         self.event_log: list[EventLogEntry] = []
         self._counters: dict[str, int] = {}
         self._nv_storage: dict[str, bytes] = {}
-        # Attestation key: deterministic per serial so fleets are reproducible.
+        # Attestation key: deterministic per serial so fleets are
+        # reproducible.  ``attestation_seed`` overrides the per-serial
+        # derivation so a large simulated fleet can share one (memoized)
+        # keypair instead of paying a prime search per node — attestation
+        # *identity* is then shared, which is fine for transfer/update
+        # experiments but not for attestation ones.
+        if attestation_seed is None:
+            attestation_seed = int.from_bytes(
+                sha256_bytes(serial.encode())[:8], "big")
         self._attestation_key = generate_keypair(
-            key_bits, seed=int.from_bytes(sha256_bytes(serial.encode())[:8], "big")
-        )
+            key_bits, seed=attestation_seed)
 
     # -- measurement -----------------------------------------------------------
 

@@ -87,6 +87,172 @@ def summarize_latencies(values: Iterable[float]) -> LatencySummary:
     )
 
 
+class QuantileSketch:
+    """Mergeable bounded-memory quantile estimator (t-digest style).
+
+    Values are absorbed into O(``compression``) weighted centroids (a
+    few hundred at the default, independent of how many values stream
+    through); quantiles interpolate between adjacent centroid means.
+    Centroid capacity follows the t-digest scale function — tight near
+    the tails, generous in the middle — via the weight limit
+    ``4 n q (1 - q) / compression`` for a centroid sitting at quantile
+    ``q``, so tail quantiles stay sharp as ``n`` grows.
+
+    Error contract (asserted by the sketch test suite):
+
+    * ``quantile(q)`` is exact while fewer than ``compression`` distinct
+      values were added (every value keeps its own centroid);
+    * otherwise the *rank* error is bounded: the reported value's true
+      rank is within ``2 / compression`` (in quantile units, e.g. 2 %
+      at the default ``compression=100``) of ``q`` — value error on
+      heavy-tailed data follows the local density;
+    * ``quantile(0)`` / ``quantile(100)`` are the exact min / max
+      (tracked outside the centroids);
+    * streaming order does not change the bound, and neither does
+      :meth:`merge` — merging sketches of two halves obeys the same
+      contract as one sketch of the concatenation (merge is commutative
+      up to float round-off, not bitwise associative).
+
+    The interpolation guard mirrors :func:`percentile`'s: equal
+    neighbouring centroids short-circuit, so subnormal tails cannot
+    underflow to 0.0 mid-interpolation.
+    """
+
+    __slots__ = ("compression", "_means", "_weights", "_buffer",
+                 "count", "_min", "_max")
+
+    def __init__(self, compression: int = 100):
+        if compression < 20:
+            raise ValueError(f"compression too small: {compression}")
+        self.compression = compression
+        self._means: list[float] = []
+        self._weights: list[float] = []
+        self._buffer: list[tuple[float, float]] = []
+        self.count = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float, weight: float = 1.0):
+        if weight <= 0:
+            raise ValueError(f"non-positive weight: {weight}")
+        value = float(value)
+        self._buffer.append((value, weight))
+        self.count += weight
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._buffer) >= 2 * self.compression:
+            self._compress()
+
+    def extend(self, values: Iterable[float]):
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QuantileSketch"):
+        """Fold ``other``'s mass into this sketch (other is unchanged)."""
+        self._buffer.extend(zip(other._means, other._weights))
+        self._buffer.extend(other._buffer)
+        self.count += other.count
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        self._compress()
+
+    def _compress(self):
+        """Re-cluster all mass under the scale-function weight limits."""
+        pending = sorted(
+            self._buffer + list(zip(self._means, self._weights)))
+        self._buffer.clear()
+        if not pending:
+            return
+        total = sum(w for _, w in pending)
+        means: list[float] = []
+        weights: list[float] = []
+        seen = 0.0
+        acc_mean, acc_w = pending[0]
+        seen = acc_w
+        for mean, w in pending[1:]:
+            q = (seen - acc_w / 2.0) / total
+            limit = 4.0 * total * q * (1.0 - q) / self.compression
+            if acc_w + w <= max(limit, 1.0):
+                acc_mean += (mean - acc_mean) * (w / (acc_w + w))
+                acc_w += w
+            else:
+                means.append(acc_mean)
+                weights.append(acc_w)
+                acc_mean, acc_w = mean, w
+            seen += w
+        means.append(acc_mean)
+        weights.append(acc_w)
+        self._means = means
+        self._weights = weights
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in percent, as
+        :func:`percentile`)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q out of range: {q}")
+        if self.count == 0:
+            raise ValueError("quantile of empty sketch")
+        if self._buffer:
+            self._compress()
+        means = self._means
+        weights = self._weights
+        if q == 0:
+            return self._min
+        if q == 100:
+            return self._max
+        if len(means) == 1:
+            return means[0]
+        if len(means) == self.count:
+            # Every centroid is a singleton (nothing was ever merged):
+            # answer exactly, in :func:`percentile`'s convention.
+            return percentile(means, q)
+        target = (q / 100.0) * self.count
+        # Centroid i covers ranks centred at (cumulative before i) + w/2.
+        seen = 0.0
+        prev_mean, prev_rank = self._min, 0.0
+        for mean, w in zip(means, weights):
+            rank = seen + w / 2.0
+            if target <= rank:
+                if rank == prev_rank or mean == prev_mean:
+                    return mean
+                fraction = (target - prev_rank) / (rank - prev_rank)
+                return prev_mean + (mean - prev_mean) * fraction
+            prev_mean, prev_rank = mean, rank
+            seen += w
+        if self._max == prev_mean or self.count == prev_rank:
+            return self._max
+        fraction = (target - prev_rank) / (self.count - prev_rank)
+        return prev_mean + (self._max - prev_mean) * fraction
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot; :meth:`from_dict` round-trips it."""
+        if self._buffer:
+            self._compress()
+        return {
+            "compression": self.compression,
+            "count": self.count,
+            "min": None if self.count == 0 else self._min,
+            "max": None if self.count == 0 else self._max,
+            "means": list(self._means),
+            "weights": list(self._weights),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuantileSketch":
+        sketch = cls(compression=payload["compression"])
+        sketch._means = [float(m) for m in payload["means"]]
+        sketch._weights = [float(w) for w in payload["weights"]]
+        sketch.count = float(payload["count"])
+        if payload["min"] is not None:
+            sketch._min = float(payload["min"])
+            sketch._max = float(payload["max"])
+        return sketch
+
+
 def human_bytes(size: float) -> str:
     """Render a byte count for table output, e.g. ``3.1 GB``."""
     magnitude = float(size)

@@ -17,6 +17,7 @@ sanitization size overhead and timing reproduce the shapes of Figs. 8-9
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 from dataclasses import dataclass, field
@@ -344,14 +345,154 @@ class Trace:
     #: ``[0, max(horizon, last activity)]``.
     horizon: float
     seed: int = 0
+    #: Sort-once cache for :meth:`ordered` — replay walks the processing
+    #: order once per pass (and tests re-request it), so re-sorting the
+    #: full list per access was pure waste.  Invalidated by length (the
+    #: only supported mutation is appending events).
+    _ordered_cache: list[TraceEvent] | None = field(
+        default=None, repr=False, compare=False)
 
     def ordered(self) -> list[TraceEvent]:
-        """Events in processing order: by time, ties by kind causality."""
+        """Events in processing order: by time, ties by kind causality.
+
+        Sorted once and cached; repeated calls return the *same* list
+        object (treat it as read-only).  Appending to ``events`` after a
+        call invalidates the cache.
+        """
+        cache = self._ordered_cache
+        if cache is not None and len(cache) == len(self.events):
+            return cache
         rank = {kind: i for i, kind in enumerate(TRACE_KINDS)}
-        return sorted(self.events, key=lambda e: (e.at, rank[e.kind]))
+        cache = sorted(self.events, key=lambda e: (e.at, rank[e.kind]))
+        self._ordered_cache = cache
+        return cache
+
+    def iter_events(self):
+        """Iterate events in processing order (materialized traces just
+        walk the cached sort; :class:`StreamingTrace` generates)."""
+        return iter(self.ordered())
 
     def rounds(self) -> int:
         return sum(1 for e in self.events if e.kind == "refresh")
+
+
+@dataclass
+class StreamingTrace:
+    """A :func:`generate_trace` plan that is never materialized.
+
+    Duck-types the :class:`Trace` surface the replay consumes
+    (``iter_events`` / ``horizon`` / ``seed`` / ``rounds()``) but holds
+    only the generation parameters: :meth:`iter_events` re-derives the
+    event stream on every call, emitting events in exactly the order
+    ``Trace.ordered()`` would (a k-way merge over the per-round
+    generators, buffering only the rounds whose time windows overlap),
+    so a 10^3-round / 10^5-client plan costs O(overlapping rounds)
+    memory instead of O(rounds × clients-per-wave).
+    """
+
+    n_rounds: int
+    interval: float
+    publish_fraction: float = 0.1
+    sync_lag: float = 0.2
+    refresh_lag: float = 0.4
+    pull_lag: float = 0.8
+    installs_per_client: int = 1
+    mirror_names: list[str] | None = None
+    lagging_mirrors: dict[str, float] | None = None
+    frozen_mirrors: tuple[str, ...] = ()
+    fleet_size: int | None = None
+    clients_per_wave: int | None = None
+    seed: int = 0
+
+    @property
+    def horizon(self) -> float:
+        return self.n_rounds * self.interval + self.pull_lag
+
+    def rounds(self) -> int:
+        return self.n_rounds
+
+    def iter_events(self):
+        """Generate the trace in processing order, lazily.
+
+        Later rounds can start before an earlier round's laggy events
+        fire (``pull_lag > interval``), so per-round streams are merged
+        through a small heap: round ``r`` is loaded only once the heap
+        top's instant reaches ``r * interval`` (a publish — every
+        round's earliest event — sorts first among ties, so nothing
+        unloaded can precede an emitted event).  Tie order inside the
+        heap falls back to a generation counter, reproducing the stable
+        sort's append-order tie-break exactly.
+        """
+        rank = {kind: i for i, kind in enumerate(TRACE_KINDS)}
+        lagging = dict(self.lagging_mirrors or {})
+        frozen = set(self.frozen_mirrors)
+        heap: list[tuple[float, int, int, TraceEvent]] = []
+        counter = 0
+        next_round = 0
+
+        def load(r: int):
+            nonlocal counter
+            for event in _round_events(
+                    r, self.interval, self.publish_fraction, self.sync_lag,
+                    self.refresh_lag, self.pull_lag,
+                    self.installs_per_client, self.mirror_names, lagging,
+                    frozen, self.seed, self.fleet_size,
+                    self.clients_per_wave):
+                heapq.heappush(
+                    heap, (event.at, rank[event.kind], counter, event))
+                counter += 1
+
+        while next_round < self.n_rounds or heap:
+            while next_round < self.n_rounds and (
+                    not heap
+                    or next_round * self.interval <= heap[0][0]):
+                load(next_round)
+                next_round += 1
+            yield heapq.heappop(heap)[3]
+
+    def ordered(self) -> list[TraceEvent]:
+        """Materialize the processing order (small traces / debugging)."""
+        return list(self.iter_events())
+
+
+def _wave_clients(r: int, fleet_size: int | None,
+                  clients_per_wave: int | None) -> tuple[int, ...] | None:
+    """Round-robin pull rotation: wave ``r`` covers ``clients_per_wave``
+    consecutive client indices starting at ``r * clients_per_wave`` (mod
+    fleet size), so every client pulls once per ``ceil(N/k)`` rounds and
+    a wave's active set — hence solver and fleet state — is O(k), not
+    O(N).  ``None`` (no rotation) keeps the whole-fleet wave."""
+    if fleet_size is None or clients_per_wave is None:
+        return None
+    k = min(clients_per_wave, fleet_size)
+    base = (r * k) % fleet_size
+    return tuple((base + j) % fleet_size for j in range(k))
+
+
+def _round_events(r: int, interval: float, publish_fraction: float,
+                  sync_lag: float, refresh_lag: float, pull_lag: float,
+                  installs_per_client: int,
+                  mirror_names: list[str] | None, lagging: dict[str, float],
+                  frozen: set[str], seed: int, fleet_size: int | None,
+                  clients_per_wave: int | None):
+    """One round's events, in the materialized builder's append order."""
+    t0 = r * interval
+    yield TraceEvent(at=t0, kind="publish",
+                     fraction=publish_fraction, seed=seed + r)
+    if mirror_names is None:
+        yield TraceEvent(at=t0 + sync_lag, kind="mirror_sync")
+    else:
+        for mirror in mirror_names:
+            if mirror in frozen:
+                continue
+            lag = lagging.get(mirror, 0.0)
+            yield TraceEvent(at=t0 + sync_lag + lag, kind="mirror_sync",
+                             mirrors=(mirror,))
+    yield TraceEvent(at=t0 + refresh_lag, kind="refresh")
+    yield TraceEvent(at=t0 + pull_lag, kind="fleet_pull",
+                     installs_per_client=installs_per_client,
+                     clients=_wave_clients(r, fleet_size, clients_per_wave),
+                     seed=seed + r)
 
 
 def generate_trace(rounds: int, interval: float, *,
@@ -363,7 +504,10 @@ def generate_trace(rounds: int, interval: float, *,
                    mirror_names: list[str] | None = None,
                    lagging_mirrors: dict[str, float] | None = None,
                    frozen_mirrors: tuple[str, ...] = (),
-                   seed: int = 0) -> Trace:
+                   fleet_size: int | None = None,
+                   clients_per_wave: int | None = None,
+                   streaming: bool = False,
+                   seed: int = 0) -> Trace | StreamingTrace:
     """A publish → sync → refresh → pull cycle repeated ``rounds`` times.
 
     Every round ``r`` starts at ``r * interval``: upstream publishes a
@@ -373,6 +517,12 @@ def generate_trace(rounds: int, interval: float, *,
     at ``refresh_lag``, and the fleet pulls at ``pull_lag``.  Pass
     ``mirror_names`` to emit per-mirror sync events (required when lag or
     freeze is used); with ``None`` one sync event covers every mirror.
+
+    ``fleet_size``/``clients_per_wave`` turn whole-fleet pull waves into
+    a round-robin rotation (see :func:`_wave_clients`) — the shape that
+    keeps a 10^5-client plan's *active* set small.  ``streaming=True``
+    returns a :class:`StreamingTrace` that generates the identical event
+    sequence lazily instead of materializing the list.
     """
     if rounds < 1:
         raise ValueError("a trace needs at least one round")
@@ -382,25 +532,24 @@ def generate_trace(rounds: int, interval: float, *,
     frozen = set(frozen_mirrors)
     if (lagging or frozen) and mirror_names is None:
         raise ValueError("per-mirror lag/freeze needs explicit mirror_names")
+    if (fleet_size is None) != (clients_per_wave is None):
+        raise ValueError(
+            "pull rotation needs both fleet_size and clients_per_wave")
+    if streaming:
+        return StreamingTrace(
+            n_rounds=rounds, interval=interval,
+            publish_fraction=publish_fraction, sync_lag=sync_lag,
+            refresh_lag=refresh_lag, pull_lag=pull_lag,
+            installs_per_client=installs_per_client,
+            mirror_names=mirror_names, lagging_mirrors=lagging_mirrors,
+            frozen_mirrors=frozen_mirrors, fleet_size=fleet_size,
+            clients_per_wave=clients_per_wave, seed=seed)
     events: list[TraceEvent] = []
     for r in range(rounds):
-        t0 = r * interval
-        events.append(TraceEvent(at=t0, kind="publish",
-                                 fraction=publish_fraction, seed=seed + r))
-        if mirror_names is None:
-            events.append(TraceEvent(at=t0 + sync_lag, kind="mirror_sync"))
-        else:
-            for mirror in mirror_names:
-                if mirror in frozen:
-                    continue
-                lag = lagging.get(mirror, 0.0)
-                events.append(TraceEvent(at=t0 + sync_lag + lag,
-                                         kind="mirror_sync",
-                                         mirrors=(mirror,)))
-        events.append(TraceEvent(at=t0 + refresh_lag, kind="refresh"))
-        events.append(TraceEvent(at=t0 + pull_lag, kind="fleet_pull",
-                                 installs_per_client=installs_per_client,
-                                 seed=seed + r))
+        events.extend(_round_events(
+            r, interval, publish_fraction, sync_lag, refresh_lag, pull_lag,
+            installs_per_client, mirror_names, lagging, frozen, seed,
+            fleet_size, clients_per_wave))
     return Trace(events=events, horizon=rounds * interval + pull_lag,
                  seed=seed)
 

@@ -10,7 +10,7 @@ deployment and measures what the paper leaves open: per-client
 publish) and end-to-end **update availability** latency, over dozens of
 rounds.
 
-Two composition modes:
+Three composition modes:
 
 * ``mode="serial"`` — today's composition: every event runs to completion
   before the next may start (``multi_tenant_refresh()`` then a fleet
@@ -26,6 +26,26 @@ Two composition modes:
   transfer table), and fleet waves are pinned at their trace instants via
   :class:`~repro.simnet.network.PlanFetchSession`.  Round k+1's quorum
   widens while round k's fleet pulls still drain the uplink.
+* ``mode="streaming"`` — the interleaved timeline at O(active) memory:
+  the schedule runs as a :class:`~repro.simnet.schedule.ScheduleStream`
+  whose frontier advances to each event's instant, completions are
+  drained and folded into online metric aggregates the moment they
+  settle (no per-client transition lists, no per-round report list, no
+  plan timeline), the scheduler retires drained download keys, and —
+  when the trace rotates pull waves over a large fleet — each client's
+  node is torn down once its final wave drains.  Staleness uses a lazy
+  telescoping fold (per client: current serial + last landing instant;
+  each landing charges ``max(0, t' - max(t_last, P(s)))`` where ``P(s)``
+  is the first publish instant with a serial newer than ``s``), which
+  telescopes to exactly :func:`staleness_seconds`; availability uses a
+  per-client pointer into the publish list.  Percentiles come from
+  mergeable :class:`~repro.util.stats.QuantileSketch` aggregates plus
+  per-window scalar curves instead of an end-of-run pass over all
+  samples.  Timings are identical to ``interleaved`` — the stream
+  replays the very same solver on the very same enqueues — so installs,
+  served serials, and published bytes match bit-for-bit; only the
+  metric *representation* changes (sums exact up to float re-association,
+  percentiles within the sketch's rank-error bound).
 
 Causality across in-flight rounds is kept by *versioned publications*
 (:meth:`~repro.core.service.TrustedSoftwareRepository.record_publication`):
@@ -50,7 +70,9 @@ interleaved ablation and the staleness/availability curves
 
 from __future__ import annotations
 
+import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.core.orchestrator import (
@@ -62,10 +84,11 @@ from repro.core.pipeline import MirrorDownloadScheduler
 from repro.simnet.network import PlanFetchSession
 from repro.simnet.schedule import ParallelTransferSchedule
 from repro.util.errors import PolicyError
+from repro.util.stats import QuantileSketch, percentile
 from repro.workload.generator import Trace, TraceEvent, evolve_packages
 from repro.workload.scenario import ClientFleet, Scenario, run_pull_wave
 
-REPLAY_MODES = ("interleaved", "serial")
+REPLAY_MODES = ("interleaved", "serial", "streaming")
 
 
 # -- staleness / availability metrics (pure, unit-testable) -------------------
@@ -157,6 +180,43 @@ class ClientTimeline:
 
 
 @dataclass
+class StreamingReplaySummary:
+    """Online-folded metrics of a ``mode="streaming"`` replay.
+
+    Everything here is accumulated as completions drain — per-client
+    state is three scalars and a publish pointer, fleet-wide percentiles
+    live in :class:`~repro.util.stats.QuantileSketch` aggregates, and
+    time-resolved shapes are per-window scalar folds (window ``i``
+    covers ``[i * window_seconds, (i+1) * window_seconds)``).
+    """
+
+    #: Sum / max over the fleet of per-client staleness seconds.
+    staleness_sum: float
+    staleness_max: float
+    #: Distribution of per-client staleness totals (never-pulled clients
+    #: included as zeros, so ``count`` equals the fleet size).
+    staleness_sketch: QuantileSketch
+    #: Catch-up latency fold over every caught-up (publish, client) pair.
+    availability_sum: float
+    availability_count: int
+    availability_max: float
+    availability_sketch: QuantileSketch
+    window_seconds: float
+    #: Fleet stale-seconds charged to each window (interval overlap).
+    window_stale_seconds: list[float]
+    #: Per window of the publish instant: [samples, sum, max] catch-up.
+    window_availability: list[list[float]]
+    #: Folded counters over the dropped per-round refresh reports.
+    refresh_totals: dict
+    #: How many fleet nodes were ever booted (lazy fleet introspection).
+    clients_booted: int
+    #: Peaks of the stream's live footprint, sampled at every drain.
+    peak_live_channels: int
+    peak_pending_items: int
+    final_stream_stats: dict
+
+
+@dataclass
 class TraceReplayReport:
     """Everything one trace replay measured."""
 
@@ -182,6 +242,10 @@ class TraceReplayReport:
     #: Fleet-wide delta accounting (:meth:`DeltaStats.as_dict`; all zeros
     #: when ``delta_updates`` is off).
     delta_stats: dict = field(default_factory=dict)
+    #: ``mode="streaming"`` only: the online-folded metric aggregates
+    #: (``timelines`` and ``refresh_rounds`` are then empty — per-client
+    #: and per-round records were retired as they drained).
+    streaming: StreamingReplaySummary | None = None
 
     @property
     def staleness_per_client(self) -> dict[str, float]:
@@ -189,6 +253,9 @@ class TraceReplayReport:
 
     @property
     def staleness_mean(self) -> float:
+        if self.streaming is not None:
+            return (self.streaming.staleness_sum / self.clients
+                    if self.clients else 0.0)
         if not self.timelines:
             return 0.0
         return sum(t.staleness for t in self.timelines.values()) \
@@ -196,12 +263,18 @@ class TraceReplayReport:
 
     @property
     def staleness_max(self) -> float:
+        if self.streaming is not None:
+            return self.streaming.staleness_max
         return max((t.staleness for t in self.timelines.values()),
                    default=0.0)
 
     @property
     def availability_mean(self) -> float:
         """Mean catch-up latency over every (publish, client) pair."""
+        if self.streaming is not None:
+            folded = self.streaming
+            return (folded.availability_sum / folded.availability_count
+                    if folded.availability_count else 0.0)
         samples = [
             latency
             for timeline in self.timelines.values()
@@ -212,10 +285,35 @@ class TraceReplayReport:
 
     @property
     def availability_max(self) -> float:
+        if self.streaming is not None:
+            return self.streaming.availability_max
         return max((latency
                     for timeline in self.timelines.values()
                     for latency in timeline.availability.values()
                     if latency is not None), default=0.0)
+
+    def staleness_quantile(self, q: float) -> float:
+        """``q``-th percentile of per-client staleness totals.
+
+        Exact over the timelines in the materialized modes; within the
+        sketch's rank-error bound in streaming mode.
+        """
+        if self.streaming is not None:
+            return self.streaming.staleness_sketch.quantile(q)
+        values = [t.staleness for t in self.timelines.values()]
+        return percentile(values, q) if values else 0.0
+
+    def availability_quantile(self, q: float) -> float:
+        """``q``-th percentile of catch-up latency samples."""
+        if self.streaming is not None:
+            return self.streaming.availability_sketch.quantile(q)
+        samples = [
+            latency
+            for timeline in self.timelines.values()
+            for latency in timeline.availability.values()
+            if latency is not None
+        ]
+        return percentile(samples, q) if samples else 0.0
 
     # Fleet wire-byte metrics (the delta-update ablation, EXPERIMENTS §8).
 
@@ -245,18 +343,26 @@ class TraceReplayReport:
 
     @property
     def deduped_downloads(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.refresh_totals["downloads_deduped"]
         return sum(r.downloads_deduped for r in self.refresh_rounds)
 
     @property
     def evicted_redownloads(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.refresh_totals["evicted_redownloads"]
         return sum(r.evicted_redownloads for r in self.refresh_rounds)
 
     @property
     def prescans(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.refresh_totals["prescans"]
         return sum(r.prescans for r in self.refresh_rounds)
 
     @property
     def downloaded_bytes(self) -> int:
+        if self.streaming is not None:
+            return self.streaming.refresh_totals["downloaded_bytes"]
         return sum(r.downloaded_bytes for r in self.refresh_rounds)
 
 
@@ -306,7 +412,9 @@ class TraceReplay:
                  max_streams: int | None = None,
                  tenants: list[str] | None = None,
                  link_bandwidth: float | None = None,
-                 delta_updates: bool = False):
+                 delta_updates: bool = False,
+                 window_seconds: float | None = None,
+                 shared_tpm_seed: int | None = None):
         if mode not in REPLAY_MODES:
             raise ValueError(
                 f"unknown replay mode {mode!r} (expected {REPLAY_MODES})"
@@ -326,9 +434,17 @@ class TraceReplay:
             else scenario.network.host(scenario.tsr.hostname).bandwidth
         )
         self._interleaved = mode == "interleaved"
+        self._streaming = mode == "streaming"
         self._clients = clients
         self._client_downlink = client_downlink
         self._delta_updates = delta_updates
+        self._window_seconds = window_seconds
+        #: Forwarded to :class:`ClientFleet`: one memoized attestation
+        #: keypair for the whole fleet instead of a prime search per
+        #: client boot.  Replay metrics never read the attestation key,
+        #: so both modes produce identical reports either way — set it
+        #: whenever the fleet is large.
+        self._shared_tpm_seed = shared_tpm_seed
 
     def _new_round_state(self) -> tuple[ParallelTransferSchedule,
                                         RefreshPlanState]:
@@ -340,6 +456,8 @@ class TraceReplay:
         return schedule, plan
 
     def run(self) -> TraceReplayReport:
+        if self._streaming:
+            return self._run_streaming()
         scenario = self._scenario
         trace = self._trace
         tsr = scenario.tsr
@@ -358,6 +476,7 @@ class TraceReplay:
             scenario, self._clients, name_prefix=f"replay-{trace.seed}",
             session=session, client_downlink=self._client_downlink,
             tenants=self._tenants, delta_updates=self._delta_updates,
+            shared_tpm_seed=self._shared_tpm_seed,
         )
 
         #: Baseline: the pre-trace population is "publish zero".
@@ -406,7 +525,7 @@ class TraceReplay:
                     frontier = max(frontier, report.finished_at)
                 elif event.kind == "fleet_pull":
                     clients = (fleet.clients if event.clients is None
-                               else [fleet.clients[i] for i in event.clients])
+                               else fleet.subset(event.clients))
                     if self._interleaved:
                         wave_schedule, wave_session = schedule, session
                     else:
@@ -497,7 +616,7 @@ class TraceReplay:
         return TraceReplayReport(
             mode=self._mode,
             rounds=len(refresh_rounds),
-            clients=len(fleet.clients),
+            clients=fleet.size,
             wall_elapsed=wall,
             horizon=horizon,
             installs=installs,
@@ -509,6 +628,331 @@ class TraceReplay:
             delta_updates=self._delta_updates,
             pull_wire_bytes=pull_wire_bytes,
             delta_stats=fleet.delta_stats().as_dict(),
+        )
+
+
+    # -- streaming mode -------------------------------------------------------
+
+    def _stale_window_width(self) -> float:
+        """Window width for the time-resolved folds (default: the trace's
+        round interval, else the horizon split evenly over its rounds)."""
+        if self._window_seconds is not None:
+            if self._window_seconds <= 0:
+                raise ValueError(
+                    f"window_seconds must be positive: {self._window_seconds}")
+            return self._window_seconds
+        interval = getattr(self._trace, "interval", None)
+        if interval:
+            return float(interval)
+        width = self._trace.horizon / max(1, self._trace.rounds())
+        return width if width > 0 else 1.0
+
+    def _run_streaming(self) -> TraceReplayReport:
+        scenario = self._scenario
+        trace = self._trace
+        tsr = scenario.tsr
+        window = self._stale_window_width()
+
+        schedule, plan = self._new_round_state()
+        plan.persistent_enclave_memo = True
+        plan.keep_timeline = False  # nothing streaming reads it; O(trace)
+        scheduler = plan.scheduler
+        stream = schedule.stream(0.0)
+        session = PlanFetchSession(scenario.network, schedule)
+        fleet = ClientFleet(
+            scenario, self._clients, name_prefix=f"replay-{trace.seed}",
+            session=session, client_downlink=self._client_downlink,
+            tenants=self._tenants, delta_updates=self._delta_updates,
+            lazy=True, shared_tpm_seed=self._shared_tpm_seed,
+        )
+
+        # Pre-scan the trace for each client's *final* pull wave (cheap:
+        # one extra lazy generation pass, no events retained).  Once that
+        # wave's last fetch drains, the client's node can be torn down.
+        final_wave: dict[int, int] = {}
+        final_all = -1
+        wave_total = 0
+        for ev in trace.iter_events():
+            if ev.kind != "fleet_pull":
+                continue
+            if ev.clients is None:
+                final_all = wave_total
+            else:
+                for i in ev.clients:
+                    final_wave[i] = wave_total
+            wave_total += 1
+
+        #: Baseline: the pre-trace population is "publish zero".
+        publishes: list[tuple[float, int]] = [(0.0, scenario.origin.serial)]
+        pub_serials: list[int] = [scenario.origin.serial]
+        for repo_id in self._tenants:
+            try:
+                tsr.get_index_bytes(repo_id)
+            except PolicyError:
+                continue  # tenant not refreshed before the trace
+            tsr.record_publication(repo_id, 0.0)
+
+        # -- online metric folds (the whole point: no transition lists) --
+        #: client name -> [serial, last landing, publish pointer, staleness].
+        cstate: dict[str, list] = {}
+        stale_sketch = QuantileSketch()
+        avail_sketch = QuantileSketch()
+        window_stale: list[float] = []
+        window_avail: list[list[float]] = []
+        avail_sum = 0.0
+        avail_count = 0
+        avail_max = 0.0
+
+        def first_newer(serial: int) -> float:
+            """Instant of the first publish strictly newer than ``serial``
+            (inf: the client is caught up with everything published)."""
+            i = bisect_right(pub_serials, serial)
+            return publishes[i][0] if i < len(publishes) else math.inf
+
+        def charge_windows(a: float, b: float):
+            i = int(a // window)
+            while a < b:
+                edge = (i + 1) * window
+                segment = min(b, edge) - a
+                if segment > 0:
+                    while len(window_stale) <= i:
+                        window_stale.append(0.0)
+                    window_stale[i] += segment
+                a = edge
+                i += 1
+
+        def fold_transition(name: str, landed: float, serial: int):
+            """One index landing: close the stale interval it ends (the
+            telescoping sum of these equals :func:`staleness_seconds`
+            exactly) and consume newly caught-up publishes."""
+            nonlocal avail_sum, avail_count, avail_max
+            state = cstate.get(name)
+            if state is None:
+                state = cstate[name] = [serial, landed, 0, 0.0]
+                ptr = 0
+            else:
+                old_serial, t_last, ptr, total = state
+                stale_from = max(t_last, first_newer(old_serial))
+                if landed > stale_from:
+                    total += landed - stale_from
+                    charge_windows(stale_from, landed)
+                state[0] = serial
+                state[1] = landed
+                state[3] = total
+            while ptr < len(publishes) and pub_serials[ptr] <= serial:
+                sample = landed - publishes[ptr][0]
+                avail_sum += sample
+                avail_count += 1
+                if sample > avail_max:
+                    avail_max = sample
+                avail_sketch.add(sample)
+                wi = int(publishes[ptr][0] // window)
+                while len(window_avail) <= wi:
+                    window_avail.append([0, 0.0, 0.0])
+                cell = window_avail[wi]
+                cell[0] += 1
+                cell[1] += sample
+                if sample > cell[2]:
+                    cell[2] = sample
+                ptr += 1
+            state[2] = ptr
+
+        # -- drained-key actions + retirement countdown ------------------
+        mark_of: dict[object, tuple[str, int]] = {}
+        last_of: dict[object, tuple[str, int]] = {}
+        pending_last: dict[int, int] = {}
+        last_registered: dict[int, object] = {}
+        final_issued: set[int] = set()
+        peak_live = 0
+        peak_pending = 0
+
+        def retire(index: int):
+            pending_last.pop(index, None)
+            last_registered.pop(index, None)
+            fleet.retire(index, plan_session=session)
+
+        def absorb(drained: dict):
+            nonlocal peak_live, peak_pending
+            if drained:
+                scheduler.retire_settled(drained)
+                for key, timing in drained.items():
+                    mark = mark_of.pop(key, None)
+                    if mark is not None:
+                        fold_transition(mark[0], timing.finish, mark[1])
+                    last = last_of.pop(key, None)
+                    if last is not None:
+                        index = last[1]
+                        pending_last[index] -= 1
+                        if not pending_last[index] and index in final_issued:
+                            retire(index)
+            live = stream.live_channels
+            if live > peak_live:
+                peak_live = live
+            pending = stream.pending_items
+            if pending > peak_pending:
+                peak_pending = pending
+
+        refresh_totals = {
+            "rounds": 0, "prescans": 0, "downloads_deduped": 0,
+            "evicted_redownloads": 0, "downloaded_bytes": 0,
+        }
+        pull_wire_bytes: list[int] = []
+        installs = 0
+        failed_pulls = 0
+        failed_installs = 0
+        wave_ordinal = 0
+
+        try:
+            for event in trace.iter_events():
+                stream.advance_to(event.at)
+                absorb(stream.drain())
+                start = event.at
+                if event.kind == "publish":
+                    publish_event(scenario, event, trace.seed)
+                    publishes.append((event.at, scenario.origin.serial))
+                    pub_serials.append(scenario.origin.serial)
+                elif event.kind == "mirror_sync":
+                    targets = (event.mirrors if event.mirrors is not None
+                               else list(scenario.mirrors))
+                    for name in targets:
+                        scenario.mirrors[name].sync()
+                elif event.kind == "refresh":
+                    repo_ids = list(event.tenants or self._tenants)
+                    report = RefreshOrchestrator(
+                        tsr, repo_ids, max_streams=self._max_streams,
+                        origin=start, plan_state=plan,
+                        advance_clock=False,
+                    ).run()
+                    refresh_totals["rounds"] += 1
+                    refresh_totals["prescans"] += report.prescans
+                    refresh_totals["downloads_deduped"] += \
+                        report.downloads_deduped
+                    refresh_totals["evicted_redownloads"] += \
+                        report.evicted_redownloads
+                    refresh_totals["downloaded_bytes"] += \
+                        report.downloaded_bytes
+                    for repo_id in repo_ids:
+                        tsr.record_publication(repo_id, report.finished_at)
+                elif event.kind == "fleet_pull":
+                    indices = (range(fleet.size) if event.clients is None
+                               else event.clients)
+                    clients = fleet.subset(indices)
+                    fleet.set_as_of(start)
+                    session.begin_wave(start)
+                    wave_rng = random.Random(
+                        f"trace-pull:{trace.seed}:{event.seed}:{event.at}")
+                    wire_before = session.total_wire_bytes
+                    outcome = run_pull_wave(
+                        clients, wave_rng, event.installs_per_client,
+                        plan_session=session, tolerate_failures=True,
+                    )
+                    pull_wire_bytes.append(
+                        session.total_wire_bytes - wire_before)
+                    installs += outcome.installs
+                    failed_pulls += outcome.failed_pulls
+                    failed_installs += outcome.failed_installs
+                    for name, serial in outcome.served_serial.items():
+                        key = outcome.index_keys.get(name)
+                        if key is None:
+                            # No fetch was scheduled (e.g. answered from
+                            # local state): the index lands at wave start.
+                            fold_transition(name, start, serial)
+                        else:
+                            mark_of[key] = (name, serial)
+                    name_to_index = {client.name: i
+                                     for i, client in zip(indices, clients)}
+                    for name, key in outcome.last_keys.items():
+                        index = name_to_index[name]
+                        # A failed pull can report a *previous* wave's key
+                        # (possibly already drained): never re-register it.
+                        if key is None or key == last_registered.get(index):
+                            continue
+                        last_registered[index] = key
+                        last_of[key] = (name, index)
+                        pending_last[index] = pending_last.get(index, 0) + 1
+                    for index in indices:
+                        if wave_ordinal == max(final_wave.get(index, -1),
+                                               final_all):
+                            final_issued.add(index)
+                            if not pending_last.get(index):
+                                retire(index)
+                    wave_ordinal += 1
+                    if stream.live_channels > peak_live:
+                        peak_live = stream.live_channels
+                    if stream.pending_items > peak_pending:
+                        peak_pending = stream.pending_items
+        finally:
+            if refresh_totals["rounds"]:
+                # The rounds kept one persistent memo window open; close
+                # it so later standalone refreshes start cold.
+                tsr._enclave.ecall("end_shared_refresh")
+
+        # Resolve the tail: everything still pending finishes untouched by
+        # any future load, so one O(active) clone solve fixes it.
+        final_timings = stream.solve_pending()
+        tail = []
+        for key, (name, serial) in mark_of.items():
+            tail.append((final_timings[key].finish, name, serial))
+        tail.sort()
+        for finish, name, serial in tail:
+            fold_transition(name, finish, serial)
+        wall = stream.max_finish
+        for timing in final_timings.values():
+            if timing.finish > wall:
+                wall = timing.finish
+        wall = max([wall, plan.enclave_free, *plan.shard_free.values()])
+
+        # Horizon close-out: charge each client's still-open stale tail.
+        horizon = max(trace.horizon, wall)
+        stale_sum = 0.0
+        stale_max = 0.0
+        for name, (serial, t_last, _ptr, total) in cstate.items():
+            open_from = max(t_last, first_newer(serial))
+            if horizon > open_from:
+                total += horizon - open_from
+                charge_windows(open_from, horizon)
+            stale_sum += total
+            if total > stale_max:
+                stale_max = total
+            stale_sketch.add(total)
+        never_pulled = fleet.size - len(cstate)
+        if never_pulled:
+            stale_sketch.add(0.0, weight=float(never_pulled))
+
+        scenario.clock.advance(wall)
+        summary = StreamingReplaySummary(
+            staleness_sum=stale_sum,
+            staleness_max=stale_max,
+            staleness_sketch=stale_sketch,
+            availability_sum=avail_sum,
+            availability_count=avail_count,
+            availability_max=avail_max,
+            availability_sketch=avail_sketch,
+            window_seconds=window,
+            window_stale_seconds=window_stale,
+            window_availability=window_avail,
+            refresh_totals=refresh_totals,
+            clients_booted=fleet.booted_total,
+            peak_live_channels=peak_live,
+            peak_pending_items=peak_pending,
+            final_stream_stats=stream.stats(),
+        )
+        return TraceReplayReport(
+            mode=self._mode,
+            rounds=refresh_totals["rounds"],
+            clients=fleet.size,
+            wall_elapsed=wall,
+            horizon=horizon,
+            installs=installs,
+            failed_pulls=failed_pulls,
+            failed_installs=failed_installs,
+            publishes=publishes,
+            refresh_rounds=[],
+            timelines={},
+            delta_updates=self._delta_updates,
+            pull_wire_bytes=pull_wire_bytes,
+            delta_stats=fleet.delta_stats().as_dict(),
+            streaming=summary,
         )
 
 

@@ -79,6 +79,7 @@ class Scenario:
                  downlink_bandwidth: float | None = None,
                  repo_id: str | None = None,
                  delta_updates: bool = False,
+                 tpm_attestation_seed: int | None = None,
                  ) -> tuple[IntegrityEnforcedOS, PackageManager]:
         """Boot a node and attach a package manager (TSR or mirror-direct).
 
@@ -90,6 +91,9 @@ class Scenario:
         repository the node subscribes to (default: the scenario's
         primary tenant).  ``delta_updates`` turns on the manager's
         delta-update path (index diffs + chunked package patches).
+        ``tpm_attestation_seed`` makes this node share a (memoized)
+        attestation keypair with every other node built from the same
+        seed — see :class:`~repro.tpm.device.Tpm`.
         """
         self._node_count += 1
         name = name or f"node-{self._node_count:03d}"
@@ -97,6 +101,7 @@ class Scenario:
             name, appraisal=appraisal,
             vendor_key=self.distro_key,
             init_config_files=self.policy.init_config_files,
+            tpm_attestation_seed=tpm_attestation_seed,
         )
         node.boot()
         self.network.add_host(Host(name=name, continent=continent,
@@ -367,13 +372,28 @@ class ClientFleet:
     spreads them round-robin over ``tenants``.  ``client_downlink``
     models per-node NICs exactly as in :func:`fleet_refresh` (scalar, or
     a sequence cycled across the fleet).
+
+    ``lazy=True`` defers every boot: a node comes up the first time
+    :meth:`client` asks for its index (same name, tenant, and NIC it
+    would have had eagerly — booting is per-node deterministic, so boot
+    *order* cannot change behaviour) and :meth:`retire` tears it down
+    once a rotation schedule guarantees it will never pull again.  A
+    10^5-client fleet then only ever holds the active wave's nodes.
+
+    ``shared_tpm_seed`` gives every node the same (memoized) TPM
+    attestation keypair, turning 10^5 prime searches into one.  Update
+    and transfer metrics never touch the attestation key, so replay
+    results are unchanged; leave it ``None`` for attestation experiments
+    where per-node identity matters.
     """
 
     def __init__(self, scenario: Scenario, clients: int,
                  name_prefix: str = "fleet",
                  session=None, client_downlink=None,
                  tenants: list[str] | None = None,
-                 delta_updates: bool = False):
+                 delta_updates: bool = False,
+                 lazy: bool = False,
+                 shared_tpm_seed: int | None = None):
         if clients < 1:
             raise ValueError("fleet needs at least one client")
         if (client_downlink is not None
@@ -381,17 +401,85 @@ class ClientFleet:
                 and not len(client_downlink)):
             raise ValueError("client_downlink sequence must be non-empty")
         self.scenario = scenario
-        tenants = list(tenants) if tenants else [scenario.repo_id]
-        self.clients: list[FleetClient] = []
-        for i in range(clients):
-            name = f"{name_prefix}-{i:03d}"
-            repo_id = tenants[i % len(tenants)]
-            node, manager = scenario.new_node(
-                name, session=session, repo_id=repo_id,
-                downlink_bandwidth=self._nic(client_downlink, i),
-                delta_updates=delta_updates)
-            self.clients.append(FleetClient(name=name, repo_id=repo_id,
-                                            node=node, manager=manager))
+        self.size = clients
+        self.lazy = lazy
+        self._prefix = name_prefix
+        self._session = session
+        self._client_downlink = client_downlink
+        self._tenants = list(tenants) if tenants else [scenario.repo_id]
+        self._delta_updates = delta_updates
+        self._shared_tpm_seed = shared_tpm_seed
+        self._as_of: float | None = None
+        self._by_index: dict[int, FleetClient] = {}
+        self._booted_total = 0
+        self._retired_delta_stats = None
+        if not lazy:
+            for i in range(clients):
+                self._boot(i)
+
+    @property
+    def clients(self) -> list[FleetClient]:
+        """The currently booted clients, in index order."""
+        return [self._by_index[i] for i in sorted(self._by_index)]
+
+    def _boot(self, i: int) -> FleetClient:
+        name = f"{self._prefix}-{i:03d}"
+        repo_id = self._tenants[i % len(self._tenants)]
+        node, manager = self.scenario.new_node(
+            name, session=self._session, repo_id=repo_id,
+            downlink_bandwidth=self._nic(self._client_downlink, i),
+            delta_updates=self._delta_updates,
+            tpm_attestation_seed=self._shared_tpm_seed)
+        manager.client.as_of = self._as_of
+        client = FleetClient(name=name, repo_id=repo_id,
+                             node=node, manager=manager)
+        self._by_index[i] = client
+        self._booted_total += 1
+        return client
+
+    def client(self, i: int) -> FleetClient:
+        """The ``i``-th client, booting it now if the fleet is lazy."""
+        if not 0 <= i < self.size:
+            raise IndexError(f"client index out of range: {i}")
+        existing = self._by_index.get(i)
+        if existing is not None:
+            return existing
+        if not self.lazy:
+            raise KeyError(f"client {i} was retired")
+        return self._boot(i)
+
+    def subset(self, indices) -> list[FleetClient]:
+        return [self.client(i) for i in indices]
+
+    def retire(self, i: int, plan_session=None):
+        """Tear down one client that will never pull again.
+
+        Drops the node, manager, and network host; folds the manager's
+        delta accounting into the retired total so fleet-wide stats stay
+        complete; and — when ``plan_session`` is given — releases the
+        client's channel bookkeeping there too.
+        """
+        client = self._by_index.pop(i, None)
+        if client is None:
+            return
+        if self._retired_delta_stats is None:
+            from repro.osim.pkgmgr import DeltaStats
+            self._retired_delta_stats = DeltaStats()
+        self._retired_delta_stats.merge(client.manager.delta_stats)
+        client.node.teardown()
+        self.scenario.nodes.pop(client.name, None)
+        self.scenario.network.remove_host(client.name)
+        if plan_session is not None:
+            plan_session.retire_client(client.name)
+
+    @property
+    def booted_total(self) -> int:
+        """How many boots ever happened (includes retired clients)."""
+        return self._booted_total
+
+    @property
+    def active_count(self) -> int:
+        return len(self._by_index)
 
     @staticmethod
     def _nic(client_downlink, i: int) -> float | None:
@@ -402,20 +490,25 @@ class ClientFleet:
         return float(client_downlink[i % len(client_downlink)])
 
     def use_session(self, session):
-        for client in self.clients:
+        self._session = session
+        for client in self._by_index.values():
             client.manager.client.use_session(session)
 
     def set_as_of(self, as_of: float | None):
         """Time-stamp every client's next requests on the plan timeline."""
-        for client in self.clients:
+        self._as_of = as_of
+        for client in self._by_index.values():
             client.manager.client.as_of = as_of
 
     def delta_stats(self):
-        """Fleet-wide delta-update accounting (sums every manager's)."""
+        """Fleet-wide delta-update accounting (sums every manager's,
+        including clients retired from a lazy fleet)."""
         from repro.osim.pkgmgr import DeltaStats
 
         total = DeltaStats()
-        for client in self.clients:
+        if self._retired_delta_stats is not None:
+            total.merge(self._retired_delta_stats)
+        for client in self._by_index.values():
             total.merge(client.manager.delta_stats)
         return total
 

@@ -1,10 +1,13 @@
 """Tests for statistics helpers used by the bench harness."""
 
+import random
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.util.stats import (
+    QuantileSketch,
     human_bytes,
     human_duration,
     percentile,
@@ -102,3 +105,179 @@ class TestHumanFormat:
     def test_duration_rejects_negative(self):
         with pytest.raises(ValueError):
             human_duration(-1)
+
+
+# -- quantile sketch -----------------------------------------------------------
+
+
+def _assert_rank_bound(sketch, data, q, slack=0.0):
+    """The sketch's error contract: the reported value's true rank is
+    within ``2 / compression`` quantile units of ``q``."""
+    from bisect import bisect_left, bisect_right
+
+    ordered = sorted(data)
+    n = len(ordered)
+    estimate = sketch.quantile(q)
+    lo = bisect_left(ordered, estimate) / n
+    hi = bisect_right(ordered, estimate) / n
+    eps = 2.0 / sketch.compression + slack
+    assert lo - eps <= q / 100.0 <= hi + eps, (
+        f"q={q}: estimate {estimate} covers ranks [{lo}, {hi}], "
+        f"outside ±{eps}"
+    )
+
+
+class TestQuantileSketch:
+    QS = (1, 5, 25, 50, 75, 95, 99)
+
+    def test_exact_below_compression(self):
+        sketch = QuantileSketch(compression=100)
+        data = [float(i) for i in range(60)]
+        sketch.extend(data)
+        for q in self.QS:
+            assert sketch.quantile(q) == pytest.approx(percentile(data, q))
+
+    def test_min_max_exact(self):
+        rng = random.Random(3)
+        sketch = QuantileSketch()
+        data = [rng.lognormvariate(0, 3) for _ in range(20_000)]
+        sketch.extend(data)
+        assert sketch.quantile(0) == min(data)
+        assert sketch.quantile(100) == max(data)
+
+    def test_rank_bound_uniform(self):
+        rng = random.Random(7)
+        data = [rng.random() for _ in range(50_000)]
+        sketch = QuantileSketch()
+        sketch.extend(data)
+        for q in self.QS:
+            _assert_rank_bound(sketch, data, q)
+
+    def test_rank_bound_bimodal(self):
+        # Adversarial: two tight clusters with a huge gap between them.
+        rng = random.Random(11)
+        data = [rng.gauss(0.0, 1e-6) for _ in range(25_000)]
+        data += [rng.gauss(1e9, 1e-3) for _ in range(25_000)]
+        rng.shuffle(data)
+        sketch = QuantileSketch()
+        sketch.extend(data)
+        for q in self.QS:
+            _assert_rank_bound(sketch, data, q)
+
+    def test_constant_distribution(self):
+        sketch = QuantileSketch()
+        sketch.extend([4.25] * 10_000)
+        for q in self.QS:
+            assert sketch.quantile(q) == 4.25
+
+    def test_subnormal_tail_no_underflow(self):
+        # Mirrors percentile()'s equal-neighbour guard: interpolating
+        # between subnormals must not round to 0.0.
+        tiny = 5e-324
+        sketch = QuantileSketch()
+        sketch.extend([tiny] * 5_000 + [1.0] * 5_000)
+        assert sketch.quantile(25) == tiny
+        assert sketch.quantile(1) == tiny
+
+    def test_streaming_order_within_bound(self):
+        rng = random.Random(13)
+        data = [rng.expovariate(1.0) for _ in range(30_000)]
+        forward = QuantileSketch()
+        forward.extend(data)
+        backward = QuantileSketch()
+        backward.extend(reversed(data))
+        for q in self.QS:
+            _assert_rank_bound(forward, data, q)
+            _assert_rank_bound(backward, data, q)
+
+    def test_merge_matches_concatenation_contract(self):
+        rng = random.Random(17)
+        a = [rng.gauss(0, 1) for _ in range(20_000)]
+        b = [rng.gauss(5, 2) for _ in range(20_000)]
+        sa, sb = QuantileSketch(), QuantileSketch()
+        sa.extend(a)
+        sb.extend(b)
+        sa.merge(sb)
+        assert sa.count == len(a) + len(b)
+        for q in self.QS:
+            _assert_rank_bound(sa, a + b, q)
+        # other is unchanged
+        assert sb.count == len(b)
+        _assert_rank_bound(sb, b, 50)
+
+    def test_merge_associativity_contract(self):
+        # Merge is commutative/associative up to float round-off: every
+        # association must obey the same rank-error contract.
+        rng = random.Random(19)
+        parts = [[rng.lognormvariate(0, 1.5) for _ in range(8_000)]
+                 for _ in range(3)]
+        whole = [x for part in parts for x in part]
+
+        def sketch_of(values):
+            s = QuantileSketch()
+            s.extend(values)
+            return s
+
+        left = sketch_of(parts[0])
+        left.merge(sketch_of(parts[1]))
+        left.merge(sketch_of(parts[2]))
+        right_inner = sketch_of(parts[1])
+        right_inner.merge(sketch_of(parts[2]))
+        right = sketch_of(parts[0])
+        right.merge(right_inner)
+        assert left.count == right.count == len(whole)
+        for q in self.QS:
+            _assert_rank_bound(left, whole, q)
+            _assert_rank_bound(right, whole, q)
+            # And the two associations agree with each other closely.
+            assert left.quantile(q) == pytest.approx(
+                right.quantile(q), rel=0.05, abs=1e-9)
+
+    def test_weighted_add(self):
+        sketch = QuantileSketch()
+        sketch.add(1.0, weight=3.0)
+        sketch.add(2.0)
+        assert sketch.count == 4.0
+        assert sketch.quantile(0) == 1.0
+        assert sketch.quantile(100) == 2.0
+        # Weighted mass pulls the median toward the heavy centroid.
+        assert 1.0 <= sketch.quantile(50) < 1.5
+        assert sketch.quantile(10) == 1.0
+
+    def test_serialization_round_trip(self):
+        rng = random.Random(23)
+        sketch = QuantileSketch(compression=60)
+        sketch.extend(rng.gauss(10, 4) for _ in range(5_000))
+        payload = sketch.to_dict()
+        import json
+        restored = QuantileSketch.from_dict(json.loads(json.dumps(payload)))
+        assert restored.count == sketch.count
+        assert restored.compression == sketch.compression
+        for q in (0, 1, 25, 50, 75, 99, 100):
+            assert restored.quantile(q) == sketch.quantile(q)
+
+    def test_empty_round_trip(self):
+        restored = QuantileSketch.from_dict(QuantileSketch().to_dict())
+        assert restored.count == 0.0
+        with pytest.raises(ValueError):
+            restored.quantile(50)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(compression=10)
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.add(1.0, weight=0.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(50)
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(101)
+
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=400),
+           st.sampled_from([0, 5, 25, 50, 75, 95, 100]))
+    def test_bounded_by_min_max(self, data, q):
+        sketch = QuantileSketch(compression=20)
+        sketch.extend(data)
+        value = sketch.quantile(q)
+        assert min(data) <= value <= max(data)
