@@ -1,0 +1,260 @@
+"""Edge-replica fanout ablation: pull traffic off the primary's uplink.
+
+The replica tier's claim is CDN-shaped: when fleet pull traffic dwarfs
+refresh traffic (10x+ by wire bytes here), read-only edge replicas —
+synced over the signed index-diff path and freshness-checked by the
+rollback oracle before every wave — absorb the pulls, so the primary's
+refresh rounds stop queueing behind serve-path fallbacks and their
+re-sanitize jobs.  This bench replays the same publish/sync/refresh/pull
+trace at 0, 2 and 8 replicas plus a no-serving baseline (pull waves
+stripped) and asserts the headline numbers:
+
+* refresh wall-clock at 8 replicas is >= 2x better than at 0 replicas,
+  and within ~10% of the no-serving baseline;
+* fleet pull p99 improves monotonically with replica count (each
+  replica is an independent uplink, so fanout splits the queueing);
+* the replicated replay's discrete outcomes — installs, pulled wire
+  bytes, per-client serial transitions, published bytes — are
+  byte-identical to the primary-only replay.  Replication moves time,
+  never content.
+
+The coupling that makes 0 replicas slow is the serve-path fallback:
+every wave pins its publication at the refresh start instant, so on the
+primary the live cache already holds the *next* round's blobs and each
+distinct stale serve queues a re-sanitize job that the following
+refresh round must drain first (FIFO on the serial enclave channel).
+With replicas the primary never serves pulls, the queue stays empty,
+and refresh rounds run at baseline speed.
+
+Scale knobs: ``REPRO_FANOUT_ROUNDS`` / ``REPRO_FANOUT_WAVE`` /
+``REPRO_FANOUT_INSTALLS``.  CI runs this emitting
+``BENCH_replica_fanout.json``.
+"""
+
+import hashlib
+import os
+import time
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.bench.report import PaperTable, record_table
+from repro.core.replica import ReplicaTSR
+from repro.mirrors.builder import MirrorSpec
+from repro.simnet.latency import Continent
+from repro.util.stats import human_bytes, human_duration
+from repro.workload.generator import Trace, TraceEvent
+from repro.workload.replay import replay_trace
+from repro.workload.scenario import (
+    build_multi_tenant_scenario,
+    multi_tenant_refresh,
+)
+
+FANOUT_ROUNDS = int(os.environ.get("REPRO_FANOUT_ROUNDS", "12"))
+FANOUT_WAVE = int(os.environ.get("REPRO_FANOUT_WAVE", "32"))
+FANOUT_INSTALLS = int(os.environ.get("REPRO_FANOUT_INSTALLS", "3"))
+FANOUT_HOST_CAP_S = float(os.environ.get("REPRO_FANOUT_HOST_CAP", "120"))
+
+#: Every pull wave rotates in fresh clients (fleet = rounds x wave), so
+#: each install is a full pull against the wave's pinned publication —
+#: the read pattern that maximizes serve-path pressure on the primary.
+FANOUT_FLEET = FANOUT_ROUNDS * FANOUT_WAVE
+
+#: Fraction of the catalog each round's publish mutates.  The primary's
+#: re-sanitize debt per round tracks the *union* of two consecutive
+#: rounds' change sets (served-stale entries oscillate once and settle),
+#: so a moderate fraction keeps that union well above the refresh
+#: round's own change set.
+FANOUT_FRACTION = 0.35
+
+#: Same-continent mirrors keep the quorum + download share of a refresh
+#: round small, so the wall-clock ratio isolates the sanitize channel
+#: (where the re-sanitize queue actually bites).
+FANOUT_MIRRORS = (
+    MirrorSpec("mirror-eu-1.example", Continent.EUROPE),
+    MirrorSpec("mirror-eu-2.example", Continent.EUROPE),
+    MirrorSpec("mirror-eu-3.example", Continent.EUROPE),
+)
+
+REPLICA_COUNTS = (0, 2, 8)
+
+
+def _fanout_population(count=12, files=40, reps=300):
+    """Signature-heavy catalog: many small files per package make the
+    per-file signing work dominate sanitize cost while keeping the wire
+    bytes (and thus the mirror-download share of refresh) cheap."""
+    packages = []
+    for i in range(count):
+        scripts = {}
+        if i % 3 == 0:
+            scripts = {".pre-install": f"addgroup -S grp{i}\n"
+                                       f"adduser -S -G grp{i} svc{i}\n"}
+        pkg_files = [PackageFile(f"/usr/bin/pkg{i}",
+                                 (b"\x7fELF" + bytes([i])) * reps)]
+        pkg_files += [PackageFile(f"/usr/lib/pkg{i}/f{j}", bytes([i, j]) * 300)
+                      for j in range(files - 1)]
+        packages.append(ApkPackage(name=f"pkg-{i:02d}", version="1.0-r0",
+                                   scripts=scripts, files=pkg_files))
+    return packages
+
+
+def _fanout_trace(pulls=True):
+    """Publish / mirror-sync / refresh every 3s; the pull wave lands at
+    the refresh start instant, so its pinned publication is one round
+    behind the refresh in flight (the stale-serve coupling).  With
+    ``pulls=False`` the same publish/refresh schedule runs serving-free
+    (the no-serving baseline)."""
+    events = []
+    for r in range(FANOUT_ROUNDS):
+        at = r * 3.0
+        events.append(TraceEvent(at=at, kind="publish",
+                                 fraction=FANOUT_FRACTION, seed=r))
+        events.append(TraceEvent(at=at + 0.2, kind="mirror_sync"))
+        events.append(TraceEvent(at=at + 0.4, kind="refresh"))
+        if pulls:
+            events.append(TraceEvent(
+                at=at + 0.4, kind="fleet_pull",
+                clients=tuple(range(r * FANOUT_WAVE, (r + 1) * FANOUT_WAVE)),
+                installs_per_client=FANOUT_INSTALLS, seed=1000 + r))
+    return Trace(events=events, horizon=FANOUT_ROUNDS * 3.0, seed=5)
+
+
+def _run(replica_count, pulls=True):
+    scenario = build_multi_tenant_scenario(
+        tenants=2, overlap=0.6, packages=_fanout_population(),
+        mirror_specs=FANOUT_MIRRORS)
+    multi_tenant_refresh(scenario)
+    replicas = [ReplicaTSR(f"replica-{i:02d}.example", scenario.tsr,
+                           sync_cadence=1.0)
+                for i in range(replica_count)]
+    report = replay_trace(scenario, _fanout_trace(pulls),
+                          clients=FANOUT_FLEET, mode="interleaved",
+                          delta_updates=True, replicas=replicas,
+                          shared_tpm_seed=2020)
+    return scenario, report
+
+
+def _refresh_wall(report):
+    return sum(r.wall_elapsed for r in report.refresh_rounds)
+
+
+def _serials(report):
+    return {client: tuple(serial for _, serial in timeline.transitions)
+            for client, timeline in report.timelines.items()}
+
+
+def _published(scenario):
+    """Content signature of every retained publication: serial, signed
+    index bytes, and each carried blob — the replicated replay must
+    publish byte-identical state."""
+    digest = hashlib.sha256()
+    for repo_id in scenario.tenants:
+        for publication in scenario.tsr.publications(repo_id):
+            digest.update(repo_id.encode())
+            digest.update(str(publication.serial).encode())
+            digest.update(publication.index_bytes)
+            for name in sorted(publication.blobs):
+                digest.update(name.encode())
+                digest.update(publication.blobs[name])
+    return digest.hexdigest()
+
+
+def test_replica_fanout_ablation(benchmark, maybe_profile):
+    results = {}
+
+    def run_all():
+        out = {"baseline": _run(0, pulls=False)}
+        for count in REPLICA_COUNTS:
+            out[count] = _run(count)
+        return out
+
+    begin = time.perf_counter()
+    results = benchmark.pedantic(
+        maybe_profile("replica fanout ablation", run_all),
+        rounds=1, iterations=1)
+    host = time.perf_counter() - begin
+
+    base_scenario, base_report = results["baseline"]
+    base_wall = _refresh_wall(base_report)
+    walls = {n: _refresh_wall(results[n][1]) for n in REPLICA_COUNTS}
+    p99s = {n: results[n][1].pull_latency_quantile(99)
+            for n in REPLICA_COUNTS}
+
+    benchmark.extra_info["host_time_s"] = round(host, 3)
+    benchmark.extra_info["rounds"] = FANOUT_ROUNDS
+    benchmark.extra_info["fleet"] = FANOUT_FLEET
+    benchmark.extra_info["refresh_wall_baseline_s"] = round(base_wall, 4)
+    for count in REPLICA_COUNTS:
+        benchmark.extra_info[f"refresh_wall_{count}_replicas_s"] = round(
+            walls[count], 4)
+    benchmark.extra_info["refresh_speedup_8_vs_0"] = round(
+        walls[0] / walls[8], 3)
+
+    table = PaperTable(
+        experiment="Replica fanout",
+        title=f"Edge-replica pull fanout ({FANOUT_FLEET} clients, "
+              f"{FANOUT_ROUNDS} rounds, pull:refresh wire >= 10x)",
+        columns=["replicas", "refresh wall", "vs baseline", "pull p50",
+                 "pull p99", "primary fallbacks", "re-sanitize wait",
+                 "sync bytes", "refusals"],
+    )
+    table.add_row("no serving", human_duration(base_wall), "1.00x",
+                  "-", "-", 0, "-", 0, 0)
+    for count in REPLICA_COUNTS:
+        scenario, report = results[count]
+        table.add_row(
+            count, human_duration(walls[count]),
+            f"{walls[count] / base_wall:.2f}x",
+            human_duration(report.pull_latency_quantile(50)),
+            human_duration(p99s[count]),
+            scenario.tsr.serve_fallbacks,
+            human_duration(sum(r.resanitize_wait_s
+                               for r in report.refresh_rounds)),
+            report.replica_sync_bytes,
+            report.replica_refusals,
+        )
+    table.note("identical installs, wire bytes, serials and publications "
+               "at every replica count; replication moves time, never "
+               "content")
+    record_table(table)
+
+    # Pull traffic dwarfs refresh traffic: the CDN regime.
+    pull_bytes = sum(results[0][1].pull_wire_bytes)
+    refresh_bytes = results[0][1].downloaded_bytes
+    assert pull_bytes >= 10 * refresh_bytes
+
+    # Every replay converged with no failed installs and no replica
+    # freshness refusals (all replicas stayed within the staleness bound).
+    for count in REPLICA_COUNTS:
+        report = results[count][1]
+        assert report.failed_installs == 0
+        assert report.replica_refusals == 0
+
+    # Headline: >= 2x refresh speedup at 8 replicas, within ~10% of the
+    # no-serving baseline.
+    assert walls[0] >= 2.0 * walls[8], (
+        f"refresh wall 0 replicas {walls[0]:.3f}s vs 8 replicas "
+        f"{walls[8]:.3f}s: speedup below 2x")
+    assert walls[8] <= 1.10 * base_wall, (
+        f"8-replica refresh wall {walls[8]:.3f}s more than 10% over "
+        f"no-serving baseline {base_wall:.3f}s")
+
+    # Pull p99 improves monotonically with replica count.
+    assert p99s[0] > p99s[2] > p99s[8], f"p99 not monotone: {p99s}"
+
+    # Discrete outcomes are byte-identical across replica counts.
+    installs = {results[n][1].installs for n in REPLICA_COUNTS}
+    wires = {sum(results[n][1].pull_wire_bytes) for n in REPLICA_COUNTS}
+    serials = [_serials(results[n][1]) for n in REPLICA_COUNTS]
+    published = {_published(results[n][0]) for n in REPLICA_COUNTS}
+    assert len(installs) == 1
+    assert len(wires) == 1
+    assert all(s == serials[0] for s in serials[1:])
+    assert len(published) == 1
+
+    # With replicas absorbing every routine pull, the primary's serve
+    # path goes quiet: no fallbacks, no re-sanitize debt.
+    assert results[8][0].tsr.serve_fallbacks == 0
+    assert results[0][0].tsr.serve_fallbacks > 0
+
+    if not maybe_profile.enabled:
+        assert host < FANOUT_HOST_CAP_S, (
+            f"host time {host:.1f}s over cap {FANOUT_HOST_CAP_S}s")

@@ -124,6 +124,12 @@ def test_trace_replay_ablation(benchmark, maybe_profile):
         results = {}
         for mode in ("serial", "interleaved"):
             scenario = _scenario()
+            # This ablation isolates refresh *scheduling* (serial vs
+            # plan-wide interleaved) on identical enclave work; the
+            # serving-debt policy would add re-sanitize jobs correlated
+            # with each mode's pin staleness, so it stays off here
+            # (bench_replica_fanout measures that coupling).
+            scenario.tsr.resanitize_serves = False
             begin = time.perf_counter()
             results[mode] = replay_trace(scenario, trace, clients=CLIENTS,
                                          mode=mode)

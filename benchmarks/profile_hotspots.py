@@ -9,6 +9,7 @@ full benchmark suite (which has the same view behind ``--profile``):
     PYTHONPATH=src python benchmarks/profile_hotspots.py            # all
     PYTHONPATH=src python benchmarks/profile_hotspots.py replay
     PYTHONPATH=src python benchmarks/profile_hotspots.py replay-streaming
+    PYTHONPATH=src python benchmarks/profile_hotspots.py serve
     PYTHONPATH=src python benchmarks/profile_hotspots.py solver
 
 Scales are deliberately small (6 rounds / 2 tenants / 8 clients;
@@ -127,6 +128,63 @@ def profile_replay_streaming() -> None:
           f"clients booted: {report.streaming.clients_booted})")
 
 
+def profile_serve() -> None:
+    """Hotspots of the replica-backed serving tier: a pull-heavy replay
+    (rotating fleet, waves pinned at the refresh instant) against 4 edge
+    replicas, so sync envelope verification, freshness checks, and the
+    publication-backed serve paths all show up with real weight."""
+    from repro.archive.apk import ApkPackage, PackageFile
+    from repro.core.replica import ReplicaTSR
+    from repro.mirrors.builder import MirrorSpec
+    from repro.simnet.latency import Continent
+    from repro.workload.generator import Trace, TraceEvent
+    from repro.workload.replay import replay_trace
+    from repro.workload.scenario import (
+        build_multi_tenant_scenario,
+        multi_tenant_refresh,
+    )
+
+    packages = []
+    for i in range(8):
+        files = [PackageFile(f"/usr/bin/pkg{i}",
+                             (b"\x7fELF" + bytes([i])) * 300)]
+        files += [PackageFile(f"/usr/lib/pkg{i}/f{j}", bytes([i, j]) * 300)
+                  for j in range(11)]
+        packages.append(ApkPackage(name=f"pkg-{i:02d}", version="1.0-r0",
+                                   files=files))
+    scenario = build_multi_tenant_scenario(
+        tenants=2, overlap=0.6, packages=packages,
+        mirror_specs=(MirrorSpec("mirror-eu-1.example", Continent.EUROPE),
+                      MirrorSpec("mirror-eu-2.example", Continent.EUROPE)))
+    multi_tenant_refresh(scenario)
+    rounds, wave = 8, 24
+    events = []
+    for r in range(rounds):
+        at = r * 3.0
+        events.append(TraceEvent(at=at, kind="publish", fraction=0.35,
+                                 seed=r))
+        events.append(TraceEvent(at=at + 0.2, kind="mirror_sync"))
+        events.append(TraceEvent(at=at + 0.4, kind="refresh"))
+        events.append(TraceEvent(at=at + 0.4, kind="fleet_pull",
+                                 clients=tuple(range(r * wave,
+                                                     (r + 1) * wave)),
+                                 installs_per_client=3, seed=1000 + r))
+    trace = Trace(events=events, horizon=rounds * 3.0, seed=5)
+    replicas = [ReplicaTSR(f"replica-{i:02d}.example", scenario.tsr,
+                           sync_cadence=1.0) for i in range(4)]
+
+    profiler = cProfile.Profile()
+    begin = time.perf_counter()
+    profiler.enable()
+    replay_trace(scenario, trace, clients=rounds * wave,
+                 mode="interleaved", delta_updates=True, replicas=replicas,
+                 shared_tpm_seed=2020)
+    profiler.disable()
+    _print_stats(f"replica serving ({rounds * wave}-client rotation, "
+                 f"{wave}/wave, {rounds} rounds, 4 replicas)", profiler,
+                 time.perf_counter() - begin)
+
+
 def profile_solver() -> None:
     from repro.simnet.schedule import ParallelTransferSchedule
 
@@ -155,12 +213,13 @@ def profile_solver() -> None:
 def main(argv: list[str]) -> int:
     targets = {"replay": (profile_replay,),
                "replay-streaming": (profile_replay_streaming,),
+               "serve": (profile_serve,),
                "solver": (profile_solver,),
                "all": (profile_replay, profile_replay_streaming,
-                       profile_solver)}
+                       profile_serve, profile_solver)}
     choice = argv[1] if len(argv) > 1 else "all"
     if choice not in targets:
-        print(f"usage: {argv[0]} [replay|replay-streaming|solver|all]",
+        print(f"usage: {argv[0]} [replay|replay-streaming|serve|solver|all]",
               file=sys.stderr)
         return 2
     for fn in targets[choice]:

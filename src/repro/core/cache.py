@@ -409,6 +409,14 @@ class PackageCache:
         index = self.content_shard_index(sha256)
         return self._shards[index].isfile(self._manifest_path(sha256))
 
+    def drop_chunk_manifest(self, sha256: str):
+        """Forget a manifest whose base publication was pruned
+        (idempotent; clients based on it fall back to full pulls)."""
+        index = self.content_shard_index(sha256)
+        path = self._manifest_path(sha256)
+        if self._shards[index].isfile(path):
+            self._shards[index].remove(path)
+
     @staticmethod
     def _manifest_path(sha256: str) -> str:
         return f"{CHUNK_PREFIX}/{sha256}.manifest"

@@ -159,24 +159,52 @@ class TsrRepositoryClient(_ScheduledClientBase):
     def __init__(self, network: Network, src_host: str, tsr_host: str,
                  repo_id: str,
                  session: ScheduledFetchSession | None = None,
-                 as_of: float | None = None):
+                 as_of: float | None = None,
+                 replica_host: str | None = None):
         super().__init__(network, src_host, session=session)
         self._tsr = tsr_host
         self.repo_id = repo_id
         self.as_of = as_of
+        #: Edge replica serving this client's ordinary traffic (index,
+        #: package, and delta endpoints alike — the CDN model: the edge
+        #: absorbs every routine pull).  The ``*_origin`` fetches always
+        #: target the primary, and the package manager uses them for
+        #: recovery re-pulls after a rejected or rolled-back answer, so
+        #: a misbehaving replica is automatically escaped.  ``None``
+        #: routes everything at the primary; the fleet layer re-points
+        #: this per pull wave as replicas pass or fail their freshness
+        #: check.
+        self.replica_host = replica_host
 
-    def _index_request(self) -> Request:
+    @property
+    def _serving_host(self) -> str:
+        return self.replica_host or self._tsr
+
+    def _index_request(self, target: str | None = None) -> Request:
+        target = target or self._serving_host
         if self.as_of is not None:
-            return Request(self._tsr, "get_index",
+            return Request(target, "get_index",
                            payload={"repo": self.repo_id,
                                     "as_of": self.as_of})
-        return Request(self._tsr, "get_index", payload=self.repo_id)
+        return Request(target, "get_index", payload=self.repo_id)
 
-    def _package_request(self, name: str) -> Request:
+    def _package_request(self, name: str,
+                         target: str | None = None) -> Request:
         payload = {"repo": self.repo_id, "name": name}
         if self.as_of is not None:
             payload["as_of"] = self.as_of
-        return Request(self._tsr, "get_package", payload=payload)
+        return Request(target or self._serving_host, "get_package",
+                       payload=payload)
+
+    # -- origin (primary) pulls: the recovery path around a bad replica -------
+
+    def fetch_index_origin(self) -> bytes:
+        """Full index straight from the primary, bypassing any replica."""
+        return self._fetch(self._index_request(target=self._tsr))
+
+    def fetch_package_origin(self, name: str) -> bytes:
+        """Full package straight from the primary, bypassing any replica."""
+        return self._fetch(self._package_request(name, target=self._tsr))
 
     # -- delta-update surface (TSR-only; mirror clients lack it, which is
     # how the package manager detects delta capability) ----------------------
@@ -189,8 +217,8 @@ class TsrRepositoryClient(_ScheduledClientBase):
         payload: dict = {"repo": self.repo_id, "base_serial": base_serial}
         if self.as_of is not None:
             payload["as_of"] = self.as_of
-        return self._fetch(Request(self._tsr, "get_index_delta",
-                                   payload=payload))
+        return self._fetch(Request(self._serving_host,
+                                   "get_index_delta", payload=payload))
 
     def fetch_package_delta(self, name: str, base_sha256: str) -> bytes:
         """Fetch one package as a chunk delta against the cached base blob
@@ -200,8 +228,8 @@ class TsrRepositoryClient(_ScheduledClientBase):
                          "base_sha256": base_sha256}
         if self.as_of is not None:
             payload["as_of"] = self.as_of
-        return self._fetch(Request(self._tsr, "get_package_delta",
-                                   payload=payload))
+        return self._fetch(Request(self._serving_host,
+                                   "get_package_delta", payload=payload))
 
 
 class MirrorRepositoryClient(_ScheduledClientBase):

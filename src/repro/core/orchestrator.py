@@ -122,6 +122,10 @@ class MultiTenantRefreshReport:
         return sum(r.sanitized for r in self.reports.values())
 
     @property
+    def resanitize_wait_s(self) -> float:
+        return sum(r.resanitize_wait_s for r in self.reports.values())
+
+    @property
     def downloaded_bytes(self) -> int:
         return sum(r.downloaded_bytes for r in self.reports.values())
 
@@ -286,6 +290,9 @@ class RefreshOrchestrator:
         #: Enclave busy-until while pre-scans run during quorum widening.
         self._enclave_busy = state.enclave_free
         self._prescanned: set[str] = set()
+        #: repo_id -> summed (finish - queued_at) of the serving-induced
+        #: re-sanitize jobs this round drained for that repository.
+        self._resanitize_waits: dict[str, float] = {}
         #: Batches issued by THIS round.  On a shared multi-round
         #: scheduler, materialization must never walk earlier rounds'
         #: dead batches — that would resurrect blobs the cache has since
@@ -306,6 +313,7 @@ class RefreshOrchestrator:
                 self._service, channel_key=lambda hostname: ("dl", hostname))
             if state is not None:
                 state.scheduler = scheduler
+        self._resanitize_phase()
         enclave = self._service._enclave
         keep_memo = state is not None and state.persistent_enclave_memo
         enclave.ecall("begin_shared_refresh", keep_memo)
@@ -357,6 +365,35 @@ class RefreshOrchestrator:
             origin=self._origin,
             finished_at=makespan,
         )
+
+    # -- serving-induced re-sanitize queue ----------------------------------
+
+    def _resanitize_phase(self):
+        """Drain the primary's re-sanitize queue ahead of this round.
+
+        Evicted-blob serves since the last round queued real enclave
+        work (:meth:`TrustedSoftwareRepository.take_resanitize_jobs`);
+        it runs FIFO on the same serial enclave channel the round's
+        refresh sanitize jobs are about to queue on, so serving load
+        couples directly into refresh wall-clock.  No enclave ecall is
+        issued — the sanitized bytes are already pinned by the signed
+        publication; only the simulated enclave occupancy and the disk
+        write restoring the cached copy are charged.
+        """
+        service = self._service
+        cache = service.cache
+        for job in service.take_resanitize_jobs():
+            start = max(self._enclave_busy, self._origin, job.queued_at)
+            finish = start + job.duration
+            self._enclave_busy = finish
+            service.complete_resanitize(job)
+            self._charge_shard(cache.shard_index(job.repo_id, job.name),
+                               job.size_bytes, finish)
+            self._timeline.append((job.repo_id, f"resanitize:{job.name}",
+                                   start, finish))
+            self._resanitize_waits[job.repo_id] = \
+                self._resanitize_waits.get(job.repo_id, 0.0) \
+                + (finish - job.queued_at)
 
     # -- quorum phase -------------------------------------------------------
 
@@ -701,6 +738,8 @@ class RefreshOrchestrator:
                 plan.rejected.append((name, exc.reason))
                 continue
             duration = self._service.simulated_sanitize_duration(result)
+            self._service.note_sanitize_cost(plan.repo_id, name,
+                                             len(job.blob), duration)
             finish = start + duration
             enclave_free = finish
             cache.put_sanitized(plan.repo_id, name, result.blob)
@@ -750,4 +789,5 @@ class RefreshOrchestrator:
             interleaved_downloads=plan.interleaved_downloads,
             evicted_redownloads=plan.evicted_redownloads,
             prescanned=plan.prescanned,
+            resanitize_wait_s=self._resanitize_waits.get(plan.repo_id, 0.0),
         )

@@ -26,6 +26,29 @@ from repro.simnet.network import Network, Request
 from repro.util.errors import NetworkError, QuorumError
 
 
+def validate_signed_index(payload: object,
+                          index_keys: list[RsaPublicKey]
+                          ) -> RepositoryIndex | None:
+    """Parse + verify one served index payload; ``None`` if unusable.
+
+    The single trust gate every index answer passes through — mirror
+    quorum responses and replica freshness probes alike.  Both halves
+    are batched across envelopes: parsing goes through the process-wide
+    blob memo and signature verdicts through the RSA verify memo, so N
+    endpoints echoing the same signed index cost one parse and one
+    modular exponentiation total.
+    """
+    if not isinstance(payload, (bytes, bytearray)):
+        return None
+    try:
+        index = parse_index_cached(bytes(payload))
+    except Exception:
+        return None
+    if not any(index.verify(key) for key in index_keys):
+        return None
+    return index
+
+
 def entry_agreement(indexes: list[RepositoryIndex],
                     needed: int) -> dict[str, dict]:
     """Index entries already certain to be in any eventual quorum value.
@@ -163,19 +186,5 @@ class QuorumReader:
         )
 
     def _validate(self, payload: object) -> RepositoryIndex | None:
-        """Parse + verify one mirror's answer; None if unusable.
-
-        Both halves are batched across envelopes: parsing goes through
-        the process-wide blob memo and signature verdicts through the
-        RSA verify memo, so the f+1 mirrors echoing the same signed
-        index cost one parse and one modular exponentiation total.
-        """
-        if not isinstance(payload, (bytes, bytearray)):
-            return None
-        try:
-            index = parse_index_cached(bytes(payload))
-        except Exception:
-            return None
-        if not any(index.verify(key) for key in self._index_keys):
-            return None
-        return index
+        """Parse + verify one mirror's answer; None if unusable."""
+        return validate_signed_index(payload, self._index_keys)

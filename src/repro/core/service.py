@@ -83,6 +83,11 @@ class RefreshReport:
     #: Cached blobs whose content analysis was pre-scanned on the enclave
     #: while this repository's quorum was still widening (zero network).
     prescanned: int = 0
+    #: Simulated seconds this repository's serving-induced re-sanitize
+    #: jobs spent between being queued (an evicted-blob serve) and
+    #: leaving the enclave channel this round — the measurable coupling
+    #: of serving load back into refresh wall-clock (orchestrated plans).
+    resanitize_wait_s: float = 0.0
 
     @property
     def phase_sum(self) -> float:
@@ -100,6 +105,33 @@ class RefreshReport:
     def overlap_saved(self) -> float:
         """Seconds the pipeline saved versus running the phases back to back."""
         return max(0.0, self.phase_sum - self.total_elapsed)
+
+
+@dataclass(eq=False)
+class ResanitizeJob:
+    """One serving-induced enclave job.
+
+    A time-stamped serve found the sanitized blob evicted from the disk
+    cache: the simulation serves the publication's captured copy (bytes
+    are identical either way), but a real TSR would have to re-run
+    sanitization to restore its cached artifact — so the serve queues
+    this job, and the next orchestrated refresh round drains the queue
+    FIFO on the serial enclave channel *ahead of* that round's own
+    sanitize work.  Serving load thereby couples back into refresh
+    wall-clock, which is exactly the number the replica tier wins back.
+    """
+
+    repo_id: str
+    name: str
+    #: Plan instant of the serve that queued the job.
+    queued_at: float
+    #: Simulated enclave seconds the job occupies (the last measured
+    #: sanitize duration for this package, or a bytes-rate estimate when
+    #: this deployment never sanitized it).
+    duration: float
+    size_bytes: int
+    #: The verified published blob to restore into the cache.
+    blob: bytes
 
 
 @dataclass
@@ -176,9 +208,44 @@ class TrustedSoftwareRepository:
         self._publications: dict[str, list[Publication]] = {}
         #: Time-stamped serving: cache hits vs publication-copy fallbacks
         #: (a fallback is a serve the cache could not satisfy — evicted or
-        #: already overwritten by a newer round).
+        #: already overwritten by a newer round).  Every fallback queues a
+        #: re-sanitize job, so ``serve_fallbacks`` counts *queued*
+        #: re-sanitizes: a second fallback serve of an already-queued
+        #: package rides the pending job and is not recounted.
         self.serve_cache_hits = 0
         self.serve_fallbacks = 0
+        #: Serving-debt policy: when True (default), every fallback serve
+        #: queues a re-sanitize job that the next orchestrated refresh
+        #: drains on the serial enclave channel — serving load couples
+        #: into refresh wall-clock.  False serves the captured copy
+        #: without restoring the cached artifact (fallbacks still count);
+        #: benches that compare refresh *scheduling* disable it so both
+        #: arms carry identical enclave work.
+        self.resanitize_serves = True
+        #: FIFO re-sanitize queue plus the (repo, package) keys currently
+        #: in it; drained by :meth:`take_resanitize_jobs`.
+        self._resanitize_jobs: list[ResanitizeJob] = []
+        self._resanitize_queued: set[tuple[str, str]] = set()
+        #: (repo_id, package) -> last measured simulated sanitize
+        #: duration, plus an aggregate seconds-per-byte rate for packages
+        #: this process has not sanitized yet.
+        self._sanitize_cost: dict[tuple[str, str], float] = {}
+        self._sanitize_rate_s = 0.0
+        self._sanitize_rate_bytes = 0
+        #: How many publications :meth:`record_publication` retains per
+        #: repository.  ``None`` resolves to ``delta_log_depth + 1`` at
+        #: prune time (so post-construction depth changes are honoured);
+        #: the newest publication is always kept.
+        self.publication_retention: int | None = None
+        #: Full index pulls forced because the client's base publication
+        #: had been pruned from the bounded log (plus package full pulls
+        #: whose delta base manifest was pruned with its publication).
+        self.retention_full_pulls = 0
+        #: repo_id -> newest pruned publication serial.
+        self._pruned_through: dict[str, int] = {}
+        #: Chunk-manifest shas dropped by retention pruning (distinguishes
+        #: a pruned base from one this TSR never published).
+        self._pruned_manifest_shas: set[str] = set()
         #: How many publications back the delta endpoints will diff
         #: against (the publication-log depth bound: clients further
         #: behind get a full pull).  ``0`` disables delta serving.
@@ -196,8 +263,10 @@ class TrustedSoftwareRepository:
         #: the same base cost one diff computation per round, not N.
         self._index_delta_memo: dict[tuple[str, int, int], bytes] = {}
         self._package_delta_memo: dict[tuple[str, str], bytes | None] = {}
-        #: (repo_id, log position) -> parsed publication index (diffing
-        #: needs entries; publications are append-only so this is stable).
+        #: (repo_id, serial) -> parsed publication index (diffing needs
+        #: entries; same-serial publications carry byte-identical index
+        #: bytes, and serial keys survive retention pruning's position
+        #: shifts where log positions would not).
         self._publication_indexes: dict[tuple[str, int], object] = {}
         self._freshness = FreshnessManager(tpm)
         self._enclave = Enclave(cpu, TsrProgram, key_bits=key_bits)
@@ -352,7 +421,9 @@ class TrustedSoftwareRepository:
             except SanitizationRejected as exc:
                 rejected.append((name, exc.reason))
                 continue
-            sanitize_elapsed += self._simulated_sanitize_time(result)
+            duration = self._simulated_sanitize_time(result)
+            sanitize_elapsed += duration
+            self.note_sanitize_cost(repo_id, name, len(blob), duration)
             self.cache.put_sanitized(repo_id, name, result.blob)
             results.append(result)
 
@@ -553,6 +624,59 @@ class TrustedSoftwareRepository:
     def get_index_bytes(self, repo_id: str) -> bytes:
         return self._enclave.ecall("sanitized_index_bytes", repo_id)
 
+    # -- serving-induced re-sanitization --------------------------------------
+
+    def note_sanitize_cost(self, repo_id: str, name: str, size_bytes: int,
+                           duration: float):
+        """Record one measured sanitize duration (the refresh paths call
+        this) so a later re-sanitize of the same package is charged its
+        real cost rather than a rate estimate."""
+        self._sanitize_cost[(repo_id, name)] = duration
+        self._sanitize_rate_s += duration
+        self._sanitize_rate_bytes += size_bytes
+
+    def _estimate_sanitize_cost(self, repo_id: str, name: str,
+                                size_bytes: int) -> float:
+        known = self._sanitize_cost.get((repo_id, name))
+        if known is not None:
+            return known
+        if self._sanitize_rate_bytes > 0:
+            return size_bytes * (self._sanitize_rate_s
+                                 / self._sanitize_rate_bytes)
+        return 0.0
+
+    def _queue_resanitize(self, repo_id: str, name: str, blob: bytes,
+                          at: float) -> bool:
+        key = (repo_id, name)
+        if key in self._resanitize_queued:
+            return False
+        self._resanitize_queued.add(key)
+        self._resanitize_jobs.append(ResanitizeJob(
+            repo_id=repo_id,
+            name=name,
+            queued_at=at,
+            duration=self._estimate_sanitize_cost(repo_id, name, len(blob)),
+            size_bytes=len(blob),
+            blob=blob,
+        ))
+        return True
+
+    def take_resanitize_jobs(self) -> list[ResanitizeJob]:
+        """Drain the pending re-sanitize queue (FIFO by serve time).
+
+        The orchestrated refresh calls this at round start and places the
+        jobs on the serial enclave channel ahead of the round's own
+        sanitize work; once drained, a package may queue again."""
+        jobs = self._resanitize_jobs
+        self._resanitize_jobs = []
+        for job in jobs:
+            self._resanitize_queued.discard((job.repo_id, job.name))
+        return jobs
+
+    def complete_resanitize(self, job: ResanitizeJob):
+        """Restore a re-sanitized blob into the disk cache."""
+        self.cache.put_sanitized(job.repo_id, job.name, job.blob)
+
     # -- versioned publications (multi-round replay) -------------------------
 
     def record_publication(self, repo_id: str,
@@ -564,6 +688,12 @@ class TrustedSoftwareRepository:
         publication; reads bypass recency so snapshotting does not skew
         eviction).  ``available_at`` is clamped monotonic: a round that
         finished out of order can never publish *before* its predecessor.
+
+        The log is bounded: once it exceeds ``publication_retention``
+        (default ``delta_log_depth + 1`` — every base within the delta
+        depth bound stays diffable), the oldest publications are pruned
+        together with the chunk manifests only they pinned, and clients
+        based that far back are answered with counted full pulls.
         """
         from repro.archive.index import parse_index_cached
 
@@ -600,17 +730,43 @@ class TrustedSoftwareRepository:
             blobs=blobs,
         )
         log.append(publication)
+        self._prune_publications(repo_id, log)
         return publication
+
+    def _prune_publications(self, repo_id: str, log: list[Publication]):
+        """Enforce the retention bound on one repository's log."""
+        retention = self.publication_retention
+        if retention is None:
+            retention = self.delta_log_depth + 1
+        if retention < 1:
+            retention = 1
+        while len(log) > retention:
+            dropped = log.pop(0)
+            if dropped.serial > self._pruned_through.get(repo_id, -1):
+                self._pruned_through[repo_id] = dropped.serial
+            self._publication_indexes.pop((repo_id, dropped.serial), None)
+            retained = {sha for publication in log
+                        for _, sha in publication.entries.values()}
+            for _, sha in dropped.entries.values():
+                if sha not in retained:
+                    self.cache.drop_chunk_manifest(sha)
+                    self._pruned_manifest_shas.add(sha)
 
     def publication_at(self, repo_id: str,
                        as_of: float) -> Publication | None:
         """Newest recorded publication available at plan time ``as_of``."""
+        log = self._publications.get(repo_id, [])
         best = None
-        for publication in self._publications.get(repo_id, []):
+        for publication in log:
             if publication.available_at <= as_of:
                 best = publication
             else:
                 break
+        if best is None and log and repo_id in self._pruned_through:
+            # Every publication as old as ``as_of`` has been pruned: a
+            # real repository deleted those bytes, so laggards get the
+            # oldest copy that still exists.
+            return log[0]
         return best
 
     def publications(self, repo_id: str) -> list[Publication]:
@@ -633,10 +789,11 @@ class TrustedSoftwareRepository:
         traffic, and its hit pattern under concurrent refresh churn is
         what the LRU/LRU-2 ablation measures — and only falls back to the
         publication's captured copy when the cached blob was evicted or
-        replaced by a later round (``serve_fallbacks`` counts these; a
-        real TSR would be re-sanitizing here).  Either path is verified
-        against the publication's signed index, so the served bytes are
-        identical regardless of cache state.
+        replaced by a later round (``serve_fallbacks`` counts these, and
+        each one queues a re-sanitize job the next refresh round pays for
+        on the enclave channel).  Either path is verified against the
+        publication's signed index, so the served bytes are identical
+        regardless of cache state.
         """
         publication = self.publication_at(repo_id, as_of)
         if publication is None:
@@ -649,15 +806,19 @@ class TrustedSoftwareRepository:
                 f"package {name!r} not in the t="
                 f"{publication.available_at:.3f} publication"
             )
-        return self._publication_blob(repo_id, name, publication, expected)
+        return self._publication_blob(repo_id, name, publication, expected,
+                                      at=as_of)
 
     def _publication_blob(self, repo_id: str, name: str,
                           publication: Publication,
-                          expected: tuple[int, str]) -> bytes:
+                          expected: tuple[int, str],
+                          at: float | None = None) -> bytes:
         """Cache-first publication serve (no clock advance: as_of-stamped
         serves belong to a replay plan whose driver advances the scenario
         clock exactly once, at the end — the transfer itself is accounted
-        on the plan schedule)."""
+        on the plan schedule).  A fallback serve queues a re-sanitize job
+        stamped with the serve instant ``at`` (live serves use the clock).
+        """
         cached = self.cache.get_sanitized(repo_id, name)
         if cached is not None and len(cached) == expected[0] \
                 and sha256_hex(cached) == expected[1]:
@@ -673,7 +834,12 @@ class TrustedSoftwareRepository:
             raise NetworkError(
                 f"published package {name!r} does not match its signed index"
             )
-        self.serve_fallbacks += 1
+        if at is None:
+            at = self._network.clock.now()
+        if not self.resanitize_serves:
+            self.serve_fallbacks += 1
+        elif self._queue_resanitize(repo_id, name, blob, at):
+            self.serve_fallbacks += 1
         return blob
 
     # -- delta serving (publication-log diffs) --------------------------------
@@ -712,14 +878,17 @@ class TrustedSoftwareRepository:
         return log[-1] if log else None
 
     def _publication_index(self, repo_id: str, position: int):
-        """Parsed index of one publication (cached; the log is append-only)."""
+        """Parsed index of one publication (cached by serial — stable
+        under retention pruning, unlike log positions; same-serial
+        publications carry byte-identical index bytes)."""
         from repro.archive.index import parse_index_cached
 
-        cached = self._publication_indexes.get((repo_id, position))
+        publication = self._publications[repo_id][position]
+        key = (repo_id, publication.serial)
+        cached = self._publication_indexes.get(key)
         if cached is None:
-            cached = parse_index_cached(
-                self._publications[repo_id][position].index_bytes)
-            self._publication_indexes[(repo_id, position)] = cached
+            cached = parse_index_cached(publication.index_bytes)
+            self._publication_indexes[key] = cached
         return cached
 
     def _count_fallback(self, counters: dict[str, int], reason: str):
@@ -758,8 +927,20 @@ class TrustedSoftwareRepository:
         base_pos = next((i for i in range(target_pos, -1, -1)
                          if log[i].serial == base_serial), None)
         if base_pos is None:
-            self._count_fallback(self.delta_index_fallbacks, "unknown-base")
-            return index_full_envelope("unknown-base", target.index_bytes)
+            pruned = self._pruned_through.get(repo_id)
+            if pruned is not None and base_serial <= pruned:
+                # The base aged out of the bounded publication log.  When
+                # even an unbounded log would have answered with a full
+                # pull (the hypothetical gap exceeds the depth bound),
+                # keep the historical "depth" reason; otherwise the
+                # retention knob itself forced the full pull.
+                self.retention_full_pulls += 1
+                reason = ("depth" if target_pos + 1 > self.delta_log_depth
+                          else "retention")
+            else:
+                reason = "unknown-base"
+            self._count_fallback(self.delta_index_fallbacks, reason)
+            return index_full_envelope(reason, target.index_bytes)
         if target_pos - base_pos > self.delta_log_depth:
             self._count_fallback(self.delta_index_fallbacks, "depth")
             return index_full_envelope("depth", target.index_bytes)
@@ -798,7 +979,8 @@ class TrustedSoftwareRepository:
                 f"package {name!r} not in the t="
                 f"{target.available_at:.3f} publication"
             )
-        blob = self._publication_blob(repo_id, name, target, expected)
+        blob = self._publication_blob(repo_id, name, target, expected,
+                                      at=as_of)
         new_sha = expected[1]
         if self.delta_log_depth <= 0:
             self._count_fallback(self.delta_package_fallbacks, "disabled")
@@ -811,6 +993,8 @@ class TrustedSoftwareRepository:
             return package_full_envelope("same", blob)
         manifest = self.cache.get_chunk_manifest(base_sha256)
         if manifest is None:
+            if base_sha256 in self._pruned_manifest_shas:
+                self.retention_full_pulls += 1
             self._count_fallback(self.delta_package_fallbacks, "unknown-base")
             return package_full_envelope("unknown-base", blob)
         memo_key = (base_sha256, new_sha)

@@ -46,6 +46,14 @@ from repro.util.errors import (
 )
 
 
+#: Full-pull reasons that mean "the answer I just got was bad", not
+#: merely "no delta was possible".  These re-pulls bypass an edge
+#: replica via the client's ``fetch_*_origin`` surface (when it has
+#: one), so a tampering or rolled-back replica cannot answer its own
+#: recovery traffic.
+_RECOVERY_REASONS = frozenset({"rejected", "rollback-rejected"})
+
+
 class RepositoryClient(Protocol):
     """Anything a package manager can download from.
 
@@ -197,7 +205,10 @@ class PackageManager:
     def _update_full(self, reason: str) -> RepositoryIndex:
         """Delta-mode full-index fallback, counted under ``reason``."""
         DeltaStats._bump(self.delta_stats.index_full, reason)
-        blob = self._client.fetch_index()
+        fetch = self._client.fetch_index
+        if reason in _RECOVERY_REASONS:
+            fetch = getattr(self._client, "fetch_index_origin", fetch)
+        blob = fetch()
         self.delta_stats.index_wire_bytes += len(blob)
         return self._authenticate_index(blob)
 
@@ -310,7 +321,10 @@ class PackageManager:
                     reason: str) -> bytes:
         """Delta-mode full-blob fallback, counted under ``reason``."""
         DeltaStats._bump(self.delta_stats.package_full, reason)
-        blob = self._client.fetch_package(entry.name)
+        fetch = self._client.fetch_package
+        if reason in _RECOVERY_REASONS:
+            fetch = getattr(self._client, "fetch_package_origin", fetch)
+        blob = fetch(entry.name)
         self._account_wire(stats, len(blob))
         return blob
 

@@ -518,6 +518,13 @@ class PlanFetchSession:
         if channel not in self._pinned:
             self._pinned.add(channel)
             extra_wait = self._wave_gap(channel)
+        # Serving-host routing: when the plan schedule declares the
+        # target as a link (an edge replica's uplink), the payload
+        # phase water-fills that link's pool instead of the default
+        # (primary) one; the channel itself stays global, so a client
+        # mixing replica and primary fetches still serializes them.
+        link = request.target if self._schedule.has_link(request.target) \
+            else None
         try:
             probe = self._network.probe(src_name, request)
         except NetworkError:
@@ -527,7 +534,7 @@ class PlanFetchSession:
             self._record_key(channel, key)
             raise
         self._schedule.enqueue(channel, key, extra_wait + probe.setup,
-                               probe.size_bytes, probe.bandwidth)
+                               probe.size_bytes, probe.bandwidth, link=link)
         self._record_key(channel, key)
         self._channel_bytes[channel] = \
             self._channel_bytes.get(channel, 0) + probe.size_bytes

@@ -11,7 +11,11 @@ processing, no downlink use) followed by a payload phase whose rate is
 where the *channel capacity* is an optional per-channel layer (a fleet
 client's NIC downlink, see :meth:`ParallelTransferSchedule.limit_channel`)
 and the shared link (``downlink_bandwidth``) is divided max-min fairly
-among all payload phases active at the same instant.
+among all payload phases active at the same instant.  A schedule may
+carry several *links* — independent shared pipes, each its own max-min
+pool (:meth:`ParallelTransferSchedule.add_link`; an edge replica's
+serving uplink next to the primary's) — while channels stay global, so
+one client's fetches serialize even when they cross links.
 
 :meth:`ParallelTransferSchedule.solve` is an *incremental* event-driven
 simulation built for 10k+-channel fleets:
@@ -105,6 +109,7 @@ class _StreamItem:
     setup: float
     size_bytes: int
     bandwidth: float
+    group: int = 0
 
 
 def max_min_rates(caps: dict, capacity: float | None) -> dict:
@@ -151,21 +156,31 @@ class _EngineState:
     lists, water-level scalars, heaps) while sharing the read-only queue
     columns, which is how mid-plan solves run without disturbing the
     live core.
+
+    Capacity is per *link group*: group 0 is the default shared link
+    (``downlink_bandwidth``), further groups are the secondary links
+    declared with :meth:`ParallelTransferSchedule.add_link` (a replica
+    host's uplink).  Each group runs its own water-fill — its own
+    capsum/ncap/nlvl/level/vnow scalars and completion heaps — because
+    the links are physically independent pipes; channels stay global,
+    so one channel's queue still serializes across links.
     """
 
     __slots__ = (
-        "capacity", "start_time", "use_numpy", "chans",
-        "qkey", "qsetup", "qsize", "qcap", "qlen",
-        "idx", "strt", "cls", "ecap", "dat", "epo", "lastfin",
+        "caps", "ngroups", "start_time", "use_numpy", "chans",
+        "qkey", "qsetup", "qsize", "qcap", "qgrp", "qlen",
+        "idx", "strt", "cls", "ecap", "dat", "epo", "lastfin", "agrp",
         "capsum", "ncap", "nlvl", "level", "vnow", "now",
-        "blockers", "remaining",
-        "setup_heap", "cap_heap", "lvl_heap", "capmax_heap", "lvlmin_heap",
-        "timings",
+        "tot_ncap", "tot_nlvl", "blockers", "remaining",
+        "setup_heap", "cap_heaps", "lvl_heaps", "capmax_heaps",
+        "lvlmin_heaps", "timings",
     )
 
-    def __init__(self, capacity: float | None, start_time: float,
+    def __init__(self, caps: list[float | None], start_time: float,
                  use_numpy: bool):
-        self.capacity = capacity
+        ngroups = len(caps)
+        self.caps = caps          # shared-link capacity per link group
+        self.ngroups = ngroups
         self.start_time = start_time
         self.use_numpy = use_numpy
         self.chans: list = []
@@ -173,6 +188,7 @@ class _EngineState:
         self.qsetup: list[list[float]] = []
         self.qsize: list[list[int]] = []
         self.qcap: list[list[float]] = []
+        self.qgrp: list[list[int]] = []  # link group per queued item
         self.qlen: list[int] = []
         self.idx: list[int] = []       # current queue position per channel
         self.strt: list[float] = []    # start instant of the current item
@@ -189,27 +205,33 @@ class _EngineState:
         #: anchor later enqueues chain their setup phase off once the
         #: channel went idle (streaming revival / channel retirement).
         self.lastfin: list[float] = []
-        self.capsum = 0.0        # total rate of capped streams
-        self.ncap = 0            # number of capped streams
-        self.nlvl = 0            # number of level-bound streams
-        self.level = math.inf    # current fair share of the shared link
-        self.vnow = 0.0          # virtual time: integral of the level
+        #: Link group of the channel's *active* payload (valid while
+        #: cls != 0; the next begin rewrites it from ``qgrp``).
+        self.agrp: list[int] = []
+        self.capsum = [0.0] * ngroups  # total rate of capped streams
+        self.ncap = [0] * ngroups      # number of capped streams
+        self.nlvl = [0] * ngroups      # number of level-bound streams
+        self.level = [math.inf] * ngroups  # fair share per link group
+        self.vnow = [0.0] * ngroups    # virtual time: integral of level
         self.now = start_time
+        self.tot_ncap = 0        # sum over groups (hot-loop gates)
+        self.tot_nlvl = 0
         #: Active payload streams whose channel still has queued items;
         #: the batched tail drain may only run when none remain.
         self.blockers = 0
         #: Enqueued items not yet completed (exact loop-exit counter).
         self.remaining = 0
         self.setup_heap: list = []   # (abs end, cid << _EPOCH_BITS); not stale
-        self.cap_heap: list = []     # (abs finish, pack)
-        self.lvl_heap: list = []     # (virtual deadline, pack)
-        self.capmax_heap: list = []  # (-eff cap, pack)
-        self.lvlmin_heap: list = []  # (eff cap, pack)
+        self.cap_heaps = [[] for _ in range(ngroups)]     # (abs finish, pack)
+        self.lvl_heaps = [[] for _ in range(ngroups)]     # (virt deadline, pack)
+        self.capmax_heaps = [[] for _ in range(ngroups)]  # (-eff cap, pack)
+        self.lvlmin_heaps = [[] for _ in range(ngroups)]  # (eff cap, pack)
         self.timings: dict[object, TransferTiming] = {}
 
     def clone(self) -> "_EngineState":
         other = _EngineState.__new__(_EngineState)
-        other.capacity = self.capacity
+        other.caps = self.caps
+        other.ngroups = self.ngroups
         other.start_time = self.start_time
         other.use_numpy = self.use_numpy
         # Queue columns are read-only during a run: share them.
@@ -218,6 +240,7 @@ class _EngineState:
         other.qsetup = self.qsetup
         other.qsize = self.qsize
         other.qcap = self.qcap
+        other.qgrp = self.qgrp
         other.qlen = self.qlen
         other.idx = self.idx[:]
         other.strt = self.strt[:]
@@ -226,19 +249,22 @@ class _EngineState:
         other.dat = self.dat[:]
         other.epo = self.epo[:]
         other.lastfin = self.lastfin[:]
-        other.capsum = self.capsum
-        other.ncap = self.ncap
-        other.nlvl = self.nlvl
-        other.level = self.level
-        other.vnow = self.vnow
+        other.agrp = self.agrp[:]
+        other.capsum = self.capsum[:]
+        other.ncap = self.ncap[:]
+        other.nlvl = self.nlvl[:]
+        other.level = self.level[:]
+        other.vnow = self.vnow[:]
         other.now = self.now
+        other.tot_ncap = self.tot_ncap
+        other.tot_nlvl = self.tot_nlvl
         other.blockers = self.blockers
         other.remaining = self.remaining
         other.setup_heap = self.setup_heap[:]
-        other.cap_heap = self.cap_heap[:]
-        other.lvl_heap = self.lvl_heap[:]
-        other.capmax_heap = self.capmax_heap[:]
-        other.lvlmin_heap = self.lvlmin_heap[:]
+        other.cap_heaps = [heap[:] for heap in self.cap_heaps]
+        other.lvl_heaps = [heap[:] for heap in self.lvl_heaps]
+        other.capmax_heaps = [heap[:] for heap in self.capmax_heaps]
+        other.lvlmin_heaps = [heap[:] for heap in self.lvlmin_heaps]
         other.timings = {}
         return other
 
@@ -258,12 +284,14 @@ def _run_engine(st: _EngineState, until: float | None = None,
     ``st.timings``; all other state is written back for resumption.
     """
     timings = st.timings
-    capacity = st.capacity
+    caps_g = st.caps
+    ngroups = st.ngroups
     use_numpy = st.use_numpy and until is None
     qkey = st.qkey
     qsetup = st.qsetup
     qsize = st.qsize
     qcap = st.qcap
+    qgrp = st.qgrp
     qlen = st.qlen
     idx = st.idx
     strt = st.strt
@@ -272,19 +300,22 @@ def _run_engine(st: _EngineState, until: float | None = None,
     dat = st.dat
     epo = st.epo
     lastfin = st.lastfin
-    capsum = st.capsum
+    agrp = st.agrp
+    capsum = st.capsum  # per-group lists, mutated in place
     ncap = st.ncap
     nlvl = st.nlvl
     level = st.level
     vnow = st.vnow
     now = st.now
+    tot_ncap = st.tot_ncap
+    tot_nlvl = st.tot_nlvl
     blockers = st.blockers
     remaining = st.remaining
     setup_heap = st.setup_heap
-    cap_heap = st.cap_heap
-    lvl_heap = st.lvl_heap
-    capmax_heap = st.capmax_heap
-    lvlmin_heap = st.lvlmin_heap
+    cap_heaps = st.cap_heaps
+    lvl_heaps = st.lvl_heaps
+    capmax_heaps = st.capmax_heaps
+    lvlmin_heaps = st.lvlmin_heaps
     push = heapq.heappush
 
     def peek(heap, code):
@@ -299,60 +330,70 @@ def _run_engine(st: _EngineState, until: float | None = None,
 
     def demote(cid):
         """cap -> lvl: the fair share fell below this stream's cap."""
-        nonlocal capsum, ncap, nlvl
+        nonlocal tot_ncap, tot_nlvl
+        g = agrp[cid]
         remain = (dat[cid] - now) * ecap[cid]
-        capsum -= ecap[cid]
-        ncap -= 1
-        nlvl += 1
+        capsum[g] -= ecap[cid]
+        ncap[g] -= 1
+        nlvl[g] += 1
+        tot_ncap -= 1
+        tot_nlvl += 1
         cls[cid] = 2
-        dat[cid] = vnow + (remain if remain > 0.0 else 0.0)
+        dat[cid] = vnow[g] + (remain if remain > 0.0 else 0.0)
         epo[cid] += 1
         pack = cid << _EPOCH_BITS | epo[cid]
-        push(lvl_heap, (dat[cid], pack))
-        push(lvlmin_heap, (ecap[cid], pack))
+        push(lvl_heaps[g], (dat[cid], pack))
+        push(lvlmin_heaps[g], (ecap[cid], pack))
 
     def promote(cid):
         """lvl -> cap: this stream's own cap binds again."""
-        nonlocal capsum, ncap, nlvl
-        remain = dat[cid] - vnow
-        nlvl -= 1
-        ncap += 1
-        capsum += ecap[cid]
+        nonlocal tot_ncap, tot_nlvl
+        g = agrp[cid]
+        remain = dat[cid] - vnow[g]
+        nlvl[g] -= 1
+        ncap[g] += 1
+        tot_nlvl -= 1
+        tot_ncap += 1
+        capsum[g] += ecap[cid]
         cls[cid] = 1
         dat[cid] = now + (remain if remain > 0.0 else 0.0) \
             / ecap[cid]
         epo[cid] += 1
         pack = cid << _EPOCH_BITS | epo[cid]
-        push(cap_heap, (dat[cid], pack))
-        push(capmax_heap, (-ecap[cid], pack))
+        push(cap_heaps[g], (dat[cid], pack))
+        push(capmax_heaps[g], (-ecap[cid], pack))
 
-    def rebalance():
-        """Restore the water-fill invariants after the active set changed.
+    def rebalance(g):
+        """Restore one group's water-fill invariants after its active
+        set changed.
 
         Only the dirty set — streams whose cap crosses the moving
         level — changes class; every other stream's datum stays valid
         verbatim (capped finishes are absolute, level-bound deadlines
         are virtual).  Within one call the recomputed level only
         rises, so each stream moves at most twice and the loop always
-        terminates at the unique water-fill solution.
+        terminates at the unique water-fill solution.  Groups never
+        interact: a begin/complete on link g dirties only link g.
         """
-        nonlocal level
+        capacity = caps_g[g]
         if capacity is None:
             return
+        capmax_heap = capmax_heaps[g]
+        lvlmin_heap = lvlmin_heaps[g]
         while True:
-            if nlvl == 0:
-                if capsum <= capacity:
-                    level = math.inf
+            if nlvl[g] == 0:
+                if capsum[g] <= capacity:
+                    level[g] = math.inf
                     return
                 demote(peek(capmax_heap, 1)[1])
                 continue
-            level = (capacity - capsum) / nlvl
+            level[g] = (capacity - capsum[g]) / nlvl[g]
             top = peek(lvlmin_heap, 2)
-            if top is not None and top[0] <= level:
+            if top is not None and top[0] <= level[g]:
                 promote(top[1])
                 continue
             top = peek(capmax_heap, 1)
-            if top is not None and -top[0] > level:
+            if top is not None and -top[0] > level[g]:
                 demote(top[1])
                 continue
             return
@@ -368,7 +409,7 @@ def _run_engine(st: _EngineState, until: float | None = None,
 
     def begin_transfer(cid):
         """Enter the payload phase; an empty payload completes now."""
-        nonlocal capsum, ncap, nlvl, blockers, remaining
+        nonlocal blockers, remaining, tot_ncap, tot_nlvl
         i = idx[cid]
         if qsize[cid][i] == 0:
             timings[qkey[cid][i]] = TransferTiming(strt[cid], now)
@@ -377,9 +418,12 @@ def _run_engine(st: _EngineState, until: float | None = None,
             advance(cid)
             return
         cap = qcap[cid][i]
+        g = qgrp[cid][i]
+        agrp[cid] = g
         ecap[cid] = cap
         finish = now + qsize[cid][i] / cap
-        if capacity is not None and ncap == 0 and nlvl:
+        capacity = caps_g[g]
+        if capacity is not None and ncap[g] == 0 and nlvl[g]:
             # Saturated fast path: with no capped streams, a new
             # stream whose cap exceeds the post-entry fair share is
             # demoted by the very next ``rebalance`` (and nothing
@@ -387,42 +431,47 @@ def _run_engine(st: _EngineState, until: float | None = None,
             # reaches that share either).  Replay that enter-as-cap +
             # demote sequence arithmetically — same floats, same heap
             # order — without ever touching the cap heaps.
-            entered = capsum + cap
-            share = (capacity - entered) / nlvl
-            top = peek(lvlmin_heap, 2)
+            entered = capsum[g] + cap
+            share = (capacity - entered) / nlvl[g]
+            top = peek(lvlmin_heaps[g], 2)
             if cap > share and (top is None or top[0] > share):
                 remain = (finish - now) * cap
-                capsum = entered - cap
-                nlvl += 1
+                capsum[g] = entered - cap
+                nlvl[g] += 1
+                tot_nlvl += 1
                 cls[cid] = 2
-                dat[cid] = vnow + (remain if remain > 0.0 else 0.0)
+                dat[cid] = vnow[g] + (remain if remain > 0.0 else 0.0)
                 epo[cid] += 1
                 pack = cid << _EPOCH_BITS | epo[cid]
-                push(lvl_heap, (dat[cid], pack))
-                push(lvlmin_heap, (cap, pack))
+                push(lvl_heaps[g], (dat[cid], pack))
+                push(lvlmin_heaps[g], (cap, pack))
                 if i + 1 < qlen[cid]:
                     blockers += 1
-                rebalance()
+                rebalance(g)
                 return
         cls[cid] = 1
-        ncap += 1
-        capsum += cap
+        ncap[g] += 1
+        tot_ncap += 1
+        capsum[g] += cap
         dat[cid] = finish
         epo[cid] += 1
         pack = cid << _EPOCH_BITS | epo[cid]
-        push(cap_heap, (dat[cid], pack))
-        push(capmax_heap, (-cap, pack))
+        push(cap_heaps[g], (dat[cid], pack))
+        push(capmax_heaps[g], (-cap, pack))
         if i + 1 < qlen[cid]:
             blockers += 1
-        rebalance()
+        rebalance(g)
 
     def complete_stream(cid):
-        nonlocal capsum, ncap, nlvl, blockers, remaining
+        nonlocal blockers, remaining, tot_ncap, tot_nlvl
+        g = agrp[cid]
         if cls[cid] == 1:
-            capsum -= ecap[cid]
-            ncap -= 1
+            capsum[g] -= ecap[cid]
+            ncap[g] -= 1
+            tot_ncap -= 1
         else:
-            nlvl -= 1
+            nlvl[g] -= 1
+            tot_nlvl -= 1
         cls[cid] = 0
         epo[cid] += 1
         i = idx[cid]
@@ -432,24 +481,29 @@ def _run_engine(st: _EngineState, until: float | None = None,
         if i + 1 < qlen[cid]:
             blockers -= 1
         advance(cid)
-        rebalance()
+        rebalance(g)
 
-    def drain_tail():
-        """Batch-complete the all-level-bound endgame.
+    def drain_tail(g):
+        """Batch-complete the all-level-bound endgame of one group.
 
         Preconditions (checked by the caller): no setups pending, no
-        capped streams, no active channel has queued successors.  The
-        remaining events are exactly the level-bound completions in
-        (virtual deadline, pack) order — the heap's order — with the
-        level rising to ``(capacity - capsum) / remaining`` after
-        each.  The drain follows the sorted deadlines until a
-        remaining stream's own cap would bind (``rebalance`` then
-        promotes it and the event loop resumes).  The pure path
-        replays the event loop's arithmetic verbatim; the numpy path
-        (``REPRO_SOLVER=numpy``) vectorizes the recurrence with
-        float-ulp divergence only.
+        capped streams anywhere, no active channel has queued
+        successors, and group ``g`` holds *every* live stream (other
+        groups' virtual clocks are frozen at nlvl == 0, so jumping
+        real time is safe).  The remaining events are exactly the
+        level-bound completions in (virtual deadline, pack) order —
+        the heap's order — with the level rising to ``(capacity -
+        capsum) / remaining`` after each.  The drain follows the
+        sorted deadlines until a remaining stream's own cap would
+        bind (``rebalance`` then promotes it and the event loop
+        resumes).  The pure path replays the event loop's arithmetic
+        verbatim; the numpy path (``REPRO_SOLVER=numpy``) vectorizes
+        the recurrence with float-ulp divergence only.
         """
-        nonlocal now, vnow, nlvl, level, remaining
+        nonlocal now, remaining, tot_nlvl
+        capacity = caps_g[g]
+        lvl_heap = lvl_heaps[g]
+        lvlmin_heap = lvlmin_heaps[g]
         live: dict[int, tuple] = {}
         for entry in lvl_heap:
             pack = entry[1]
@@ -459,7 +513,7 @@ def _run_engine(st: _EngineState, until: float | None = None,
         entries = sorted(live.values())
         m = len(entries)
         if use_numpy and m > 2:
-            _drain_tail_numpy(entries)
+            _drain_tail_numpy(g, entries)
             return
         # Suffix minimum of the streams' own caps in deadline order:
         # the live top of ``lvlmin_heap`` after j completions.
@@ -471,12 +525,13 @@ def _run_engine(st: _EngineState, until: float | None = None,
         for j in range(m):
             deadline, pack = entries[j]
             cid = pack >> _EPOCH_BITS
-            delta = deadline - vnow
+            delta = deadline - vnow[g]
             if delta > 0.0:
-                when = now + delta / level
-                vnow += level * (when - now)
+                when = now + delta / level[g]
+                vnow[g] += level[g] * (when - now)
                 now = when
-            nlvl -= 1
+            nlvl[g] -= 1
+            tot_nlvl -= 1
             cls[cid] = 0
             epo[cid] += 1
             i = idx[cid]
@@ -484,11 +539,11 @@ def _run_engine(st: _EngineState, until: float | None = None,
             lastfin[cid] = now
             remaining -= 1
             idx[cid] = i + 1
-            if nlvl == 0:
-                level = math.inf
+            if nlvl[g] == 0:
+                level[g] = math.inf
                 return
-            level = (capacity - capsum) / nlvl
-            if sufmin[j + 1] <= level:
+            level[g] = (capacity - capsum[g]) / nlvl[g]
+            if sufmin[j + 1] <= level[g]:
                 # The survivors are exactly the live level-bound set;
                 # rebuild the lazy heaps outright rather than letting
                 # ``peek`` drain the completed entries one heappop at
@@ -499,10 +554,10 @@ def _run_engine(st: _EngineState, until: float | None = None,
                 lvlmin_heap[:] = sorted(
                     (ecap[e[1] >> _EPOCH_BITS], e[1])
                     for e in survivors)
-                rebalance()
+                rebalance(g)
                 return
 
-    def _drain_tail_numpy(entries):
+    def _drain_tail_numpy(g, entries):
         """Vectorized tail drain: closed-form finish times.
 
         In exact arithmetic the event loop's virtual time after
@@ -511,17 +566,19 @@ def _run_engine(st: _EngineState, until: float | None = None,
         cumulative sum over the sorted deadline gaps.  Differs from
         the pure path only in float rounding (differentially tested).
         """
-        nonlocal now, vnow, nlvl, level, remaining
+        nonlocal now, remaining, tot_nlvl
+        capacity = caps_g[g]
         m = len(entries)
+        cids = [e[1] >> _EPOCH_BITS for e in entries]
         d_arr = _np.array([e[0] for e in entries])
-        caps = _np.array([ecap[e[1] >> _EPOCH_BITS] for e in entries])
+        caps = _np.array([ecap[c] for c in cids])
         prev_v = _np.empty(m)
-        prev_v[0] = vnow
-        _np.maximum(d_arr[:-1], vnow, out=prev_v[1:])
+        prev_v[0] = vnow[g]
+        _np.maximum(d_arr[:-1], vnow[g], out=prev_v[1:])
         deltas = _np.maximum(d_arr - prev_v, 0.0)
-        counts = nlvl - _np.arange(m)
-        levels = (capacity - capsum) / counts
-        levels[0] = level
+        counts = nlvl[g] - _np.arange(m)
+        levels = (capacity - capsum[g]) / counts
+        levels[0] = level[g]
         finishes = now + _np.cumsum(deltas / levels)
         # Streams beyond the first whose cap meets the risen level
         # must go back through ``rebalance`` (promotion).
@@ -533,31 +590,35 @@ def _run_engine(st: _EngineState, until: float | None = None,
                 cut = int(bad[0]) + 1
         # No epoch bump on completion: ``cls`` going 0 already stales
         # every heap entry, and the next begin bumps the epoch anyway.
-        fin = finishes.tolist()
-        for (_, pack), f in zip(entries[:cut], fin):
-            cid = pack >> _EPOCH_BITS
-            cls[cid] = 0
-            i = idx[cid]
-            timings[qkey[cid][i]] = TransferTiming(strt[cid], f)
-            lastfin[cid] = f
-            idx[cid] = i + 1
+        # Local rebinds: this loop touches 100k elements on the fan-out
+        # shape, and LOAD_FAST beats a cell deref per access.
+        fin = finishes[:cut].tolist()
+        cls_l, idx_l, strt_l = cls, idx, strt
+        lastfin_l, qkey_l, tim, make = lastfin, qkey, timings, TransferTiming
+        for cid, f in zip(cids, fin):
+            cls_l[cid] = 0
+            i = idx_l[cid]
+            tim[qkey_l[cid][i]] = make(strt_l[cid], f)
+            lastfin_l[cid] = f
+            idx_l[cid] = i + 1
         remaining -= cut
         last = float(finishes[cut - 1])
         if last > now:
             now = last
         top_v = float(d_arr[cut - 1])
-        if top_v > vnow:
-            vnow = top_v
-        nlvl -= cut
-        if nlvl == 0:
-            level = math.inf
+        if top_v > vnow[g]:
+            vnow[g] = top_v
+        nlvl[g] -= cut
+        tot_nlvl -= cut
+        if nlvl[g] == 0:
+            level[g] = math.inf
             return
         survivors = entries[cut:]
-        lvl_heap[:] = survivors
-        lvlmin_heap[:] = sorted(
+        lvl_heaps[g][:] = survivors
+        lvlmin_heaps[g][:] = sorted(
             (ecap[e[1] >> _EPOCH_BITS], e[1]) for e in survivors)
-        level = (capacity - capsum) / nlvl
-        rebalance()
+        level[g] = (capacity - capsum[g]) / nlvl[g]
+        rebalance(g)
 
     def drain_setups_numpy():
         """Vectorized begin wave (``REPRO_SOLVER=numpy``).
@@ -571,24 +632,30 @@ def _run_engine(st: _EngineState, until: float | None = None,
         closed form, stopping at the first setup where the fast path
         would not fire or a completion would interleave; the event
         loop resumes there.  Returns the number of setups consumed.
+        Single-group only (the caller gates on ``ngroups == 1``), so
+        every index below is group 0.
         """
-        nonlocal now, vnow, nlvl, level, blockers
+        nonlocal now, blockers, tot_nlvl
+        capacity = caps_g[0]
+        lvl_heap = lvl_heaps[0]
+        lvlmin_heap = lvlmin_heaps[0]
         ends = sorted(setup_heap)
         total = len(ends)
         cids = [entry[1] >> _EPOCH_BITS for entry in ends]
         t_arr = _np.array([entry[0] for entry in ends])
-        sizes = _np.array([float(qsize[c][idx[c]]) for c in cids])
+        sizes = _np.array([qsize[c][idx[c]] for c in cids],
+                          dtype=_np.float64)
         caps = _np.array([qcap[c][idx[c]] for c in cids])
-        counts = nlvl + _np.arange(total)        # nlvl at begin i
-        share = (capacity - (capsum + caps)) / counts
+        counts = nlvl[0] + _np.arange(total)     # nlvl at begin i
+        share = (capacity - (capsum[0] + caps)) / counts
         # level on the interval ending at begin i (after i demotes)
         lvls = _np.empty(total)
-        lvls[0] = level
-        lvls[1:] = (capacity - capsum) / counts[1:]
+        lvls[0] = level[0]
+        lvls[1:] = (capacity - capsum[0]) / counts[1:]
         gaps = _np.empty(total)
         gaps[0] = t_arr[0] - now
         _np.subtract(t_arr[1:], t_arr[:-1], out=gaps[1:])
-        v_arr = vnow + _np.cumsum(_np.maximum(gaps, 0.0) * lvls)
+        v_arr = vnow[0] + _np.cumsum(_np.maximum(gaps, 0.0) * lvls)
         deadlines = v_arr + (sizes / caps) * caps
         # Fast-path validity: the begin demotes itself and promotes
         # nothing — its cap and every level-bound cap exceed the
@@ -608,22 +675,28 @@ def _run_engine(st: _EngineState, until: float | None = None,
         if top is not None:
             dmin = _np.minimum(dmin, top[0])
         t_comp = t_arr + _np.maximum(dmin - v_arr, 0.0) \
-            * (counts + 1) / (capacity - capsum)
+            * (counts + 1) / (capacity - capsum[0])
         ok[1:] &= t_comp[:-1] >= t_arr[1:]
         bad = _np.nonzero(~ok)[0]
         consumed = int(bad[0]) if bad.size else total
         if consumed == 0:
             return 0
-        for cid, cap, deadline in zip(cids[:consumed], caps.tolist(),
-                                      deadlines.tolist()):
-            cls[cid] = 2
-            ecap[cid] = cap
-            dat[cid] = deadline
-            epo[cid] += 1
-            pack = cid << _EPOCH_BITS | epo[cid]
-            lvl_heap.append((deadline, pack))
-            lvlmin_heap.append((cap, pack))
-            if idx[cid] + 1 < qlen[cid]:
+        cls_l, agrp_l, ecap_l, dat_l = cls, agrp, ecap, dat
+        epo_l, idx_l, qlen_l = epo, idx, qlen
+        lvl_append = lvl_heap.append
+        lvlmin_append = lvlmin_heap.append
+        for cid, cap, deadline in zip(cids, caps[:consumed].tolist(),
+                                      deadlines[:consumed].tolist()):
+            cls_l[cid] = 2
+            agrp_l[cid] = 0
+            ecap_l[cid] = cap
+            dat_l[cid] = deadline
+            e = epo_l[cid] + 1
+            epo_l[cid] = e
+            pack = cid << _EPOCH_BITS | e
+            lvl_append((deadline, pack))
+            lvlmin_append((cap, pack))
+            if idx_l[cid] + 1 < qlen_l[cid]:
                 blockers += 1
         heapq.heapify(lvl_heap)
         heapq.heapify(lvlmin_heap)
@@ -631,12 +704,13 @@ def _run_engine(st: _EngineState, until: float | None = None,
             del setup_heap[:]
         else:
             setup_heap[:] = ends[consumed:]  # sorted list is a heap
-        nlvl += consumed
+        nlvl[0] += consumed
+        tot_nlvl += consumed
         now = float(t_arr[consumed - 1])
         last_v = float(v_arr[consumed - 1])
-        if last_v > vnow:
-            vnow = last_v
-        rebalance()
+        if last_v > vnow[0]:
+            vnow[0] = last_v
+        rebalance(0)
         return consumed
 
     while True:
@@ -645,39 +719,55 @@ def _run_engine(st: _EngineState, until: float | None = None,
         # heaps.
         if remaining == 0:
             break
-        if until is None and (capacity is not None and ncap == 0
-                              and nlvl > 1 and blockers == 0
-                              and not setup_heap):
-            drain_tail()
-            continue
+        if until is None and tot_ncap == 0 and tot_nlvl > 1 \
+                and blockers == 0 and not setup_heap:
+            # Batched tail drain: only when a single group holds every
+            # live stream (otherwise jumping real time would need the
+            # other groups' virtual clocks advanced in lockstep).
+            g = -1
+            for gg in range(ngroups):
+                if nlvl[gg]:
+                    if g >= 0:
+                        g = -1
+                        break
+                    g = gg
+            if g >= 0 and caps_g[g] is not None:
+                drain_tail(g)
+                continue
         # Next event: a setup ending, a capped stream draining, or the
-        # earliest virtual deadline among level-bound streams.
+        # earliest virtual deadline among level-bound streams (checked
+        # per link group; group order breaks exact ties).
         best_when = best_kind = best_cid = None
         if setup_heap:
             when, pack = setup_heap[0]
             best_when, best_kind, best_cid = \
                 when, 0, pack >> _EPOCH_BITS
-        top = peek(cap_heap, 1)
-        if top is not None and (best_when is None or top[0] < best_when):
-            best_when, best_kind, best_cid = top[0], 1, top[1]
-        top = peek(lvl_heap, 2)
-        if top is not None:
-            delta = top[0] - vnow
-            when = now + (delta if delta > 0.0 else 0.0) / level
-            if best_when is None or when < best_when:
-                best_when, best_kind, best_cid = when, 2, top[1]
+        for g in range(ngroups):
+            top = peek(cap_heaps[g], 1)
+            if top is not None and (best_when is None
+                                    or top[0] < best_when):
+                best_when, best_kind, best_cid = top[0], 1, top[1]
+            top = peek(lvl_heaps[g], 2)
+            if top is not None:
+                delta = top[0] - vnow[g]
+                when = now + (delta if delta > 0.0 else 0.0) / level[g]
+                if best_when is None or when < best_when:
+                    best_when, best_kind, best_cid = when, 2, top[1]
         if best_when is None:
             break
         if until is not None and best_when > until:
             break  # suspend: the caller resumes past this frontier
-        if best_kind == 0 and use_numpy and capacity is not None \
-                and ncap == 0 and nlvl > 0 and len(setup_heap) >= 64:
+        if best_kind == 0 and use_numpy and ngroups == 1 \
+                and caps_g[0] is not None and ncap[0] == 0 \
+                and nlvl[0] > 0 and len(setup_heap) >= 64:
             if drain_setups_numpy():
                 continue
         if best_when < now:
             best_when = now
-        if nlvl and best_when > now:
-            vnow += level * (best_when - now)
+        if best_when > now:
+            for g in range(ngroups):
+                if nlvl[g]:
+                    vnow[g] += level[g] * (best_when - now)
         now = best_when
         if best_kind == 0:
             heapq.heappop(setup_heap)
@@ -685,12 +775,9 @@ def _run_engine(st: _EngineState, until: float | None = None,
         else:
             complete_stream(best_cid)
 
-    st.capsum = capsum
-    st.ncap = ncap
-    st.nlvl = nlvl
-    st.level = level
-    st.vnow = vnow
     st.now = now
+    st.tot_ncap = tot_ncap
+    st.tot_nlvl = tot_nlvl
     st.blockers = blockers
     st.remaining = remaining
     return timings
@@ -720,11 +807,15 @@ class ParallelTransferSchedule:
         if downlink_bandwidth is not None and downlink_bandwidth <= 0:
             raise ValueError("downlink bandwidth must be positive")
         self._downlink = downlink_bandwidth
+        #: Per-link-group shared capacity; group 0 is the default link.
+        self._link_caps: list[float | None] = [downlink_bandwidth]
+        #: Secondary link name -> group index (see :meth:`add_link`).
+        self._links: dict[object, int] = {}
         self._queues: dict[object, list[_StreamItem]] = {}
-        #: Column mirror of ``_queues`` — (keys, setups, sizes, bandwidths)
-        #: per channel — so :meth:`_solve` flattens by reference instead of
-        #: walking 100k item objects attribute by attribute.
-        self._cols: dict[object, tuple[list, list, list, list]] = {}
+        #: Column mirror of ``_queues`` — (keys, setups, sizes, bandwidths,
+        #: groups) per channel — so :meth:`_solve` flattens by reference
+        #: instead of walking 100k item objects attribute by attribute.
+        self._cols: dict[object, tuple[list, list, list, list, list]] = {}
         self._channel_caps: dict[object, float] = {}
         #: Bumped on any mutation; lets an unchanged re-solve return the
         #: cached timings (the refresh engine re-solves between waves).
@@ -752,6 +843,42 @@ class ParallelTransferSchedule:
         self._stream = ScheduleStream(self, start_time)
         return self._stream
 
+    def add_link(self, link: object, capacity: float | None):
+        """Declare a secondary shared link with its own capacity pool.
+
+        The default link (group 0) is ``downlink_bandwidth`` — the
+        client-side pipe every enqueue shares unless it names a link.
+        A secondary link models an independent physical pipe — an edge
+        replica's serving uplink — whose payload phases water-fill
+        *that* capacity instead, while the channel queues stay global
+        (one client's fetches still serialize across links).
+        Idempotent at the same capacity; declared links cannot be
+        re-declared at a different capacity, and a streaming schedule's
+        link set is frozen when :meth:`stream` is called.
+        """
+        if capacity is not None and capacity <= 0:
+            raise ValueError("link capacity must be positive")
+        group = self._links.get(link)
+        if group is not None:
+            if self._link_caps[group] != capacity:
+                raise ValueError(
+                    f"link {link!r} already declared at capacity "
+                    f"{self._link_caps[group]}, not {capacity}"
+                )
+            return
+        if self._stream is not None:
+            raise RuntimeError(
+                "a streaming schedule's link set is frozen at stream() "
+                "time; declare links before streaming"
+            )
+        self._links[link] = len(self._link_caps)
+        self._link_caps.append(capacity)
+        self._version += 1
+
+    def has_link(self, link: object) -> bool:
+        """Whether ``link`` was declared with :meth:`add_link`."""
+        return link in self._links
+
     def limit_channel(self, channel: object, bandwidth: float):
         """Cap every payload phase on ``channel`` at ``bandwidth``.
 
@@ -775,27 +902,34 @@ class ParallelTransferSchedule:
         self._version += 1
 
     def enqueue(self, channel: object, key: object, setup: float,
-                size_bytes: int, bandwidth: float):
+                size_bytes: int, bandwidth: float, link: object = None):
         if setup < 0 or size_bytes < 0:
             raise ValueError("negative transfer parameters")
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
+        if link is None:
+            group = 0
+        else:
+            group = self._links.get(link)
+            if group is None:
+                raise ValueError(f"unknown link {link!r}; add_link it first")
         if self._stream is not None:
             self._stream._enqueue(channel, key, setup, size_bytes,
-                                  float(bandwidth))
+                                  float(bandwidth), group)
             self._version += 1
             return
         self._queues.setdefault(channel, []).append(
             _StreamItem(key=key, setup=setup, size_bytes=size_bytes,
-                        bandwidth=bandwidth)
+                        bandwidth=bandwidth, group=group)
         )
         cols = self._cols.get(channel)
         if cols is None:
-            cols = self._cols[channel] = ([], [], [], [])
+            cols = self._cols[channel] = ([], [], [], [], [])
         cols[0].append(key)
         cols[1].append(setup)
         cols[2].append(size_bytes)
         cols[3].append(float(bandwidth))
+        cols[4].append(group)
         self._version += 1
 
     def _effective_cap(self, channel: object, bandwidth: float) -> float:
@@ -823,7 +957,7 @@ class ParallelTransferSchedule:
     def _solve(self, start_time: float) -> dict[object, TransferTiming]:
         use_numpy = _np is not None \
             and os.environ.get("REPRO_SOLVER") == "numpy"
-        st = _EngineState(self._downlink, start_time, use_numpy)
+        st = _EngineState(list(self._link_caps), start_time, use_numpy)
 
         # Flatten channels to dense ids (insertion order — the same
         # tie-break the dict-keyed solver used) and queues to parallel
@@ -844,6 +978,7 @@ class ParallelTransferSchedule:
             else:
                 st.qcap.append([bw if bw <= limit else float(limit)
                                 for bw in cols[3]])
+            st.qgrp.append(cols[4])
         n = len(st.chans)
         st.qlen = [len(keys) for keys in st.qkey]
         st.remaining = sum(st.qlen)
@@ -854,10 +989,12 @@ class ParallelTransferSchedule:
         st.dat = [0.0] * n
         st.epo = [0] * n
         st.lastfin = [start_time] * n
-        for cid in range(n):
-            heapq.heappush(st.setup_heap,
-                           (start_time + st.qsetup[cid][0],
-                            cid << _EPOCH_BITS))
+        st.agrp = [0] * n
+        # One heapify beats n heappushes; pop order is identical either
+        # way (packs are unique, so the tuple order is total).
+        st.setup_heap = [(start_time + st.qsetup[cid][0],
+                          cid << _EPOCH_BITS) for cid in range(n)]
+        heapq.heapify(st.setup_heap)
         return _run_engine(st, None)
 
     # -- reference solver (PR 2), for differential testing -------------------
@@ -885,13 +1022,18 @@ class ParallelTransferSchedule:
                 started[(channel, 0)] = start_time
         now = start_time
         while state:
-            active = {
-                channel: self._effective_cap(
-                    channel, self._queues[channel][cursor[0]].bandwidth)
-                for channel, cursor in state.items()
-                if cursor[1] == "transfer"
-            }
-            rates = max_min_rates(active, self._downlink)
+            # One max-min pool per link group: a stream only contends
+            # with streams on its own link.
+            active_by_group: list[dict] = [{} for _ in self._link_caps]
+            for channel, cursor in state.items():
+                if cursor[1] == "transfer":
+                    item = self._queues[channel][cursor[0]]
+                    active_by_group[item.group][channel] = \
+                        self._effective_cap(channel, item.bandwidth)
+            rates: dict = {}
+            for g, active in enumerate(active_by_group):
+                if active:
+                    rates.update(max_min_rates(active, self._link_caps[g]))
             horizons: dict[object, float] = {}
             for channel, cursor in state.items():
                 if cursor[1] == "setup":
@@ -964,7 +1106,8 @@ class ScheduleStream:
         use_numpy = _np is not None \
             and os.environ.get("REPRO_SOLVER") == "numpy"
         self._schedule = schedule
-        self._st = _EngineState(schedule._downlink, start_time, use_numpy)
+        self._st = _EngineState(list(schedule._link_caps), start_time,
+                                use_numpy)
         self._cid_of: dict[object, int] = {}
         self._free_cids: list[int] = []
         #: Retired channels' last completion instant (revival anchor and
@@ -1012,6 +1155,7 @@ class ScheduleStream:
             st.qsetup.append([])
             st.qsize.append([])
             st.qcap.append([])
+            st.qgrp.append([])
             st.qlen.append(0)
             st.idx.append(0)
             st.strt.append(0.0)
@@ -1020,6 +1164,7 @@ class ScheduleStream:
             st.dat.append(0.0)
             st.epo.append(0)
             st.lastfin.append(0.0)
+            st.agrp.append(0)
         st.strt[cid] = resume_at
         st.lastfin[cid] = resume_at
         st.cls[cid] = 0
@@ -1029,7 +1174,7 @@ class ScheduleStream:
         return cid
 
     def _enqueue(self, channel: object, key: object, setup: float,
-                 size_bytes: int, bandwidth: float):
+                 size_bytes: int, bandwidth: float, group: int = 0):
         st = self._st
         cid = self._cid_of.get(channel)
         if cid is None:
@@ -1062,6 +1207,7 @@ class ScheduleStream:
         st.qsetup[cid].append(setup)
         st.qsize[cid].append(size_bytes)
         st.qcap[cid].append(cap)
+        st.qgrp[cid].append(group)
         st.qlen[cid] += 1
         st.remaining += 1
         self.total_enqueued += 1
@@ -1102,6 +1248,7 @@ class ScheduleStream:
                 st.qsetup[cid].clear()
                 st.qsize[cid].clear()
                 st.qcap[cid].clear()
+                st.qgrp[cid].clear()
                 st.qlen[cid] = 0
                 st.idx[cid] = 0
                 self._free_cids.append(cid)
@@ -1110,6 +1257,7 @@ class ScheduleStream:
                 del st.qsetup[cid][:i]
                 del st.qsize[cid][:i]
                 del st.qcap[cid][:i]
+                del st.qgrp[cid][:i]
                 st.qlen[cid] -= i
                 st.idx[cid] = 0
         self._compact_heaps()
@@ -1123,20 +1271,21 @@ class ScheduleStream:
         preserves behaviour exactly.
         """
         st = self._st
-        live = st.ncap + st.nlvl + len(st.setup_heap)
+        live = st.tot_ncap + st.tot_nlvl + len(st.setup_heap)
         bound = 4 * live + 64
         cls = st.cls
         epo = st.epo
-        for heap, code in ((st.cap_heap, 1), (st.lvl_heap, 2),
-                           (st.capmax_heap, 1), (st.lvlmin_heap, 2)):
-            if len(heap) > bound:
-                heap[:] = [
-                    entry for entry in heap
-                    if cls[entry[1] >> _EPOCH_BITS] == code
-                    and epo[entry[1] >> _EPOCH_BITS]
-                    == entry[1] & _EPOCH_MASK
-                ]
-                heapq.heapify(heap)
+        for heaps, code in ((st.cap_heaps, 1), (st.lvl_heaps, 2),
+                            (st.capmax_heaps, 1), (st.lvlmin_heaps, 2)):
+            for heap in heaps:
+                if len(heap) > bound:
+                    heap[:] = [
+                        entry for entry in heap
+                        if cls[entry[1] >> _EPOCH_BITS] == code
+                        and epo[entry[1] >> _EPOCH_BITS]
+                        == entry[1] & _EPOCH_MASK
+                    ]
+                    heapq.heapify(heap)
 
     def drain(self) -> dict[object, TransferTiming]:
         """Take (and forget) every settled-but-undrained completion.
@@ -1196,9 +1345,11 @@ class ScheduleStream:
             "queued_cells": sum(st.qlen),
             "settled_undrained": len(self._settled),
             "finished_anchors": len(self.finished),
-            "heap_cells": (len(st.setup_heap) + len(st.cap_heap)
-                           + len(st.lvl_heap) + len(st.capmax_heap)
-                           + len(st.lvlmin_heap)),
+            "heap_cells": (len(st.setup_heap)
+                           + sum(len(h) for h in st.cap_heaps)
+                           + sum(len(h) for h in st.lvl_heaps)
+                           + sum(len(h) for h in st.capmax_heaps)
+                           + sum(len(h) for h in st.lvlmin_heaps)),
             "total_enqueued": self.total_enqueued,
             "total_settled": self.total_settled,
         }

@@ -81,9 +81,10 @@ from repro.core.orchestrator import (
     RefreshPlanState,
 )
 from repro.core.pipeline import MirrorDownloadScheduler
+from repro.core.replica import check_replica_freshness
 from repro.simnet.network import PlanFetchSession
 from repro.simnet.schedule import ParallelTransferSchedule
-from repro.util.errors import PolicyError
+from repro.util.errors import PolicyError, RollbackError
 from repro.util.stats import QuantileSketch, percentile
 from repro.workload.generator import Trace, TraceEvent, evolve_packages
 from repro.workload.scenario import ClientFleet, Scenario, run_pull_wave
@@ -246,6 +247,22 @@ class TraceReplayReport:
     #: (``timelines`` and ``refresh_rounds`` are then empty — per-client
     #: and per-round records were retired as they drained).
     streaming: StreamingReplaySummary | None = None
+    #: Per-pull completion latency (wave start → the client's last fetch
+    #: settling), folded across every scheduled wave in every mode.
+    pull_latency: QuantileSketch | None = None
+    #: Edge-replica tier accounting (zero without replicas).
+    replicas: int = 0
+    #: Pull waves in which a replica failed its freshness check and lost
+    #: the wave's traffic to the primary (counted per replica per wave).
+    replica_refusals: int = 0
+    #: Wire bytes the replicas pulled off the primary's uplink to sync.
+    replica_sync_bytes: int = 0
+
+    def pull_latency_quantile(self, q: float) -> float:
+        """``q``-th percentile of per-client pull completion latency."""
+        if self.pull_latency is None:
+            return 0.0
+        return self.pull_latency.quantile(q)
 
     @property
     def staleness_per_client(self) -> dict[str, float]:
@@ -414,7 +431,8 @@ class TraceReplay:
                  link_bandwidth: float | None = None,
                  delta_updates: bool = False,
                  window_seconds: float | None = None,
-                 shared_tpm_seed: int | None = None):
+                 shared_tpm_seed: int | None = None,
+                 replicas=None):
         if mode not in REPLAY_MODES:
             raise ValueError(
                 f"unknown replay mode {mode!r} (expected {REPLAY_MODES})"
@@ -445,6 +463,56 @@ class TraceReplay:
         #: so both modes produce identical reports either way — set it
         #: whenever the fleet is large.
         self._shared_tpm_seed = shared_tpm_seed
+        #: Edge-replica serving tier (:class:`repro.core.replica.ReplicaTSR`
+        #: instances, already registered on the scenario network).  The
+        #: replay drives their sync loop — on every publication plus a
+        #: cadence heartbeat before pull waves — and runs the freshness
+        #: check that routes clients away from stale/frozen replicas.
+        self._replicas = list(replicas) if replicas else []
+        self._replica_refusals = 0
+
+    # -- replica tier plumbing -------------------------------------------------
+
+    def _link_replicas(self, schedule: ParallelTransferSchedule):
+        """Declare one independent uplink pool per replica host on the
+        plan schedule (must run before a stream is opened)."""
+        network = self._scenario.network
+        for replica in self._replicas:
+            schedule.add_link(replica.hostname,
+                              network.host(replica.hostname).bandwidth)
+
+    def _sync_replicas(self, at: float, repo_ids=None, schedule=None):
+        for replica in self._replicas:
+            replica.sync_from_primary(at, repo_ids=repo_ids,
+                                      schedule=schedule)
+
+    def _heartbeat_replicas(self, at: float, schedule=None):
+        """Cadence sync ahead of a pull wave: a healthy replica re-syncs
+        whenever its last sync is at least one cadence old, so its lag at
+        wave time never exceeds its cadence (< the staleness bound).  A
+        frozen replica ignores this and drifts into refusal."""
+        for replica in self._replicas:
+            if at - replica.synced_through >= replica.sync_cadence:
+                replica.sync_from_primary(at, schedule=schedule)
+
+    def _freshness_refusals(self, as_of: float) -> set[str]:
+        """Quorum-check every replica's served index for this wave."""
+        refused: set[str] = set()
+        scenario = self._scenario
+        for replica in self._replicas:
+            for repo_id in self._tenants:
+                if scenario.tsr.publication_at(repo_id, as_of) is None:
+                    continue  # nothing published yet: nothing to refuse
+                key = scenario.tenant_keys.get(repo_id,
+                                               scenario.tsr_public_key)
+                try:
+                    check_replica_freshness(replica, repo_id, as_of, [key])
+                except RollbackError:
+                    refused.add(replica.hostname)
+                    replica.refusals += 1
+                    self._replica_refusals += 1
+                    break
+        return refused
 
     def _new_round_state(self) -> tuple[ParallelTransferSchedule,
                                         RefreshPlanState]:
@@ -464,6 +532,7 @@ class TraceReplay:
 
         if self._interleaved:
             schedule, plan = self._new_round_state()
+            self._link_replicas(schedule)
             # One enclave memo window spans the whole plan: steady-state
             # rounds replay unchanged blobs' analyses at their recorded
             # costs instead of re-parsing them (host time only — every
@@ -477,6 +546,7 @@ class TraceReplay:
             session=session, client_downlink=self._client_downlink,
             tenants=self._tenants, delta_updates=self._delta_updates,
             shared_tpm_seed=self._shared_tpm_seed,
+            replicas=self._replicas,
         )
 
         #: Baseline: the pre-trace population is "publish zero".
@@ -487,6 +557,7 @@ class TraceReplay:
             except PolicyError:
                 continue  # tenant not refreshed before the trace
             tsr.record_publication(repo_id, 0.0)
+        self._sync_replicas(0.0, schedule=schedule)
 
         refresh_rounds: list[MultiTenantRefreshReport] = []
         waves: list[_WaveRecord] = []
@@ -522,6 +593,8 @@ class TraceReplay:
                     refresh_rounds.append(report)
                     for repo_id in repo_ids:
                         tsr.record_publication(repo_id, report.finished_at)
+                    self._sync_replicas(report.finished_at, repo_ids,
+                                        schedule=schedule)
                     frontier = max(frontier, report.finished_at)
                 elif event.kind == "fleet_pull":
                     clients = (fleet.clients if event.clients is None
@@ -531,10 +604,16 @@ class TraceReplay:
                     else:
                         wave_schedule = ParallelTransferSchedule(
                             downlink_bandwidth=self._capacity)
+                        self._link_replicas(wave_schedule)
                         wave_session = PlanFetchSession(scenario.network,
                                                         wave_schedule)
                         fleet.use_session(wave_session)
                     fleet.set_as_of(start)
+                    if self._replicas:
+                        self._heartbeat_replicas(
+                            start, schedule=wave_schedule)
+                        fleet.set_replica_refusals(
+                            self._freshness_refusals(start))
                     wave_session.begin_wave(start)
                     # Event-local RNG (like publish batches): a wave's
                     # install choices depend on the trace seed and the
@@ -585,6 +664,7 @@ class TraceReplay:
             for client in fleet.clients
         }
         wall = frontier
+        pull_latency = QuantileSketch()
         solved: dict[int, dict] = {}
         for record in waves:
             key_id = id(record.schedule)
@@ -597,7 +677,12 @@ class TraceReplay:
                 timelines[name].transitions.append((landed, serial))
             for key in record.last_keys.values():
                 if key is not None:
-                    wall = max(wall, timings[key].finish)
+                    finish = timings[key].finish
+                    wall = max(wall, finish)
+                    if finish >= record.started_at:
+                        # Keys older than the wave (a failed pull echoing
+                        # its previous fetch) are not this wave's latency.
+                        pull_latency.add(finish - record.started_at)
         if self._interleaved and schedule is not None:
             timings = schedule.solve()
             wall = max([wall, plan.enclave_free,
@@ -628,6 +713,10 @@ class TraceReplay:
             delta_updates=self._delta_updates,
             pull_wire_bytes=pull_wire_bytes,
             delta_stats=fleet.delta_stats().as_dict(),
+            pull_latency=pull_latency,
+            replicas=len(self._replicas),
+            replica_refusals=self._replica_refusals,
+            replica_sync_bytes=sum(r.sync_bytes for r in self._replicas),
         )
 
 
@@ -654,6 +743,7 @@ class TraceReplay:
         window = self._stale_window_width()
 
         schedule, plan = self._new_round_state()
+        self._link_replicas(schedule)  # before the stream freezes links
         plan.persistent_enclave_memo = True
         plan.keep_timeline = False  # nothing streaming reads it; O(trace)
         scheduler = plan.scheduler
@@ -664,6 +754,7 @@ class TraceReplay:
             session=session, client_downlink=self._client_downlink,
             tenants=self._tenants, delta_updates=self._delta_updates,
             lazy=True, shared_tpm_seed=self._shared_tpm_seed,
+            replicas=self._replicas,
         )
 
         # Pre-scan the trace for each client's *final* pull wave (cheap:
@@ -691,12 +782,14 @@ class TraceReplay:
             except PolicyError:
                 continue  # tenant not refreshed before the trace
             tsr.record_publication(repo_id, 0.0)
+        self._sync_replicas(0.0, schedule=schedule)
 
         # -- online metric folds (the whole point: no transition lists) --
         #: client name -> [serial, last landing, publish pointer, staleness].
         cstate: dict[str, list] = {}
         stale_sketch = QuantileSketch()
         avail_sketch = QuantileSketch()
+        pull_latency = QuantileSketch()
         window_stale: list[float] = []
         window_avail: list[list[float]] = []
         avail_sum = 0.0
@@ -759,7 +852,8 @@ class TraceReplay:
 
         # -- drained-key actions + retirement countdown ------------------
         mark_of: dict[object, tuple[str, int]] = {}
-        last_of: dict[object, tuple[str, int]] = {}
+        #: last schedule key -> (client name, client index, wave start).
+        last_of: dict[object, tuple[str, int, float]] = {}
         pending_last: dict[int, int] = {}
         last_registered: dict[int, object] = {}
         final_issued: set[int] = set()
@@ -781,6 +875,7 @@ class TraceReplay:
                         fold_transition(mark[0], timing.finish, mark[1])
                     last = last_of.pop(key, None)
                     if last is not None:
+                        pull_latency.add(timing.finish - last[2])
                         index = last[1]
                         pending_last[index] -= 1
                         if not pending_last[index] and index in final_issued:
@@ -833,11 +928,17 @@ class TraceReplay:
                         report.downloaded_bytes
                     for repo_id in repo_ids:
                         tsr.record_publication(repo_id, report.finished_at)
+                    self._sync_replicas(report.finished_at, repo_ids,
+                                        schedule=schedule)
                 elif event.kind == "fleet_pull":
                     indices = (range(fleet.size) if event.clients is None
                                else event.clients)
                     clients = fleet.subset(indices)
                     fleet.set_as_of(start)
+                    if self._replicas:
+                        self._heartbeat_replicas(start, schedule=schedule)
+                        fleet.set_replica_refusals(
+                            self._freshness_refusals(start))
                     session.begin_wave(start)
                     wave_rng = random.Random(
                         f"trace-pull:{trace.seed}:{event.seed}:{event.at}")
@@ -868,7 +969,7 @@ class TraceReplay:
                         if key is None or key == last_registered.get(index):
                             continue
                         last_registered[index] = key
-                        last_of[key] = (name, index)
+                        last_of[key] = (name, index, start)
                         pending_last[index] = pending_last.get(index, 0) + 1
                     for index in indices:
                         if wave_ordinal == max(final_wave.get(index, -1),
@@ -896,6 +997,10 @@ class TraceReplay:
         tail.sort()
         for finish, name, serial in tail:
             fold_transition(name, finish, serial)
+        for key, last in last_of.items():
+            timing = final_timings.get(key)
+            if timing is not None:
+                pull_latency.add(timing.finish - last[2])
         wall = stream.max_finish
         for timing in final_timings.values():
             if timing.finish > wall:
@@ -953,6 +1058,10 @@ class TraceReplay:
             pull_wire_bytes=pull_wire_bytes,
             delta_stats=fleet.delta_stats().as_dict(),
             streaming=summary,
+            pull_latency=pull_latency,
+            replicas=len(self._replicas),
+            replica_refusals=self._replica_refusals,
+            replica_sync_bytes=sum(r.sync_bytes for r in self._replicas),
         )
 
 

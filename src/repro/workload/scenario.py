@@ -385,6 +385,14 @@ class ClientFleet:
     and transfer metrics never touch the attestation key, so replay
     results are unchanged; leave it ``None`` for attestation experiments
     where per-node identity matters.
+
+    ``replicas`` spreads the fleet's *delta* traffic over an edge-replica
+    tier (:class:`repro.core.replica.ReplicaTSR`): each client hashes by
+    name onto one replica and keeps that assignment for life, so its
+    delta bases stay wherever its serving history is warm.  Replicas that
+    fail a wave's freshness check are denied via
+    :meth:`set_replica_refusals` and their clients pull from the primary
+    until the replica passes again.
     """
 
     def __init__(self, scenario: Scenario, clients: int,
@@ -393,7 +401,8 @@ class ClientFleet:
                  tenants: list[str] | None = None,
                  delta_updates: bool = False,
                  lazy: bool = False,
-                 shared_tpm_seed: int | None = None):
+                 shared_tpm_seed: int | None = None,
+                 replicas=None):
         if clients < 1:
             raise ValueError("fleet needs at least one client")
         if (client_downlink is not None
@@ -409,6 +418,8 @@ class ClientFleet:
         self._tenants = list(tenants) if tenants else [scenario.repo_id]
         self._delta_updates = delta_updates
         self._shared_tpm_seed = shared_tpm_seed
+        self._replicas = list(replicas) if replicas else []
+        self._replica_denied: set[str] = set()
         self._as_of: float | None = None
         self._by_index: dict[int, FleetClient] = {}
         self._booted_total = 0
@@ -431,11 +442,41 @@ class ClientFleet:
             delta_updates=self._delta_updates,
             tpm_attestation_seed=self._shared_tpm_seed)
         manager.client.as_of = self._as_of
+        replica = self._replica_for(name)
+        if replica is not None:
+            manager.client.replica_host = (
+                None if replica.hostname in self._replica_denied
+                else replica.hostname)
         client = FleetClient(name=name, repo_id=repo_id,
                              node=node, manager=manager)
         self._by_index[i] = client
         self._booted_total += 1
         return client
+
+    def _replica_for(self, name: str):
+        """The replica a client is pinned to (stable name hash)."""
+        if not self._replicas:
+            return None
+        import zlib
+        return self._replicas[zlib.crc32(name.encode("ascii"))
+                              % len(self._replicas)]
+
+    def set_replica_refusals(self, refused):
+        """Deny the given replica hostnames for the coming wave.
+
+        Clients hashed onto a denied replica fall back to the primary
+        (their ``replica_host`` is cleared); everyone else is (re)pointed
+        at their assigned replica.  Called by the replay after each
+        wave's freshness check.
+        """
+        self._replica_denied = set(refused)
+        for client in self._by_index.values():
+            replica = self._replica_for(client.name)
+            if replica is None:
+                continue
+            client.manager.client.replica_host = (
+                None if replica.hostname in self._replica_denied
+                else replica.hostname)
 
     def client(self, i: int) -> FleetClient:
         """The ``i``-th client, booting it now if the fleet is lazy."""
