@@ -1,0 +1,169 @@
+"""Multi-core host execution — worker-count sweep (EXPERIMENTS §12).
+
+One multi-round trace (publish → mirror sync → refresh → fleet pull over
+a multi-tenant deployment) replayed once per ``REPRO_WORKERS`` setting on
+twin scenarios.  The worker pool only precomputes content-determined work
+into the cost-honest memo tables, so every discrete outcome — published
+index bytes, served package blobs, install counts, wire bytes, served
+serials — must be identical at every worker count; the sweep asserts
+that, then reports host wall-clock per worker count.
+
+The speedup floor (>= 1.5x at 4 workers) is only asserted when the
+machine actually exposes >= 4 CPUs to this process; on smaller boxes the
+sweep still runs and the identity assertions still bite.  CI runs this
+emitting ``BENCH_parallel_host.json``.
+"""
+
+import hashlib
+import os
+import time
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.bench.report import PaperTable, record_table
+from repro.util.hostpool import (
+    autodetect_workers,
+    clear_content_memos,
+    reset_pool,
+    set_workers,
+)
+from repro.util.stats import human_duration
+from repro.workload.generator import generate_trace
+from repro.workload.replay import replay_trace
+from repro.workload.scenario import (
+    build_multi_tenant_scenario,
+    multi_tenant_refresh,
+)
+
+ROUNDS = int(os.environ.get("REPRO_PARALLEL_ROUNDS", "6"))
+TENANTS = int(os.environ.get("REPRO_PARALLEL_TENANTS", "2"))
+CLIENTS = int(os.environ.get("REPRO_PARALLEL_CLIENTS", "8"))
+PACKAGES = 12
+FILES_PER_PACKAGE = 12
+WORKER_SWEEP = (0, 1, 2, 4)
+
+#: The headline floor, asserted only when >= 4 CPUs are available.
+SPEEDUP_FLOOR = 1.5
+
+
+def _population(count=PACKAGES, files=FILES_PER_PACKAGE, reps=4000):
+    packages = []
+    for i in range(count):
+        scripts = {}
+        if i % 3 == 0:
+            scripts = {".pre-install": f"addgroup -S grp{i}\n"
+                                       f"adduser -S -G grp{i} svc{i}\n"}
+        pkg_files = [PackageFile(f"/usr/bin/pkg{i}",
+                                 (b"\x7fELF" + bytes([i])) * reps)]
+        pkg_files += [PackageFile(f"/usr/lib/pkg{i}/f{j}",
+                                  bytes([i, j]) * 400)
+                      for j in range(files - 1)]
+        packages.append(ApkPackage(
+            name=f"pkg-{i:02d}", version="1.0-r0", scripts=scripts,
+            files=pkg_files,
+        ))
+    return packages
+
+
+def _replay_once():
+    scenario = build_multi_tenant_scenario(
+        tenants=TENANTS, overlap=0.5, packages=_population())
+    multi_tenant_refresh(scenario)
+    # Wide simulated margins: charged costs are wall-measured, so a pull
+    # scheduled too close to a refresh could land on serial N or N+1
+    # depending on host jitter.  Simulated seconds are free; keep every
+    # event far from any availability boundary so the only run-to-run
+    # variable is host time, never a discrete landing.
+    trace = generate_trace(rounds=ROUNDS, interval=30.0,
+                           publish_fraction=0.3, sync_lag=2.0,
+                           refresh_lag=6.0, pull_lag=20.0, seed=12)
+    report = replay_trace(scenario, trace, clients=CLIENTS,
+                          mode="interleaved")
+    return scenario, report
+
+
+def _fingerprint(scenario, report) -> str:
+    """SHA-256 over every discrete outcome a worker count could perturb."""
+    h = hashlib.sha256()
+    for repo_id in scenario.tenants:
+        h.update(scenario.tsr.get_index_bytes(repo_id))
+        for publication in scenario.tsr.publications(repo_id):
+            h.update(str(publication.serial).encode())
+            h.update(publication.index_bytes)
+            for name in sorted(publication.blobs):
+                h.update(name.encode())
+                h.update(publication.blobs[name])
+    h.update(str(report.installs).encode())
+    h.update(str(report.client_wire_bytes).encode())
+    h.update(str(report.publishes).encode())
+    for name in sorted(report.timelines):
+        serials = [s for _, s in report.timelines[name].transitions]
+        h.update(f"{name}:{serials}".encode())
+    return h.hexdigest()
+
+
+def test_parallel_host_sweep(benchmark, maybe_profile):
+    available = autodetect_workers()
+    host_times = {}
+    fingerprints = {}
+
+    def sweep():
+        for workers in WORKER_SWEEP:
+            # Each worker count starts from cold content memos; otherwise
+            # the first run would warm every later one and the sweep
+            # would measure cache hits, not the pool.
+            clear_content_memos()
+            pool = set_workers(workers)
+            begin = time.perf_counter()
+            scenario, report = _replay_once()
+            host_times[workers] = time.perf_counter() - begin
+            fingerprints[workers] = _fingerprint(scenario, report)
+            if pool is not None:
+                assert not pool.broken, \
+                    f"pool broke at {workers} workers (inline fallback hit)"
+        return fingerprints
+
+    try:
+        benchmark.pedantic(
+            maybe_profile("parallel host sweep (workers 0/1/2/4)", sweep),
+            rounds=1, iterations=1)
+    finally:
+        clear_content_memos()
+        reset_pool()  # back to the REPRO_WORKERS environment setting
+
+    benchmark.extra_info["cpus_available"] = available
+    for workers, wall in host_times.items():
+        benchmark.extra_info[f"host_time_{workers}w_s"] = round(wall, 3)
+    speedup4 = host_times[0] / host_times[4]
+    benchmark.extra_info["speedup_4w"] = round(speedup4, 2)
+
+    table = PaperTable(
+        experiment="Parallel host sweep",
+        title=f"{ROUNDS}-round / {TENANTS}-tenant / {CLIENTS}-client "
+              "replay: host wall-clock vs worker count",
+        columns=["workers", "host time", "speedup vs serial", "outcome"],
+    )
+    for workers in WORKER_SWEEP:
+        table.add_row(
+            workers,
+            human_duration(host_times[workers]),
+            f"{host_times[0] / host_times[workers]:.2f}x",
+            "identical" if fingerprints[workers] == fingerprints[0]
+            else "DIVERGED",
+        )
+    table.note(f"{available} CPU(s) visible to this process; outputs "
+               "fingerprint signed indexes, publication blobs, installs, "
+               "wire bytes, and served serials")
+    record_table(table)
+
+    # The invariant that makes the pool safe to ship: every worker count
+    # produces bit-identical discrete outcomes.
+    for workers in WORKER_SWEEP[1:]:
+        assert fingerprints[workers] == fingerprints[0], (
+            f"outputs diverged at {workers} workers"
+        )
+    # The perf floor only means something with real cores to spread over.
+    if available >= 4:
+        assert speedup4 >= SPEEDUP_FLOOR, (
+            f"4-worker speedup only {speedup4:.2f}x "
+            f"(serial {host_times[0]:.2f}s, 4w {host_times[4]:.2f}s)"
+        )

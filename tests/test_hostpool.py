@@ -1,0 +1,298 @@
+"""Tests for the deterministic host worker pool: REPRO_WORKERS parsing,
+kernel byte-identity and cost-honesty, worker-crash inline fallback, the
+0-vs-N discrete-outcome differential over full trace replays (interleaved
+and streaming), the warm-twin timestamp identity, and cross-replay pool
+determinism inside one process."""
+
+import hashlib
+import multiprocessing
+import os
+
+import pytest
+
+from repro.archive.apk import ApkPackage, PackageFile
+from repro.archive.gz import (
+    clear_compress_memo,
+    gzip_compress,
+    gzip_compress_cached_with_cost,
+    seed_compress_entry,
+)
+from repro.crypto.rsa import generate_keypair
+from repro.util.hostpool import (
+    HostPool,
+    autodetect_workers,
+    clear_content_memos,
+    configured_workers,
+    get_pool,
+    register_kernel,
+    reset_pool,
+    set_workers,
+)
+from repro.workload.generator import generate_trace
+from repro.workload.replay import replay_trace
+from repro.workload.scenario import (
+    build_multi_tenant_scenario,
+    multi_tenant_refresh,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool_state():
+    """Every test starts serial with cold content memos and leaves the
+    process-wide singleton unset for whoever runs next."""
+    reset_pool()
+    clear_content_memos()
+    yield
+    reset_pool()
+    clear_content_memos()
+
+
+# -- configuration -------------------------------------------------------------
+
+
+class TestConfiguredWorkers:
+    @pytest.mark.parametrize("raw", ["", "0", "off", "none", "serial",
+                                     "OFF", " 0 "])
+    def test_serial_spellings(self, raw, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        assert configured_workers() == 0
+
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert configured_workers() == 0
+
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert configured_workers() == 3
+
+    def test_negative_clamps_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        assert configured_workers() == 0
+
+    def test_auto_matches_affinity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert configured_workers() == autodetect_workers() >= 1
+
+    def test_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            configured_workers()
+
+    def test_serial_singleton_is_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        reset_pool()
+        assert get_pool() is None
+
+
+# -- kernels: byte identity + cost honesty -------------------------------------
+
+
+class TestKernels:
+    def test_gzip_kernel_matches_serial_and_records_real_cost(self):
+        pool = HostPool(1)
+        try:
+            data = bytes(range(256)) * 400
+            [(key, compressed, cost)] = pool.run_batch("gzip", [(data, 6)])
+        finally:
+            pool.shutdown()
+        # Byte identity with the serial deflate.
+        assert compressed == gzip_compress(data, 6)
+        # Cost honesty: the installed cost is the worker's measured
+        # deflate time, not a placeholder.
+        assert cost > 0.0
+        clear_compress_memo()
+        seed_compress_entry(key, compressed, cost)
+        hit, hit_cost = gzip_compress_cached_with_cost(data, 6)
+        assert hit == compressed
+        assert hit_cost == cost
+
+    def test_keypair_kernel_matches_serial(self):
+        pool = HostPool(1)
+        try:
+            [(key, pair)] = pool.run_batch("keypair", [(512, 42)])
+        finally:
+            pool.shutdown()
+        assert key == (512, 42)
+        twin = generate_keypair(512, 42)
+        assert (pair.n, pair.d) == (twin.n, twin.d)
+
+    def test_empty_batch_is_free(self):
+        pool = HostPool(1)
+        try:
+            assert pool.run_batch("gzip", []) == []
+            assert pool.stats()["tasks"] == 0
+        finally:
+            pool.shutdown()
+
+
+# -- crash fallback ------------------------------------------------------------
+
+
+def _crashy_kernel(payload):
+    parent, value = payload
+    if os.getpid() != parent:     # in a worker: die without cleanup
+        os._exit(13)
+    return value * 2              # inline fallback in the main process
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="crash kernel needs fork "
+                    "workers to inherit the test-registered registry")
+class TestCrashFallback:
+    def test_worker_death_degrades_to_inline(self):
+        register_kernel("crashy", _crashy_kernel)
+        pool = HostPool(2)
+        try:
+            payloads = [(os.getpid(), i) for i in range(4)]
+            results = pool.run_batch("crashy", payloads)
+            # Correct answers despite every worker dying mid-batch.
+            assert results == [0, 2, 4, 6]
+            assert pool.broken
+            assert pool.stats()["fallbacks"] >= 1
+            # A broken pool keeps serving batches inline...
+            assert pool.run_batch("crashy", payloads) == [0, 2, 4, 6]
+            # ...and refuses new prefetches rather than wedging consumers.
+            pool.prefetch("crashy", "k", (os.getpid(), 5))
+            assert not pool.pending("crashy", "k")
+            assert pool.collect("crashy", "k") is None
+        finally:
+            pool.shutdown()
+
+
+# -- prefetch / collect --------------------------------------------------------
+
+
+class TestPrefetch:
+    def test_collect_returns_prefetched_result_once(self):
+        pool = HostPool(1)
+        try:
+            data = b"prefetched segment" * 100
+            pool.prefetch("gzip", "seg", (data, 6))
+            assert pool.pending("gzip", "seg")
+            key, compressed, cost = pool.collect("gzip", "seg")
+            assert compressed == gzip_compress(data, 6)
+            assert cost > 0.0
+            # Consumed: a second collect reports "never prefetched".
+            assert pool.collect("gzip", "seg") is None
+        finally:
+            pool.shutdown()
+
+    def test_duplicate_prefetch_is_single_flight(self):
+        pool = HostPool(1)
+        try:
+            data = b"only once" * 50
+            pool.prefetch("gzip", "k", (data, 6))
+            pool.prefetch("gzip", "k", (data, 6))
+            assert pool.stats()["tasks"] == 1
+        finally:
+            pool.shutdown()
+
+
+# -- full-replay differentials -------------------------------------------------
+
+
+def _packages(count=6, reps=600, files=3, accounts=True):
+    packages = []
+    for i in range(count):
+        scripts = {}
+        if accounts and i % 3 == 0:
+            scripts = {".pre-install": f"addgroup -S grp{i}\n"
+                                       f"adduser -S -G grp{i} svc{i}\n"}
+        pkg_files = [PackageFile(f"/usr/bin/pkg{i}",
+                                 (b"\x7fELF" + bytes([i])) * reps)]
+        pkg_files += [PackageFile(f"/usr/lib/pkg{i}/f{j}", bytes([i, j]) * 64)
+                      for j in range(files - 1)]
+        packages.append(ApkPackage(name=f"pkg-{i:02d}", version="1.0-r0",
+                                   scripts=scripts, files=pkg_files))
+    return packages
+
+
+def _replay(mode="interleaved", accounts=True, clients=6, **trace_kwargs):
+    scenario = build_multi_tenant_scenario(
+        tenants=2, overlap=0.5, packages=_packages(accounts=accounts))
+    multi_tenant_refresh(scenario)
+    # Wide simulated margins (simulated seconds are free): charged costs
+    # are wall-measured, so events too close to an availability boundary
+    # could land on different serials across runs regardless of the pool.
+    trace = generate_trace(rounds=3, interval=30.0, publish_fraction=0.3,
+                           sync_lag=2.0, refresh_lag=6.0, pull_lag=20.0,
+                           seed=11, **trace_kwargs)
+    report = replay_trace(scenario, trace, clients=clients, mode=mode)
+    return scenario, report
+
+
+def _fingerprint(scenario, report):
+    """SHA-256 over the discrete outcomes: signed indexes, publication
+    blobs, install/wire counters, and per-client serial sequences."""
+    h = hashlib.sha256()
+    for repo_id in scenario.tenants:
+        h.update(scenario.tsr.get_index_bytes(repo_id))
+        for publication in scenario.tsr.publications(repo_id):
+            h.update(str(publication.serial).encode())
+            h.update(publication.index_bytes)
+            for name in sorted(publication.blobs):
+                h.update(name.encode())
+                h.update(publication.blobs[name])
+    h.update(str((report.installs, report.failed_installs,
+                  report.client_wire_bytes, report.publishes)).encode())
+    for name in sorted(report.timelines):
+        serials = [s for _, s in report.timelines[name].transitions]
+        h.update(f"{name}:{serials}".encode())
+    return h.hexdigest()
+
+
+class TestDifferential:
+    def test_serial_vs_pooled_interleaved(self):
+        set_workers(0)
+        serial = _fingerprint(*_replay())
+        clear_content_memos()
+        pool = set_workers(2)
+        pooled = _fingerprint(*_replay())
+        assert pool.stats()["tasks"] > 0, "pool never exercised"
+        assert not pool.broken
+        assert pooled == serial
+
+    def test_serial_vs_pooled_streaming(self):
+        kwargs = dict(mode="streaming", clients=12, fleet_size=12,
+                      clients_per_wave=4, streaming=True)
+        set_workers(0)
+        serial_scenario, serial_report = _replay(**kwargs)
+        serial = _fingerprint(serial_scenario, serial_report)
+        clear_content_memos()
+        pool = set_workers(2)
+        pooled_scenario, pooled_report = _replay(**kwargs)
+        pooled = _fingerprint(pooled_scenario, pooled_report)
+        assert pool.stats()["tasks"] > 0, "pool never exercised"
+        assert not pool.broken
+        assert pooled == serial
+        assert (pooled_report.streaming.clients_booted
+                == serial_report.streaming.clients_booted)
+        assert (pooled_report.streaming.peak_live_channels
+                == serial_report.streaming.peak_live_channels)
+
+    def test_pooled_replay_is_deterministic_across_runs(self):
+        """Two pooled replays in one process (cold memos each) agree on
+        every discrete outcome — worker scheduling never leaks in."""
+        set_workers(2)
+        first = _fingerprint(*_replay())
+        clear_content_memos()
+        second = _fingerprint(*_replay())
+        assert first == second
+
+    def test_warm_twin_timestamps_match_serial(self):
+        """A serial replay over pool-warmed memos reproduces the pooled
+        replay's *simulated timestamps* exactly: every charge either
+        records its measured cost or replays a recorded one, so the twin
+        sees the same numbers.  (Account-creating packages are excluded:
+        their render is raw-measured by design, see the sanitizer.)"""
+        pool = set_workers(2)
+        _, pooled = _replay(accounts=False)
+        assert pool.stats()["tasks"] > 0
+        set_workers(0)       # keep the warm memos, drop the pool
+        _, twin = _replay(accounts=False)
+        assert twin.installs == pooled.installs
+        assert twin.client_wire_bytes == pooled.client_wire_bytes
+        for name in pooled.timelines:
+            assert (twin.timelines[name].transitions
+                    == pooled.timelines[name].transitions)
